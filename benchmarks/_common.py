@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark scripts.
+
+Lives outside conftest so the scripts work both under pytest (where the
+name ``conftest`` is already taken by the test suite's conftest) and as
+standalone programs (``python benchmarks/bench_figure4_ordpath.py`` or
+``python -m repro figure 4``).
+"""
+
+from __future__ import annotations
+
+from repro.data.sample import sample_document
+from repro.updates.document import LabeledDocument
+from repro.schemes.registry import make_scheme
+
+
+def fresh(scheme_name: str, document=None, **kwargs) -> LabeledDocument:
+    """A freshly labelled document for one benchmark round."""
+    return LabeledDocument(
+        document if document is not None else sample_document(),
+        make_scheme(scheme_name, **kwargs),
+        on_collision="record",
+    )

@@ -1,0 +1,56 @@
+"""Figure 6: the ImprovedBinary-labelled tree and its five insertions."""
+
+from _common import fresh
+from repro.data.sample import (
+    FIGURE_6_INITIAL_LABELS,
+    FIGURE_6_INSERTED,
+    FIGURE_6_SHAPE,
+)
+from repro.xmlmodel.builder import tree_from_shape
+
+
+def regenerate():
+    ldoc = fresh("improved-binary", tree_from_shape(FIGURE_6_SHAPE))
+    initial = [
+        ldoc.format_label(node) for node in ldoc.document.labeled_nodes()
+    ]
+    node_01, node_0101, node_011 = ldoc.document.root.element_children()
+    inserted = {
+        "before_first_under_0101": ldoc.format_label(
+            ldoc.prepend_child(node_0101, "new")
+        ),
+        "after_last_under_0101": ldoc.format_label(
+            ldoc.append_child(node_0101, "new")
+        ),
+        "between_011.01_and_011.011": ldoc.format_label(
+            ldoc.insert_after(node_011.element_children()[0], "new")
+        ),
+        "between_root_children_01_and_0101": ldoc.format_label(
+            ldoc.insert_after(node_01, "new")
+        ),
+        "between_root_children_0101_and_011": ldoc.format_label(
+            ldoc.insert_after(node_0101, "new")
+        ),
+    }
+    return initial, inserted, ldoc
+
+
+def bench_figure6_improved_binary(benchmark):
+    initial, inserted, ldoc = benchmark(regenerate)
+    assert initial == FIGURE_6_INITIAL_LABELS
+    assert inserted == FIGURE_6_INSERTED
+    assert ldoc.log.relabeled_nodes == 0
+
+
+def main():
+    initial, inserted, ldoc = regenerate()
+    print("Figure 6 — ImprovedBinary labelled XML tree")
+    print("  initial:", " ".join(repr(code) for code in initial))
+    for description, label in inserted.items():
+        print(f"  inserted {description}: {label}")
+    print("matches paper:", initial == FIGURE_6_INITIAL_LABELS
+          and inserted == FIGURE_6_INSERTED)
+
+
+if __name__ == "__main__":
+    main()

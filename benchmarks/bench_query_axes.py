@@ -1,0 +1,81 @@
+"""Section 2.2 claim: label-decidable relationships cut XPath costs.
+
+Times axis evaluation over the label table for schemes at each XPath
+Evaluations grade — full prefix schemes answer every axis from labels,
+containment schemes answer ancestor/descendant, and the fallback path
+(tree navigation) is what the partial schemes pay elsewhere.
+"""
+
+import pytest
+
+from _common import fresh
+from repro.axes.evaluator import AxisEvaluator
+from repro.axes.xpath import XPathEvaluator
+from repro.xmlmodel.generator import random_document
+
+DOCUMENT_NODES = 150
+
+
+def build(scheme_name):
+    return fresh(scheme_name, random_document(DOCUMENT_NODES, seed=88))
+
+
+@pytest.mark.parametrize("scheme_name", ["qed", "dewey", "prepost", "vector"])
+def bench_descendant_axis(benchmark, scheme_name):
+    """Ancestor-descendant: decidable from labels for every graded row."""
+    ldoc = build(scheme_name)
+    evaluator = AxisEvaluator(ldoc, allow_fallback=True)
+    root = ldoc.document.root
+
+    result = benchmark(evaluator.evaluate, "descendant", root)
+    assert len(result) == ldoc.document.labeled_size() - 1
+
+
+@pytest.mark.parametrize("scheme_name", ["qed", "dewey"])
+def bench_sibling_axis_label_only(benchmark, scheme_name):
+    """Sibling axes: only XPath-F schemes answer without the tree."""
+    ldoc = build(scheme_name)
+    evaluator = AxisEvaluator(ldoc, allow_fallback=False)
+    node = ldoc.document.root.element_children()[0]
+
+    benchmark(evaluator.evaluate, "following-sibling", node)
+    assert evaluator.fallbacks == 0
+
+
+def bench_vector_sibling_axis_needs_fallback(benchmark):
+    ldoc = build("vector")
+    evaluator = AxisEvaluator(ldoc, allow_fallback=True)
+    node = ldoc.document.root.element_children()[0]
+
+    benchmark(evaluator.evaluate, "following-sibling", node)
+    assert evaluator.fallbacks > 0
+
+
+@pytest.mark.parametrize("scheme_name", ["qed", "prepost"])
+def bench_xpath_location_path(benchmark, scheme_name):
+    """A whole location path over the labelled document."""
+    ldoc = build(scheme_name)
+    evaluator = XPathEvaluator(ldoc)
+
+    result = benchmark(evaluator.evaluate, "//record/ancestor::*")
+    assert isinstance(result, list)
+
+
+def main():
+    import time
+
+    print(f"Axis evaluation over a {DOCUMENT_NODES}-node document")
+    for scheme_name in ("qed", "dewey", "prepost", "vector"):
+        ldoc = build(scheme_name)
+        evaluator = AxisEvaluator(ldoc, allow_fallback=True)
+        start = time.perf_counter()
+        for node in list(ldoc.document.labeled_nodes())[:30]:
+            evaluator.evaluate("descendant", node)
+            evaluator.evaluate("ancestor", node)
+        elapsed = (time.perf_counter() - start) * 1000
+        print(f"  {scheme_name:10s} 60 axis evaluations: {elapsed:7.1f} ms "
+              f"(fallbacks: {evaluator.fallbacks})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Section 5.1 Compact Encoding: storage under the three update scenarios.
+
+Measures total label storage for every Figure 7 scheme over the same
+synthetic document, after bulk loading and after each of the frequent
+random / frequent uniform / skewed workloads — the measurements behind
+the Compact Encoding column.
+"""
+
+from repro.analysis.storage import StorageSummary, compare_schemes
+from repro.schemes.registry import FIGURE7_ORDER
+from repro.updates.workloads import (
+    random_insertions,
+    skewed_insertions,
+    uniform_insertions,
+)
+from repro.xmlmodel.generator import random_document
+
+DOCUMENT_NODES = 400
+UPDATES = 100
+
+
+def document_factory():
+    return random_document(DOCUMENT_NODES, seed=77)
+
+
+WORKLOADS = {
+    "bulk": None,
+    "random": lambda ldoc: random_insertions(ldoc, UPDATES, seed=5),
+    "uniform": lambda ldoc: uniform_insertions(ldoc, UPDATES),
+    "skewed": lambda ldoc: skewed_insertions(ldoc, UPDATES),
+}
+
+
+def regenerate():
+    table = {}
+    for workload_name, workload in WORKLOADS.items():
+        table[workload_name] = compare_schemes(
+            document_factory, FIGURE7_ORDER, workload=workload
+        )
+    return table
+
+
+def bench_storage_all_workloads(benchmark):
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    bulk = table["bulk"]
+    # Fixed containment labels are machine-word sized.
+    assert bulk["prepost"].bits_per_label == 96
+    # Under skew, the vector frontier label stays far below QED's.
+    skewed = table["skewed"]
+    assert skewed["vector"].max_label_bits < skewed["qed"].max_label_bits
+    # CDQS never produces a larger frontier label than QED.
+    assert skewed["cdqs"].max_label_bits <= skewed["qed"].max_label_bits
+
+
+def bench_cdqs_flat_allocation_beats_qed(benchmark):
+    """CDQS's compactness claim on sibling allocation, isolated.
+
+    On a flat document (no nesting to compound early-sibling codes) the
+    shortest-set allocation is strictly smaller than QED's recursive
+    thirds.  On nested documents the comparison depends on which
+    siblings carry the deep subtrees — which is why the headline
+    workload table above reports both schemes rather than asserting a
+    blanket ordering.
+    """
+    from repro.xmlmodel.builder import wide_tree
+
+    def regenerate_flat():
+        return compare_schemes(lambda: wide_tree(300), ["cdqs", "qed"])
+
+    flat = benchmark.pedantic(regenerate_flat, rounds=1, iterations=1)
+    assert flat["cdqs"].total_bits <= flat["qed"].total_bits
+
+
+def bench_bulk_labelling_cost_qed(benchmark):
+    document = document_factory()
+    from repro.schemes.registry import make_scheme
+
+    scheme = make_scheme("qed")
+    labels = benchmark(scheme.label_tree, document)
+    assert len(labels) == document.labeled_size()
+
+
+def bench_bulk_labelling_cost_prepost(benchmark):
+    document = document_factory()
+    from repro.schemes.registry import make_scheme
+
+    scheme = make_scheme("prepost")
+    labels = benchmark(scheme.label_tree, document)
+    assert len(labels) == document.labeled_size()
+
+
+def main():
+    table = regenerate()
+    for workload_name, results in table.items():
+        print(f"\nStorage after {workload_name} "
+              f"({UPDATES if workload_name != 'bulk' else 0} updates)")
+        print(f"  {'scheme':18s} {'bits/label':>10s} {'max label':>10s}")
+        for name in FIGURE7_ORDER:
+            summary: StorageSummary = results[name]
+            print(f"  {name:18s} {summary.bits_per_label:10.1f} "
+                  f"{summary.max_label_bits:10d}")
+
+
+if __name__ == "__main__":
+    main()

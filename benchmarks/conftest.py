@@ -1,0 +1,19 @@
+"""Pytest fixtures for the benchmark harness.
+
+Every ``bench_*`` file regenerates one table or figure of the paper (or
+one textual claim from its analysis) and is also runnable directly
+(``python benchmarks/bench_figure7_matrix.py``) to print the regenerated
+artifact.  Under ``pytest benchmarks/ --benchmark-only`` the same code is
+timed and its assertions guard the reproduction.  Shared helpers live in
+``_common.py`` so the scripts import them identically under pytest and
+standalone execution.
+"""
+
+import pytest
+
+from repro.data.sample import sample_document
+
+
+@pytest.fixture
+def sample():
+    return sample_document()

@@ -1,0 +1,70 @@
+"""Run every benchmark's report and print one consolidated document.
+
+The one-command regeneration of everything the paper shows::
+
+    python benchmarks/run_all.py            # all figures + claims
+    python benchmarks/run_all.py figure     # only the figure reproductions
+    python benchmarks/run_all.py claim      # only the textual-claim checks
+
+Each section is the ``main()`` of one ``bench_*`` module — the same code
+``pytest benchmarks/ --benchmark-only`` times and asserts.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+import time
+
+#: Report order: the paper's figures first, then its claims, then the
+#: extension experiments.
+SECTIONS = [
+    ("figure", "bench_figure1_prepost"),
+    ("figure", "bench_figure2_encoding"),
+    ("figure", "bench_figure3_dewey"),
+    ("figure", "bench_figure4_ordpath"),
+    ("figure", "bench_figure5_lsdx"),
+    ("figure", "bench_figure6_improved_binary"),
+    ("figure", "bench_figure7_matrix"),
+    ("claim", "bench_claim_skewed_growth"),
+    ("claim", "bench_claim_overflow"),
+    ("claim", "bench_claim_containment_gaps"),
+    ("claim", "bench_claim_lsdx_collisions"),
+    ("claim", "bench_update_cost"),
+    ("claim", "bench_storage_growth"),
+    ("extension", "bench_extended_matrix"),
+    ("extension", "bench_ablation_code_design"),
+    ("extension", "bench_codec_storage"),
+    ("extension", "bench_structural_join"),
+    ("extension", "bench_twig_queries"),
+    ("extension", "bench_plane_queries"),
+    ("extension", "bench_xmark_auctions"),
+    ("extension", "bench_query_axes"),
+]
+
+
+def main(argv=None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    wanted = set(arguments) if arguments else {"figure", "claim", "extension"}
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    started = time.perf_counter()
+    count = 0
+    for kind, module_name in SECTIONS:
+        if kind not in wanted:
+            continue
+        banner = f"  {module_name}  ({kind})  "
+        print("=" * len(banner))
+        print(banner)
+        print("=" * len(banner))
+        module = importlib.import_module(module_name)
+        module.main()
+        print()
+        count += 1
+    elapsed = time.perf_counter() - started
+    print(f"-- regenerated {count} reports in {elapsed:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

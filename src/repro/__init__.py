@@ -1,0 +1,52 @@
+"""repro — dynamic XML labelling schemes and their evaluation framework.
+
+A full reproduction of O'Connor & Roantree, "Desirable Properties for XML
+Update Mechanisms" (Updates in XML, EDBT 2010 Workshops): every surveyed
+labelling scheme implemented from scratch over an in-package XML tree
+substrate, plus the section 5 evaluation framework that regenerates the
+Figure 7 property matrix empirically.
+
+Quickstart::
+
+    from repro import LabeledDocument, make_scheme, parse
+
+    doc = parse("<a><b/><c/></a>")
+    ldoc = LabeledDocument(doc, make_scheme("qed"))
+    b = doc.root.element_children()[0]
+    ldoc.insert_after(b, "new")          # no relabelling, ever
+    ldoc.verify_order()
+"""
+
+from repro.schemes import (
+    FIGURE7_ORDER,
+    LabelingScheme,
+    SchemeMetadata,
+    available_schemes,
+    extension_schemes,
+    figure7_schemes,
+    make_scheme,
+)
+from repro.store import XMLRepository, suggest_scheme
+from repro.updates import LabeledDocument, VersionedDocument
+from repro.xmlmodel import Document, NodeKind, XMLNode, parse, serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Document",
+    "FIGURE7_ORDER",
+    "LabeledDocument",
+    "LabelingScheme",
+    "NodeKind",
+    "SchemeMetadata",
+    "VersionedDocument",
+    "XMLNode",
+    "XMLRepository",
+    "available_schemes",
+    "suggest_scheme",
+    "extension_schemes",
+    "figure7_schemes",
+    "make_scheme",
+    "parse",
+    "serialize",
+]

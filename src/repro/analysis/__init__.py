@@ -1,0 +1,37 @@
+"""Measurement utilities: instrumentation, storage and growth analysis.
+
+Instrumentation loads eagerly (scheme base classes depend on it); the
+storage and growth helpers — which depend on the schemes layer — load
+lazily via PEP 562 to avoid an import cycle.
+"""
+
+from repro.analysis.instrumentation import Instrumentation
+
+_LAZY = {
+    "GrowthPoint": "repro.analysis.growth",
+    "growth_table": "repro.analysis.growth",
+    "linearity_ratio": "repro.analysis.growth",
+    "render_growth_table": "repro.analysis.growth",
+    "skewed_growth_series": "repro.analysis.growth",
+    "StorageSummary": "repro.analysis.storage",
+    "compare_schemes": "repro.analysis.storage",
+    "render_comparison": "repro.analysis.storage",
+    "summarize": "repro.analysis.storage",
+}
+
+__all__ = ["Instrumentation"] + sorted(_LAZY)
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,124 @@
+"""Operation counters backing the Division and Recursion probes.
+
+Section 5.1 of the paper grades schemes on whether they "perform division
+computations when initially assigning labels ... or during an update
+operation" and whether they "employ a recursive algorithm to compute and
+assign labels during the initial construction".  Rather than trusting a
+declaration, every scheme implementation in this package routes the
+relevant operations through an :class:`Instrumentation` instance, and the
+probes read the counters after exercising bulk labelling and insertions.
+
+Counting rules (documented here because the paper applies them implicitly):
+
+* ``divisions`` counts divisions the *published algorithm* specifies —
+  both divisions over label values (for example ORDPATH's careting midpoint
+  between two odd components) and the explicit node-position divisions the
+  survey text calls out (ImprovedBinary's ``(1+n)/2``, QED/CDQS's
+  ``(1/3)``/``(2/3)`` positions).  Multiplication is never counted: the
+  vector scheme's cross-multiplication comparison and QRS's ``* 0.5``
+  midpoint are multiplications, which is exactly why those schemes grade F.
+* ``recursions`` counts entries into a recursive bulk-labelling helper.
+  Schemes whose published construction is a single sequential pass
+  (DeweyID, ORDPATH, containment traversals) never touch it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Instrumentation:
+    """Mutable operation counters attached to a labelling scheme."""
+
+    divisions: int = 0
+    multiplications: int = 0
+    additions: int = 0
+    comparisons: int = 0
+    recursions: int = 0
+    max_recursion_depth: int = 0
+    _recursion_depth: int = field(default=0, repr=False)
+
+    def reset(self) -> None:
+        """Zero every counter (probes call this between scenarios)."""
+        self.divisions = 0
+        self.multiplications = 0
+        self.additions = 0
+        self.comparisons = 0
+        self.recursions = 0
+        self.max_recursion_depth = 0
+        self._recursion_depth = 0
+
+    # ------------------------------------------------------------------
+    # Arithmetic accounting (call sites are the scheme implementations)
+    # ------------------------------------------------------------------
+
+    def divide(self, numerator, denominator):
+        """Perform and count an integer division on algorithm values."""
+        self.divisions += 1
+        return numerator // denominator
+
+    def divide_float(self, numerator: float, denominator: float) -> float:
+        """Perform and count a floating-point division."""
+        self.divisions += 1
+        return numerator / denominator
+
+    def multiply(self, left, right):
+        """Perform and count a multiplication."""
+        self.multiplications += 1
+        return left * right
+
+    def add(self, left, right):
+        """Perform and count an addition."""
+        self.additions += 1
+        return left + right
+
+    def note_comparison(self) -> None:
+        """Record one label comparison (query-cost accounting)."""
+        self.comparisons += 1
+
+    # ------------------------------------------------------------------
+    # Recursion accounting
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def recursive_call(self) -> Iterator[None]:
+        """Context manager wrapping one level of a recursive helper.
+
+        Usage::
+
+            def _label_range(self, nodes, left, right):
+                with self.instruments.recursive_call():
+                    ...
+                    self._label_range(sub, new_left, new_right)
+        """
+        self.recursions += 1
+        self._recursion_depth += 1
+        self.max_recursion_depth = max(
+            self.max_recursion_depth, self._recursion_depth
+        )
+        try:
+            yield
+        finally:
+            self._recursion_depth -= 1
+
+    @property
+    def used_division(self) -> bool:
+        return self.divisions > 0
+
+    @property
+    def used_recursion(self) -> bool:
+        return self.recursions > 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of the counters (for reports)."""
+        return {
+            "divisions": self.divisions,
+            "multiplications": self.multiplications,
+            "additions": self.additions,
+            "comparisons": self.comparisons,
+            "recursions": self.recursions,
+            "max_recursion_depth": self.max_recursion_depth,
+        }

@@ -1,0 +1,27 @@
+"""XPath axes: relationship decisions, axis evaluation, location paths."""
+
+from repro.axes.evaluator import AXES, AxisEvaluator
+from repro.axes.plane import PrePostPlane
+from repro.axes.relationships import (
+    Relationship,
+    decide,
+    level_supported,
+    oracle,
+    supported_relationships,
+)
+from repro.axes.xpath import Step, XPathEvaluator, parse_path, xpath
+
+__all__ = [
+    "AXES",
+    "AxisEvaluator",
+    "PrePostPlane",
+    "Relationship",
+    "Step",
+    "XPathEvaluator",
+    "decide",
+    "level_supported",
+    "oracle",
+    "parse_path",
+    "supported_relationships",
+    "xpath",
+]

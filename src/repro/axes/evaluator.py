@@ -1,0 +1,213 @@
+"""XPath axis evaluation over a labelled document.
+
+Evaluates the major axes *from labels* wherever the scheme's labels
+decide the necessary relationship, falling back to tree pointers only if
+the caller allows it.  This is the machinery behind the paper's section
+2.2 observation that label-decidable relationships "contribute
+significantly to the reduction of XPath processing costs": a
+label-decided axis is one pass over the label table, no tree navigation.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, List, Optional
+
+from repro.errors import UnsupportedRelationshipError
+from repro.updates.document import LabeledDocument
+from repro.xmlmodel.tree import XMLNode
+
+#: The axes the evaluator understands.
+AXES = (
+    "self",
+    "child",
+    "parent",
+    "ancestor",
+    "ancestor-or-self",
+    "descendant",
+    "descendant-or-self",
+    "following",
+    "preceding",
+    "following-sibling",
+    "preceding-sibling",
+    "attribute",
+)
+
+
+class AxisEvaluator:
+    """Axis queries over one :class:`LabeledDocument`.
+
+    ``allow_fallback=True`` lets axes the scheme's labels cannot decide
+    be answered from tree pointers instead (with the fallback counted),
+    so the same evaluator runs on every scheme while the benchmarks can
+    report how often labels sufficed.
+    """
+
+    def __init__(self, ldoc: LabeledDocument, allow_fallback: bool = False):
+        self.ldoc = ldoc
+        self.scheme = ldoc.scheme
+        self.allow_fallback = allow_fallback
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, axis: str, node: XMLNode) -> List[XMLNode]:
+        """All nodes on ``axis`` from ``node``, in document order."""
+        if axis not in AXES:
+            raise UnsupportedRelationshipError(f"unknown axis {axis!r}")
+        handler = getattr(self, "_axis_" + axis.replace("-", "_"))
+        return handler(node)
+
+    # -- axes ------------------------------------------------------------
+
+    def _axis_self(self, node: XMLNode) -> List[XMLNode]:
+        return [node]
+
+    def _axis_ancestor(self, node: XMLNode) -> List[XMLNode]:
+        return self._filter_by_label(
+            node, lambda label, other: self.scheme.is_ancestor(other, label),
+            fallback=lambda: list(node.ancestors())[::-1],
+        )
+
+    def _axis_ancestor_or_self(self, node: XMLNode) -> List[XMLNode]:
+        return self._merge(self._axis_ancestor(node), [node])
+
+    def _axis_descendant(self, node: XMLNode) -> List[XMLNode]:
+        return self._filter_by_label(
+            node, lambda label, other: self.scheme.is_ancestor(label, other),
+            fallback=lambda: [
+                child for child in node.descendants() if child.kind.is_labeled
+            ],
+        )
+
+    def _axis_descendant_or_self(self, node: XMLNode) -> List[XMLNode]:
+        return self._merge([node], self._axis_descendant(node))
+
+    def _axis_parent(self, node: XMLNode) -> List[XMLNode]:
+        result = self._filter_by_label(
+            node, lambda label, other: self.scheme.is_parent(other, label),
+            fallback=lambda: [node.parent] if node.parent is not None else [],
+        )
+        return result
+
+    def _axis_child(self, node: XMLNode) -> List[XMLNode]:
+        return self._filter_by_label(
+            node, lambda label, other: self.scheme.is_parent(label, other),
+            fallback=node.labeled_children,
+        )
+
+    def _axis_following(self, node: XMLNode) -> List[XMLNode]:
+        # Nodes after this one in document order, minus its descendants.
+        def predicate(label, other):
+            return (
+                self.scheme.compare(label, other) < 0
+                and not self.scheme.is_ancestor(label, other)
+            )
+
+        return self._filter_by_label(
+            node, predicate, fallback=lambda: self._following_by_tree(node)
+        )
+
+    def _axis_preceding(self, node: XMLNode) -> List[XMLNode]:
+        def predicate(label, other):
+            return (
+                self.scheme.compare(other, label) < 0
+                and not self.scheme.is_ancestor(other, label)
+            )
+
+        return self._filter_by_label(
+            node, predicate, fallback=lambda: self._preceding_by_tree(node)
+        )
+
+    def _axis_following_sibling(self, node: XMLNode) -> List[XMLNode]:
+        def predicate(label, other):
+            return (
+                self.scheme.is_sibling(label, other)
+                and self.scheme.compare(label, other) < 0
+            )
+
+        return self._filter_by_label(
+            node, predicate,
+            fallback=lambda: [
+                sibling for sibling in node.following_siblings()
+                if sibling.kind.is_labeled
+            ],
+        )
+
+    def _axis_preceding_sibling(self, node: XMLNode) -> List[XMLNode]:
+        def predicate(label, other):
+            return (
+                self.scheme.is_sibling(label, other)
+                and self.scheme.compare(other, label) < 0
+            )
+
+        return self._filter_by_label(
+            node, predicate,
+            fallback=lambda: list(node.preceding_siblings())[::-1],
+        )
+
+    def _axis_attribute(self, node: XMLNode) -> List[XMLNode]:
+        return node.attributes()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _filter_by_label(
+        self,
+        node: XMLNode,
+        predicate: Callable,
+        fallback: Optional[Callable] = None,
+    ) -> List[XMLNode]:
+        """Scan the label table with ``predicate(node_label, other_label)``."""
+        label = self.ldoc.label_of(node)
+        try:
+            matches = [
+                other
+                for other in self.ldoc.document.labeled_nodes()
+                if other.node_id != node.node_id
+                and predicate(label, self.ldoc.label_of(other))
+            ]
+            return matches
+        except UnsupportedRelationshipError:
+            if not self.allow_fallback or fallback is None:
+                raise
+            self.fallbacks += 1
+            result = fallback()
+            return [item for item in result if item is not None]
+
+    def _merge(self, first: List[XMLNode], second: List[XMLNode]) -> List[XMLNode]:
+        combined = {node.node_id: node for node in first + second}
+        return self._document_order(list(combined.values()))
+
+    def _document_order(self, nodes: List[XMLNode]) -> List[XMLNode]:
+        return sorted(
+            nodes,
+            key=functools.cmp_to_key(
+                lambda a, b: self.scheme.compare(
+                    self.ldoc.label_of(a), self.ldoc.label_of(b)
+                )
+            ),
+        )
+
+    def _following_by_tree(self, node: XMLNode) -> List[XMLNode]:
+        order = list(self.ldoc.document.labeled_nodes())
+        position = next(
+            index for index, other in enumerate(order)
+            if other.node_id == node.node_id
+        )
+        descendants = {child.node_id for child in node.descendants()}
+        return [
+            other for other in order[position + 1 :]
+            if other.node_id not in descendants
+        ]
+
+    def _preceding_by_tree(self, node: XMLNode) -> List[XMLNode]:
+        order = list(self.ldoc.document.labeled_nodes())
+        position = next(
+            index for index, other in enumerate(order)
+            if other.node_id == node.node_id
+        )
+        ancestors = {anc.node_id for anc in node.ancestors()}
+        return [
+            other for other in order[:position]
+            if other.node_id not in ancestors
+        ]

@@ -1,0 +1,99 @@
+"""Label-only relationship decisions, and what each scheme can decide.
+
+Section 2.2: "labelling schemes incorporate some of the structural
+semantics of an XML tree.  The precise details of the structural
+semantics captured are determined by the properties of the labelling
+scheme employed."  This module probes exactly which relationships a
+scheme's labels decide — the evidence behind the XPath Evaluations
+column of Figure 7 (F = ancestor-descendant, parent-child *and* sibling;
+P = at least ancestor-descendant; N = none).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Set
+
+from repro.errors import UnsupportedRelationshipError
+from repro.schemes.base import LabelingScheme
+from repro.xmlmodel.tree import Document
+
+
+class Relationship(enum.Enum):
+    """The three label-decidable relationships Figure 7 grades."""
+
+    ANCESTOR_DESCENDANT = "ancestor-descendant"
+    PARENT_CHILD = "parent-child"
+    SIBLING = "sibling"
+
+
+def decide(scheme: LabelingScheme, relationship: Relationship,
+           left: Any, right: Any) -> bool:
+    """Decide one relationship between two labels (may raise Unsupported)."""
+    if relationship is Relationship.ANCESTOR_DESCENDANT:
+        return scheme.is_ancestor(left, right)
+    if relationship is Relationship.PARENT_CHILD:
+        return scheme.is_parent(left, right)
+    return scheme.is_sibling(left, right)
+
+
+def oracle(relationship: Relationship, ancestor_node, descendant_node) -> bool:
+    """Ground truth from tree pointers (what the labels must agree with)."""
+    if relationship is Relationship.ANCESTOR_DESCENDANT:
+        return ancestor_node.is_ancestor_of(descendant_node)
+    if relationship is Relationship.PARENT_CHILD:
+        return descendant_node.parent is ancestor_node
+    return (
+        ancestor_node is not descendant_node
+        and ancestor_node.parent is not None
+        and ancestor_node.parent is descendant_node.parent
+    )
+
+
+def supported_relationships(scheme: LabelingScheme,
+                            document: Document) -> Set[Relationship]:
+    """Which relationships the scheme decides *correctly* on ``document``.
+
+    A relationship counts as supported only if the scheme never raises
+    :class:`UnsupportedRelationshipError` for it and agrees with the tree
+    oracle on every ordered node pair.  Answering without being right is
+    not support — that distinction is what keeps the probe honest.
+    """
+    labels = scheme.label_tree(document)
+    nodes = list(document.labeled_nodes())
+    supported: Set[Relationship] = set()
+    for relationship in Relationship:
+        correct = True
+        try:
+            for first in nodes:
+                for second in nodes:
+                    if first is second:
+                        continue
+                    answer = decide(
+                        scheme,
+                        relationship,
+                        labels[first.node_id],
+                        labels[second.node_id],
+                    )
+                    if answer != oracle(relationship, first, second):
+                        correct = False
+                        break
+                if not correct:
+                    break
+        except UnsupportedRelationshipError:
+            correct = False
+        if correct:
+            supported.add(relationship)
+    return supported
+
+
+def level_supported(scheme: LabelingScheme, document: Document) -> bool:
+    """Whether ``scheme.level(label)`` equals true depth everywhere."""
+    labels = scheme.label_tree(document)
+    try:
+        return all(
+            scheme.level(labels[node.node_id]) == node.depth()
+            for node in document.labeled_nodes()
+        )
+    except UnsupportedRelationshipError:
+        return False

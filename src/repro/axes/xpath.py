@@ -1,0 +1,295 @@
+"""A mini XPath: location paths over the labelled document.
+
+The paper's scope is labelling, not query languages, but its properties
+are justified by XPath processing cost; this evaluator makes that
+concrete.  Supported grammar (a practical XPath 1.0 subset):
+
+* absolute and relative location paths: ``/book/title``, ``author``
+* the abbreviations ``//`` (descendant-or-self), ``.``, ``..``, ``@name``
+* explicit axes: ``ancestor::*``, ``following-sibling::item``, ...
+* name test ``*`` and node name tests
+* predicates: positional ``[2]``, attribute equality ``[@year='2004']``,
+  child-text equality ``[name='Destiny Image']``, existence ``[@year]``
+
+Results are element/attribute nodes in document order with duplicates
+eliminated — the XPath requirements Definition 1 exists to serve.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.axes.evaluator import AXES, AxisEvaluator
+from repro.errors import XPathError
+from repro.updates.document import LabeledDocument
+from repro.xmlmodel.tree import XMLNode
+
+_STEP_RE = re.compile(
+    r"^(?:(?P<axis>[a-z-]+)::)?(?P<attr>@)?(?P<name>\*|[A-Za-z_][\w.-]*|\.\.|\.)"
+)
+_PRED_POSITION_RE = re.compile(r"^\d+$")
+_PRED_EQUALS_RE = re.compile(
+    r"^(?P<attr>@)?(?P<name>[A-Za-z_][\w.-]*)\s*=\s*"
+    r"(?P<quote>['\"])(?P<value>.*)(?P=quote)$"
+)
+_PRED_EXISTS_RE = re.compile(r"^(?P<attr>@)?(?P<name>[A-Za-z_][\w.-]*)$")
+
+
+@dataclass
+class Step:
+    """One parsed location step."""
+
+    axis: str
+    name_test: str
+    predicates: List[str] = field(default_factory=list)
+
+
+def parse_path(path: str) -> (bool, List[Step]):
+    """Parse a location path into (absolute?, steps)."""
+    if not path or path.isspace():
+        raise XPathError("empty XPath expression")
+    text = path.strip()
+    absolute = text.startswith("/")
+    steps: List[Step] = []
+    # Normalise '//' into an explicit descendant-or-self step marker.
+    pieces: List[str] = []
+    index = 0
+    while index < len(text):
+        if text.startswith("//", index):
+            pieces.append("descendant-or-self::*")
+            index += 2
+        elif text[index] == "/":
+            index += 1
+        else:
+            end = index
+            depth = 0
+            while end < len(text) and (text[end] != "/" or depth):
+                if text[end] == "[":
+                    depth += 1
+                elif text[end] == "]":
+                    depth -= 1
+                end += 1
+            pieces.append(text[index:end])
+            index = end
+    for piece in pieces:
+        steps.append(_parse_step(piece))
+    return absolute, _merge_descendant_steps(steps)
+
+
+def _merge_descendant_steps(steps: List[Step]) -> List[Step]:
+    """Fold ``//name`` into one ``descendant::name`` step.
+
+    ``a//b`` abbreviates ``a/descendant-or-self::node()/child::b``, which
+    is exactly ``a/descendant::b`` — and the single-step form also makes
+    the absolute ``//b`` case (where the virtual document node is the
+    context) easy to evaluate correctly.  The merge only applies when the
+    following step uses the child axis; ``//ancestor::x`` style paths
+    keep the explicit expansion.
+    """
+    merged: List[Step] = []
+    index = 0
+    while index < len(steps):
+        step = steps[index]
+        if (
+            step.axis == "descendant-or-self"
+            and step.name_test == "*"
+            and not step.predicates
+            and index + 1 < len(steps)
+            and steps[index + 1].axis == "child"
+        ):
+            follower = steps[index + 1]
+            merged.append(
+                Step(
+                    axis="descendant",
+                    name_test=follower.name_test,
+                    predicates=follower.predicates,
+                )
+            )
+            index += 2
+        else:
+            merged.append(step)
+            index += 1
+    return merged
+
+
+def _parse_step(piece: str) -> Step:
+    match = _STEP_RE.match(piece)
+    if match is None:
+        raise XPathError(f"cannot parse location step {piece!r}")
+    axis = match.group("axis")
+    name = match.group("name")
+    if name == ".":
+        axis, name = "self", "*"
+    elif name == "..":
+        axis, name = "parent", "*"
+    elif match.group("attr"):
+        if axis:
+            raise XPathError(f"@ abbreviation conflicts with axis in {piece!r}")
+        axis = "attribute"
+    elif axis is None:
+        axis = "child"
+    if axis not in AXES:
+        raise XPathError(f"unsupported axis {axis!r}")
+    rest = piece[match.end():]
+    predicates: List[str] = []
+    while rest:
+        if not rest.startswith("["):
+            raise XPathError(f"unexpected trailing text in step {piece!r}")
+        end = rest.index("]")
+        predicates.append(rest[1:end].strip())
+        rest = rest[end + 1 :]
+    return Step(axis=axis, name_test=name, predicates=predicates)
+
+
+class XPathEvaluator:
+    """Evaluates parsed paths against a :class:`LabeledDocument`."""
+
+    def __init__(self, ldoc: LabeledDocument, allow_fallback: bool = True):
+        self.ldoc = ldoc
+        self.axes = AxisEvaluator(ldoc, allow_fallback=allow_fallback)
+
+    def evaluate(self, path: str,
+                 context: Optional[XMLNode] = None) -> List[XMLNode]:
+        """All matching nodes, in document order, duplicates removed.
+
+        Top-level ``|`` unions are supported: each branch is evaluated
+        independently and the results merge in document order.
+        """
+        branches = self._split_union(path)
+        if len(branches) > 1:
+            gathered: List[XMLNode] = []
+            for branch in branches:
+                gathered.extend(self.evaluate(branch, context))
+            return self._dedupe(gathered)
+        return self._evaluate_single(path, context)
+
+    @staticmethod
+    def _split_union(path: str) -> List[str]:
+        pieces: List[str] = []
+        depth = 0
+        current: List[str] = []
+        for char in path:
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            if char == "|" and depth == 0:
+                pieces.append("".join(current))
+                current = []
+            else:
+                current.append(char)
+        pieces.append("".join(current))
+        return [piece.strip() for piece in pieces]
+
+    def _evaluate_single(self, path: str,
+                         context: Optional[XMLNode] = None) -> List[XMLNode]:
+        absolute, steps = parse_path(path)
+        root = self.ldoc.document.root
+        if root is None:
+            return []
+        if absolute:
+            current = [root]
+            # An absolute path's first step evaluates from the virtual
+            # document node: /book selects the root if it is named book,
+            # and //book must include the root itself.
+            if steps:
+                first = steps[0]
+                if first.axis == "child":
+                    current = self._apply_tests(first, [root])
+                    steps = steps[1:]
+                elif first.axis == "descendant":
+                    candidates = self.axes.evaluate(
+                        "descendant-or-self", root
+                    )
+                    current = self._apply_tests(first, candidates)
+                    steps = steps[1:]
+        else:
+            current = [context or root]
+        for step in steps:
+            gathered: List[XMLNode] = []
+            for node in current:
+                gathered.extend(self.axes.evaluate(step.axis, node))
+            current = self._apply_tests(step, self._dedupe(gathered))
+        return self._dedupe(current)
+
+    # ------------------------------------------------------------------
+
+    def _apply_tests(self, step: Step, nodes: List[XMLNode]) -> List[XMLNode]:
+        if step.name_test != "*":
+            if step.axis == "attribute":
+                nodes = [node for node in nodes if node.name == step.name_test]
+            else:
+                nodes = [
+                    node for node in nodes
+                    if node.is_element and node.name == step.name_test
+                ]
+        elif step.axis != "attribute":
+            # '*' on a non-attribute axis selects elements, per XPath.
+            nodes = [node for node in nodes if node.is_element]
+        for predicate in step.predicates:
+            nodes = self._apply_predicate(predicate, nodes)
+        return nodes
+
+    def _apply_predicate(self, predicate: str,
+                         nodes: List[XMLNode]) -> List[XMLNode]:
+        if _PRED_POSITION_RE.match(predicate):
+            position = int(predicate)
+            return [nodes[position - 1]] if 1 <= position <= len(nodes) else []
+        match = _PRED_EQUALS_RE.match(predicate)
+        if match:
+            name = match.group("name")
+            value = match.group("value")
+            if match.group("attr"):
+                return [
+                    node for node in nodes
+                    if node.is_element
+                    and any(
+                        attr.name == name and attr.value == value
+                        for attr in node.attributes()
+                    )
+                ]
+            return [
+                node for node in nodes
+                if node.is_element
+                and any(
+                    child.name == name and child.text_value().strip() == value
+                    for child in node.element_children()
+                )
+            ]
+        match = _PRED_EXISTS_RE.match(predicate)
+        if match:
+            name = match.group("name")
+            if match.group("attr"):
+                return [
+                    node for node in nodes
+                    if node.is_element and node.attribute(name) is not None
+                ]
+            return [
+                node for node in nodes
+                if node.is_element
+                and any(child.name == name for child in node.element_children())
+            ]
+        raise XPathError(f"unsupported predicate [{predicate}]")
+
+    def _dedupe(self, nodes: List[XMLNode]) -> List[XMLNode]:
+        seen = set()
+        unique: List[XMLNode] = []
+        for node in nodes:
+            if node.node_id not in seen:
+                seen.add(node.node_id)
+                unique.append(node)
+        if len(unique) < 2:
+            return unique
+        order = {
+            node.node_id: position
+            for position, node in enumerate(self.ldoc.document.labeled_nodes())
+        }
+        return sorted(unique, key=lambda node: order[node.node_id])
+
+
+def xpath(ldoc: LabeledDocument, path: str,
+          context: Optional[XMLNode] = None) -> List[XMLNode]:
+    """Module-level shortcut: evaluate ``path`` over ``ldoc``."""
+    return XPathEvaluator(ldoc).evaluate(path, context)

@@ -1,0 +1,261 @@
+"""Command-line interface: the library's experiments at your fingertips.
+
+::
+
+    python -m repro schemes                         # list all schemes
+    python -m repro label FILE --scheme qed         # label a document
+    python -m repro table FILE --scheme prepost     # Figure 2-style table
+    python -m repro query FILE '//book/title'       # mini XPath
+    python -m repro matrix [--extensions]           # regenerate Figure 7
+    python -m repro figure N                        # reproduce figure N
+    python -m repro growth --schemes qed,vector     # skewed growth series
+    python -m repro suggest version-control compact # section 5.2 advice
+
+Every command prints plain text and exits non-zero on failure, so the
+tool scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    from repro.schemes.registry import available_schemes, make_scheme
+
+    print(f"{'name':18s} {'family':12s} {'order':7s} {'encoding':9s} "
+          f"{'reference':24s} notes")
+    for name in available_schemes():
+        meta = make_scheme(name).metadata
+        flag = " *" if meta.extension else ""
+        print(f"{name + flag:18s} {meta.family.value:12s} "
+              f"{str(meta.document_order):7s} "
+              f"{str(meta.encoding_representation):9s} "
+              f"{meta.reference:24s} {meta.notes}")
+    print("\n* extension scheme (no Figure 7 row)")
+    return 0
+
+
+def _load(args: argparse.Namespace):
+    from repro.schemes.registry import make_scheme
+    from repro.updates.document import LabeledDocument
+    from repro.xmlmodel.parser import parse
+
+    with open(args.file, encoding="utf-8") as handle:
+        document = parse(handle.read())
+    return LabeledDocument(document, make_scheme(args.scheme))
+
+
+def _cmd_label(args: argparse.Namespace) -> int:
+    ldoc = _load(args)
+    width = max(
+        len(ldoc.format_label(node))
+        for node in ldoc.document.labeled_nodes()
+    )
+    for node in ldoc.document.labeled_nodes():
+        indent = "  " * node.depth()
+        kind = "@" if node.is_attribute else "<>"
+        print(f"{ldoc.format_label(node):{width}s}  {indent}{kind}{node.name}")
+    bits = ldoc.total_label_bits()
+    print(f"\n{len(ldoc.labels)} labels, {bits} bits "
+          f"({bits / max(len(ldoc.labels), 1):.1f} bits/label)")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.encoding.table import EncodingTable
+
+    ldoc = _load(args)
+    print(EncodingTable.from_labeled_document(ldoc).render())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.axes.xpath import xpath
+    from repro.xmlmodel.serializer import serialize_node
+
+    ldoc = _load(args)
+    result = xpath(ldoc, args.path)
+    for node in result:
+        if node.is_attribute:
+            print(f"{ldoc.format_label(node)}  @{node.name}={node.value!r}")
+        else:
+            print(f"{ldoc.format_label(node)}  {serialize_node(node)}")
+    print(f"-- {len(result)} node(s)")
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.core.matrix import EvaluationMatrix
+    from repro.core.report import most_generic_scheme, reproduction_report
+
+    matrix = EvaluationMatrix.generate(include_extensions=args.extensions)
+    print(reproduction_report(matrix))
+    print()
+    print("most generic scheme (section 5.2):", most_generic_scheme(matrix))
+    return 0 if matrix.matches_paper() else 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+
+    modules = {
+        1: "bench_figure1_prepost",
+        2: "bench_figure2_encoding",
+        3: "bench_figure3_dewey",
+        4: "bench_figure4_ordpath",
+        5: "bench_figure5_lsdx",
+        6: "bench_figure6_improved_binary",
+        7: "bench_figure7_matrix",
+    }
+    import os
+    import sys as _sys
+
+    benchmarks_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "benchmarks",
+    )
+    if os.path.isdir(benchmarks_dir) and benchmarks_dir not in _sys.path:
+        _sys.path.insert(0, benchmarks_dir)
+    try:
+        module = importlib.import_module(modules[args.number])
+    except ImportError:
+        print("the benchmarks/ directory is not available in this install",
+              file=sys.stderr)
+        return 1
+    module.main()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate every figure/claim report in one run."""
+    import importlib
+    import os
+
+    benchmarks_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "benchmarks",
+    )
+    if not os.path.isdir(benchmarks_dir):
+        print("the benchmarks/ directory is not available in this install",
+              file=sys.stderr)
+        return 1
+    if benchmarks_dir not in sys.path:
+        sys.path.insert(0, benchmarks_dir)
+    run_all = importlib.import_module("run_all")
+    return run_all.main(args.kinds)
+
+
+def _cmd_growth(args: argparse.Namespace) -> int:
+    from repro.analysis.growth import (
+        growth_table,
+        linearity_ratio,
+        render_growth_table,
+    )
+
+    names = [name.strip() for name in args.schemes.split(",") if name.strip()]
+    table = growth_table(names, args.inserts, step=args.step)
+    print(render_growth_table(table))
+    print()
+    for name, series in table.items():
+        print(f"  {name:16s} bits/insert = {linearity_ratio(series):.3f}")
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    from repro.store.repository import REQUIREMENT_PROPERTIES, suggest_scheme
+
+    if not args.requirements:
+        print("known requirements:", ", ".join(sorted(REQUIREMENT_PROPERTIES)))
+        return 0
+    matches = suggest_scheme(args.requirements)
+    if matches:
+        print("schemes satisfying", ", ".join(args.requirements) + ":")
+        for name in matches:
+            print(f"  {name}")
+        return 0
+    print("no Figure 7 scheme satisfies that combination")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic XML labelling schemes and the "
+                    "O'Connor/Roantree evaluation framework",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("schemes", help="list implemented schemes")
+
+    label = commands.add_parser("label", help="label an XML file")
+    label.add_argument("file")
+    label.add_argument("--scheme", default="cdqs")
+
+    table = commands.add_parser("table", help="print the encoding table")
+    table.add_argument("file")
+    table.add_argument("--scheme", default="prepost")
+
+    query = commands.add_parser("query", help="run a mini-XPath query")
+    query.add_argument("file")
+    query.add_argument("path")
+    query.add_argument("--scheme", default="cdqs")
+
+    matrix = commands.add_parser("matrix", help="regenerate Figure 7")
+    matrix.add_argument("--extensions", action="store_true",
+                        help="include non-Figure-7 schemes")
+
+    figure = commands.add_parser("figure", help="reproduce one paper figure")
+    figure.add_argument("number", type=int, choices=range(1, 8))
+
+    report = commands.add_parser(
+        "report", help="regenerate every figure/claim report"
+    )
+    report.add_argument("kinds", nargs="*",
+                        choices=["figure", "claim", "extension"],
+                        help="restrict to report kinds (default: all)")
+
+    growth = commands.add_parser("growth", help="skewed growth series")
+    growth.add_argument("--schemes", default="qed,cdqs,vector")
+    growth.add_argument("--inserts", type=int, default=200)
+    growth.add_argument("--step", type=int, default=40)
+
+    suggest = commands.add_parser(
+        "suggest", help="section 5.2 scheme selection advice"
+    )
+    suggest.add_argument("requirements", nargs="*")
+
+    return parser
+
+
+_HANDLERS = {
+    "schemes": _cmd_schemes,
+    "label": _cmd_label,
+    "table": _cmd_table,
+    "query": _cmd_query,
+    "matrix": _cmd_matrix,
+    "figure": _cmd_figure,
+    "growth": _cmd_growth,
+    "report": _cmd_report,
+    "suggest": _cmd_suggest,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

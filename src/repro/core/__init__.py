@@ -1,0 +1,64 @@
+"""The paper's contribution: properties, probes, and the Figure 7 matrix.
+
+The properties module is imported eagerly (scheme metadata depends on
+it); the matrix, probes and report machinery — which depend on the
+schemes and updates layers — load lazily via PEP 562 so that
+``repro.schemes.base`` can import ``repro.core.properties`` without a
+cycle.
+"""
+
+from repro.core.properties import (
+    PAPER_FIGURE_7,
+    PAPER_ROW_NAMES,
+    PROPERTY_DEFINITIONS,
+    PROPERTY_ORDER,
+    Compliance,
+    DocumentOrderApproach,
+    EncodingRepresentation,
+    Property,
+)
+
+_LAZY = {
+    "EvaluationFramework": "repro.core.matrix",
+    "EvaluationMatrix": "repro.core.matrix",
+    "MatrixRow": "repro.core.matrix",
+    "ProbeResult": "repro.core.probes",
+    "probe_compactness": "repro.core.probes",
+    "probe_division": "repro.core.probes",
+    "probe_level": "repro.core.probes",
+    "probe_orthogonality": "repro.core.probes",
+    "probe_overflow": "repro.core.probes",
+    "probe_persistence": "repro.core.probes",
+    "probe_recursion": "repro.core.probes",
+    "probe_xpath": "repro.core.probes",
+    "most_generic_scheme": "repro.core.report",
+    "property_glossary": "repro.core.report",
+    "reproduction_report": "repro.core.report",
+    "row_report": "repro.core.report",
+}
+
+__all__ = [
+    "Compliance",
+    "DocumentOrderApproach",
+    "EncodingRepresentation",
+    "PAPER_FIGURE_7",
+    "PAPER_ROW_NAMES",
+    "PROPERTY_DEFINITIONS",
+    "PROPERTY_ORDER",
+    "Property",
+] + sorted(_LAZY)
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,178 @@
+"""The evaluation matrix: Figure 7, regenerated from probes.
+
+:class:`EvaluationFramework` runs every probe over a scheme and emits a
+:class:`MatrixRow`; :class:`EvaluationMatrix` collects rows for the
+twelve Figure 7 schemes (optionally plus the extensions), renders the
+figure and diffs itself cell-by-cell against the paper's published
+grades (:data:`repro.core.properties.PAPER_FIGURE_7`).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.probes import (
+    ProbeResult,
+    probe_compactness,
+    probe_division,
+    probe_level,
+    probe_orthogonality,
+    probe_overflow,
+    probe_persistence,
+    probe_recursion,
+    probe_xpath,
+)
+from repro.core.properties import (
+    PAPER_FIGURE_7,
+    PAPER_ROW_NAMES,
+    PROPERTY_ORDER,
+    Compliance,
+    Property,
+)
+from repro.schemes.registry import FIGURE7_ORDER, available_schemes, make_scheme
+
+
+@dataclass
+class MatrixRow:
+    """One scheme's line in the evaluation framework."""
+
+    name: str
+    display_name: str
+    document_order: str
+    encoding_representation: str
+    grades: Dict[Property, Compliance]
+    evidence: Dict[Property, Dict[str, Any]] = field(default_factory=dict)
+    extension: bool = False
+
+    def cells(self) -> List[str]:
+        """Row cells in Figure 7 column order."""
+        return [
+            self.document_order,
+            self.encoding_representation,
+        ] + [self.grades[prop].value for prop in PROPERTY_ORDER]
+
+
+class EvaluationFramework:
+    """Runs the full probe suite for one scheme."""
+
+    def evaluate(self, name: str) -> MatrixRow:
+        """Probe the registry scheme ``name`` and build its matrix row."""
+        factory = functools.partial(make_scheme, name)
+        scheme = factory()
+        results: List[ProbeResult] = [
+            probe_persistence(factory),
+            probe_xpath(factory),
+            probe_level(factory),
+            probe_overflow(name),
+            probe_orthogonality(scheme),
+            probe_compactness(factory, scheme.metadata.declared_compactness),
+            probe_division(factory),
+            probe_recursion(factory),
+        ]
+        grades = {result.property: result.compliance for result in results}
+        evidence = {result.property: result.evidence for result in results}
+        return MatrixRow(
+            name=name,
+            display_name=PAPER_ROW_NAMES.get(
+                name, scheme.metadata.display_name
+            ),
+            document_order=str(scheme.metadata.document_order),
+            encoding_representation=str(scheme.metadata.encoding_representation),
+            grades=grades,
+            evidence=evidence,
+            extension=scheme.metadata.extension,
+        )
+
+
+class EvaluationMatrix:
+    """The assembled framework table."""
+
+    def __init__(self, rows: List[MatrixRow]):
+        self.rows = rows
+
+    @classmethod
+    def generate(cls, names: Optional[List[str]] = None,
+                 include_extensions: bool = False) -> "EvaluationMatrix":
+        """Run the framework over the Figure 7 schemes (default)."""
+        framework = EvaluationFramework()
+        selected = list(names) if names is not None else list(FIGURE7_ORDER)
+        if include_extensions and names is None:
+            selected += [
+                name for name in available_schemes() if name not in selected
+            ]
+        return cls([framework.evaluate(name) for name in selected])
+
+    def row(self, name: str) -> MatrixRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # Comparison against the published Figure 7
+    # ------------------------------------------------------------------
+
+    def diff_against_paper(self) -> List[str]:
+        """Cell-level disagreements with the published matrix.
+
+        Includes any compactness measurement flagged inconsistent with
+        its declared grade.  An empty list is full reproduction.
+        """
+        differences: List[str] = []
+        for row in self.rows:
+            expected = PAPER_FIGURE_7.get(row.name)
+            if expected is None:
+                continue  # extension row; the paper has no grades for it
+            actual = tuple(row.cells())
+            columns = ["Document Order", "Encoding Rep."] + [
+                prop.value for prop in PROPERTY_ORDER
+            ]
+            for column, want, got in zip(columns, expected, actual):
+                if want != got:
+                    differences.append(
+                        f"{row.name}: {column}: paper={want} measured={got}"
+                    )
+            compact_evidence = row.evidence.get(Property.COMPACT_ENCODING, {})
+            if compact_evidence.get("consistent_with_declared") is False:
+                differences.append(
+                    f"{row.name}: Compact Enc. measurements contradict the "
+                    f"declared grade: {compact_evidence}"
+                )
+        return differences
+
+    def matches_paper(self) -> bool:
+        return not self.diff_against_paper()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self, with_extensions: bool = True) -> str:
+        """A fixed-width reproduction of Figure 7."""
+        header = ["Labelling Scheme", "Doc. Order", "Enc. Rep."] + [
+            prop.value for prop in PROPERTY_ORDER
+        ]
+        lines: List[List[str]] = []
+        for row in self.rows:
+            if row.extension and not with_extensions:
+                continue
+            label = row.display_name + (" *" if row.extension else "")
+            lines.append([label] + row.cells())
+        widths = [
+            max(len(header[column]), *(len(line[column]) for line in lines))
+            if lines else len(header[column])
+            for column in range(len(header))
+        ]
+        rendered = [
+            "  ".join(cell.ljust(width) for cell, width in zip(header, widths)),
+            "  ".join("-" * width for width in widths),
+        ]
+        for line in lines:
+            rendered.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+            )
+        if any(row.extension for row in self.rows) and with_extensions:
+            rendered.append("* extension scheme (no Figure 7 row in the paper)")
+        return "\n".join(rendered)

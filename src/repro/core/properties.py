@@ -1,0 +1,153 @@
+"""The ten framework properties of section 5.1 and their compliance grades.
+
+This module is the vocabulary of the paper's contribution: the evaluation
+template.  Each :class:`Property` value corresponds to one column of
+Figure 7; :class:`Compliance` carries the F/P/N grades.  The two leading
+columns of the matrix (Document Order and Encoding Representation) are
+descriptive rather than graded and are modelled by the enums
+:class:`DocumentOrderApproach` and :class:`EncodingRepresentation`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Compliance(enum.Enum):
+    """Full / Partial / No compliance, as printed in Figure 7."""
+
+    FULL = "F"
+    PARTIAL = "P"
+    NONE = "N"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def from_letter(cls, letter: str) -> "Compliance":
+        for grade in cls:
+            if grade.value == letter:
+                return grade
+        raise ValueError(f"unknown compliance letter {letter!r}")
+
+
+class DocumentOrderApproach(enum.Enum):
+    """Section 3.1's three generic approaches to capturing document order."""
+
+    GLOBAL = "Global"
+    LOCAL = "Local"
+    HYBRID = "Hybrid"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class EncodingRepresentation(enum.Enum):
+    """Fixed- versus variable-length storage representation."""
+
+    FIXED = "Fixed"
+    VARIABLE = "Variable"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Property(enum.Enum):
+    """The graded columns of the Figure 7 evaluation framework."""
+
+    PERSISTENT_LABELS = "Persistent Labels"
+    XPATH_EVALUATION = "XPath Eval."
+    LEVEL_ENCODING = "Level Enc."
+    OVERFLOW_FREEDOM = "Overflow Prob."
+    ORTHOGONALITY = "Orthogonal"
+    COMPACT_ENCODING = "Compact Enc."
+    DIVISION_FREEDOM = "Division Comp."
+    RECURSION_FREEDOM = "Recursion Alg."
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Column order of Figure 7 (after the two descriptive columns).
+PROPERTY_ORDER = [
+    Property.PERSISTENT_LABELS,
+    Property.XPATH_EVALUATION,
+    Property.LEVEL_ENCODING,
+    Property.OVERFLOW_FREEDOM,
+    Property.ORTHOGONALITY,
+    Property.COMPACT_ENCODING,
+    Property.DIVISION_FREEDOM,
+    Property.RECURSION_FREEDOM,
+]
+
+
+#: One-line definitions, paraphrasing section 5.1, used by reports.
+PROPERTY_DEFINITIONS = {
+    Property.PERSISTENT_LABELS: (
+        "labels are unique and persistent: deletions and insertions never "
+        "affect existing node labels"
+    ),
+    Property.XPATH_EVALUATION: (
+        "ancestor-descendant, parent-child and sibling relationships are "
+        "decidable from label values alone"
+    ),
+    Property.LEVEL_ENCODING: (
+        "the nesting depth of a node is computable from its label value"
+    ),
+    Property.OVERFLOW_FREEDOM: (
+        "the scheme is not subject to the overflow problem of section 4 "
+        "and never relabels under any update scenario"
+    ),
+    Property.ORTHOGONALITY: (
+        "the mechanism can be applied to containment, prefix and prime "
+        "number scheme families alike"
+    ),
+    Property.COMPACT_ENCODING: (
+        "compact storage with constrained growth under frequent random, "
+        "uniform and skewed update scenarios"
+    ),
+    Property.DIVISION_FREEDOM: (
+        "no division computations during initial labelling or updates "
+        "(division risks floating-point error on very large numbers)"
+    ),
+    Property.RECURSION_FREEDOM: (
+        "initial labelling does not employ a recursive algorithm "
+        "(recursion requires multiple passes of the tree)"
+    ),
+}
+
+
+#: Figure 7 verbatim: the paper's published grades, used by
+#: ``EvaluationMatrix.diff_against_paper``.  Rows list
+#: (document order, encoding representation, then the eight grades in
+#: PROPERTY_ORDER).
+PAPER_FIGURE_7 = {
+    "prepost": ("Global", "Fixed", "N", "P", "F", "N", "N", "F", "F", "F"),
+    "xrel": ("Global", "Fixed", "N", "P", "F", "N", "N", "F", "F", "F"),
+    "sector": ("Hybrid", "Fixed", "N", "P", "N", "N", "N", "P", "F", "N"),
+    "qrs": ("Global", "Fixed", "N", "P", "N", "N", "N", "P", "F", "F"),
+    "dewey": ("Hybrid", "Variable", "N", "F", "F", "N", "N", "N", "F", "F"),
+    "ordpath": ("Hybrid", "Variable", "F", "F", "F", "N", "N", "N", "N", "F"),
+    "dln": ("Hybrid", "Fixed", "N", "F", "F", "N", "N", "N", "F", "F"),
+    "lsdx": ("Hybrid", "Variable", "N", "F", "F", "N", "N", "N", "F", "F"),
+    "improved-binary": ("Hybrid", "Variable", "F", "F", "F", "N", "N", "N", "N", "N"),
+    "qed": ("Hybrid", "Variable", "F", "F", "F", "F", "F", "N", "N", "N"),
+    "cdqs": ("Hybrid", "Variable", "F", "F", "F", "F", "F", "F", "N", "N"),
+    "vector": ("Hybrid", "Variable", "F", "P", "N", "F", "F", "F", "F", "N"),
+}
+
+#: Display names used by the paper's Figure 7 row labels.
+PAPER_ROW_NAMES = {
+    "prepost": "XPath Accelerator [9]",
+    "xrel": "XRel [30]",
+    "sector": "Sector [23]",
+    "qrs": "QRS [2]",
+    "dewey": "DeweyID [22]",
+    "ordpath": "Ordpath [18]",
+    "dln": "DLN [3]",
+    "lsdx": "LSDX [7]",
+    "improved-binary": "ImprovedBinary [13]",
+    "qed": "QED [14]",
+    "cdqs": "CDQS [16]",
+    "vector": "Vector [27]",
+}

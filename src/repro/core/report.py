@@ -1,0 +1,76 @@
+"""Human-readable reports over the evaluation framework results."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.matrix import EvaluationMatrix, MatrixRow
+from repro.core.properties import (
+    PROPERTY_DEFINITIONS,
+    PROPERTY_ORDER,
+    Compliance,
+)
+
+
+def property_glossary() -> str:
+    """The section 5.1 property definitions, one line each."""
+    lines = ["Framework properties (section 5.1):"]
+    for prop in PROPERTY_ORDER:
+        lines.append(f"  {prop.value:15s} {PROPERTY_DEFINITIONS[prop]}")
+    return "\n".join(lines)
+
+
+def row_report(row: MatrixRow) -> str:
+    """A detailed per-scheme report including probe evidence."""
+    lines = [
+        f"{row.display_name} ({row.name})",
+        f"  document order: {row.document_order}; "
+        f"encoding: {row.encoding_representation}",
+    ]
+    for prop in PROPERTY_ORDER:
+        grade = row.grades[prop]
+        lines.append(f"  {prop.value:15s} {grade.value}")
+        evidence = row.evidence.get(prop) or {}
+        for key, value in evidence.items():
+            lines.append(f"      {key} = {value}")
+    return "\n".join(lines)
+
+
+def reproduction_report(matrix: EvaluationMatrix) -> str:
+    """Figure 7 rendering plus the agreement summary with the paper."""
+    lines = [matrix.render(), ""]
+    differences = matrix.diff_against_paper()
+    graded_rows = [
+        row for row in matrix.rows if not row.extension
+    ]
+    total_cells = sum(len(row.cells()) for row in graded_rows)
+    if differences:
+        lines.append(
+            f"Disagreements with the published Figure 7 "
+            f"({len(differences)} of {total_cells} cells):"
+        )
+        lines.extend(f"  {item}" for item in differences)
+    else:
+        lines.append(
+            f"All {total_cells} cells agree with the published Figure 7."
+        )
+    return "\n".join(lines)
+
+
+def most_generic_scheme(matrix: EvaluationMatrix) -> str:
+    """Section 5.2's analysis: the scheme satisfying the most properties.
+
+    The paper concludes "the CDQS labelling scheme satisfies the greater
+    number of properties and thus, may be considered ... most generic".
+    """
+    def full_count(row: MatrixRow) -> int:
+        return sum(
+            1 for prop in PROPERTY_ORDER
+            if row.grades[prop] is Compliance.FULL
+        )
+
+    candidates: List[MatrixRow] = [
+        row for row in matrix.rows if not row.extension
+    ]
+    best = max(candidates, key=full_count)
+    return best.name

@@ -1,0 +1,39 @@
+"""Reference data: the paper's sample document and figure ground truth."""
+
+from repro.data.sample import (
+    FIGURE_1B_PRE_POST,
+    FIGURE_2_ROWS,
+    FIGURE_3_DEWEY_LABELS,
+    FIGURE_3_SHAPE,
+    FIGURE_4_INITIAL_ORDPATH_LABELS,
+    FIGURE_4_INSERTED,
+    FIGURE_5_INITIAL_LSDX_LABELS,
+    FIGURE_5_INSERTED,
+    FIGURE_6_INITIAL_LABELS,
+    FIGURE_6_INSERTED,
+    FIGURE_6_SHAPE,
+    FIGURE_TREE_SHAPE,
+    SAMPLE_XML,
+    figure3_tree,
+    figure_tree,
+    sample_document,
+)
+
+__all__ = [
+    "FIGURE_1B_PRE_POST",
+    "FIGURE_2_ROWS",
+    "FIGURE_3_DEWEY_LABELS",
+    "FIGURE_3_SHAPE",
+    "FIGURE_4_INITIAL_ORDPATH_LABELS",
+    "FIGURE_4_INSERTED",
+    "FIGURE_5_INITIAL_LSDX_LABELS",
+    "FIGURE_5_INSERTED",
+    "FIGURE_6_INITIAL_LABELS",
+    "FIGURE_6_INSERTED",
+    "FIGURE_6_SHAPE",
+    "FIGURE_TREE_SHAPE",
+    "SAMPLE_XML",
+    "figure3_tree",
+    "figure_tree",
+    "sample_document",
+]

@@ -1,0 +1,17 @@
+"""The encoding scheme of Definition 2: node tables, reconstruction, codecs."""
+
+from repro.encoding.codec import (
+    LabelStreamCodec,
+    codec_for,
+    supported_codec_schemes,
+)
+from repro.encoding.table import COLUMNS, EncodedNode, EncodingTable
+
+__all__ = [
+    "COLUMNS",
+    "EncodedNode",
+    "EncodingTable",
+    "LabelStreamCodec",
+    "codec_for",
+    "supported_codec_schemes",
+]

@@ -1,0 +1,416 @@
+"""Bit-exact label stream codecs: section 4's storage layouts, realised.
+
+The survey's overflow argument is entirely about physical label storage:
+fixed-width fields, variable codes with a fixed-width *length* field,
+and self-delimiting codes (QED's reserved ``00`` two-bit separator, the
+vector scheme's UTF-8 units).  This module implements each layout as a
+real, decodable codec over label streams, so that
+
+* the ``00`` separator mechanism is demonstrated in actual bits — QED
+  labels concatenate into one stream and decode back without any length
+  information, because no code ever contains the ``00`` unit;
+* ORDPATH's "compressed binary representation" exists as a prefix-free
+  bucket code whose group structure is recovered from component parity
+  alone (no caret framing needed);
+* the fixed-width layouts really do spend exactly the bits the schemes'
+  ``label_size_bits`` models claim, which the round-trip tests assert.
+
+Streams carry a small frame: a 32-bit label count, then the labels back
+to back.  ``encode_labels`` returns the bytes and the exact payload bit
+count so tests can compare against the size models.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+from typing import Any, Dict, List, Sequence, Tuple, Type
+
+from repro.errors import InvalidLabelError
+from repro.labels import varint
+from repro.labels.bitio import BitReader, BitWriter
+from repro.schemes.base import LabelingScheme
+from repro.schemes.containment.prepost import PrePostLabel
+from repro.schemes.containment.qrs import QRSLabel
+from repro.schemes.containment.region import RegionLabel
+from repro.schemes.containment.sector import SECTOR_WORD_BITS, SectorLabel
+from repro.schemes.prefix import ordpath as ordpath_module
+
+_COUNT_BITS = 32
+_DEPTH_BITS = 8
+
+#: Two-bit unit values: 00 is the reserved separator, digits map 1..3.
+_QUATERNARY_SEPARATOR = 0
+
+
+class LabelStreamCodec(abc.ABC):
+    """Encodes/decodes a sequence of one scheme's labels to raw bits."""
+
+    def __init__(self, scheme: LabelingScheme):
+        self.scheme = scheme
+
+    @abc.abstractmethod
+    def write_label(self, writer: BitWriter, label: Any) -> None:
+        """Append one label's bits (must be self-delimiting)."""
+
+    @abc.abstractmethod
+    def read_label(self, reader: BitReader) -> Any:
+        """Consume and rebuild one label."""
+
+    # ------------------------------------------------------------------
+
+    def encode_labels(self, labels: Sequence[Any]) -> Tuple[bytes, int]:
+        """Encode a label sequence; returns (bytes, payload_bit_count)."""
+        writer = BitWriter()
+        writer.write_bits(len(labels), _COUNT_BITS)
+        before = writer.bit_length
+        for label in labels:
+            self.write_label(writer, label)
+        return writer.getvalue(), writer.bit_length - before
+
+    def decode_labels(self, data: bytes) -> List[Any]:
+        """Invert :meth:`encode_labels`."""
+        reader = BitReader(data)
+        count = reader.read_bits(_COUNT_BITS)
+        return [self.read_label(reader) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Self-delimiting layouts (overflow-free designs)
+# ----------------------------------------------------------------------
+
+class QuaternaryStreamCodec(LabelStreamCodec):
+    """QED/CDQS labels: 2-bit digits, codes separated by the ``00`` unit.
+
+    A label is its codes each followed by one separator, then one extra
+    separator (an "empty code") closing the label.  Because valid codes
+    never contain the digit 0, the decoder needs no length information —
+    precisely the section 4 mechanism that defeats the overflow problem.
+    """
+
+    def write_label(self, writer: BitWriter, label: Tuple[str, ...]) -> None:
+        for code in label:
+            for digit in code:
+                writer.write_bits(int(digit), 2)
+            writer.write_bits(_QUATERNARY_SEPARATOR, 2)
+        writer.write_bits(_QUATERNARY_SEPARATOR, 2)
+
+    def read_label(self, reader: BitReader) -> Tuple[str, ...]:
+        codes: List[str] = []
+        digits: List[str] = []
+        while True:
+            unit = reader.read_bits(2)
+            if unit == _QUATERNARY_SEPARATOR:
+                if not digits:
+                    return tuple(codes)
+                codes.append("".join(digits))
+                digits = []
+            else:
+                digits.append(str(unit))
+
+
+class VectorStreamCodec(LabelStreamCodec):
+    """Vector labels: four UTF-8-style varints (begin x,y; end x,y)."""
+
+    def write_label(self, writer: BitWriter, label) -> None:
+        (bx, by), (ex, ey) = label
+        for value in (bx, by, ex, ey):
+            writer.write_bytes(varint.encode(value))
+
+    def read_label(self, reader: BitReader):
+        values = []
+        for _ in range(4):
+            lead = bytes([reader.peek_bits(8)])
+            size = self._unit_size(lead[0], reader)
+            data = reader.read_bytes(size)
+            value, _consumed = varint.decode(data)
+            values.append(value)
+        return ((values[0], values[1]), (values[2], values[3]))
+
+    def _unit_size(self, lead: int, reader: BitReader) -> int:
+        if lead < 0x80:
+            return 1
+        if lead >> 5 == 0b110:
+            return 2
+        if lead >> 4 == 0b1110:
+            return 3
+        if lead >> 3 == 0b11110:
+            return 4
+        if lead >> 3 == 0b11111:
+            return 1 + 4 * (lead & 0x07)
+        raise InvalidLabelError(f"bad varint lead byte {lead:#x}")
+
+
+class DDEStreamCodec(LabelStreamCodec):
+    """DDE labels: component count, then (p, q) varint pairs."""
+
+    def write_label(self, writer: BitWriter, label) -> None:
+        writer.write_bits(len(label), _DEPTH_BITS)
+        for p, q in label:
+            writer.write_bytes(varint.encode(p))
+            writer.write_bytes(varint.encode(q))
+
+    def read_label(self, reader: BitReader):
+        depth = reader.read_bits(_DEPTH_BITS)
+        vector_codec = VectorStreamCodec(self.scheme)
+        components = []
+        for _ in range(depth):
+            values = []
+            for _ in range(2):
+                lead = reader.peek_bits(8)
+                size = vector_codec._unit_size(lead, reader)
+                value, _ = varint.decode(reader.read_bytes(size))
+                values.append(value)
+            components.append((values[0], values[1]))
+        return tuple(components)
+
+
+class OrdpathStreamCodec(LabelStreamCodec):
+    """ORDPATH labels: the compressed binary representation.
+
+    Each integer is written as its prefix-free bucket marker, a sign
+    bit, and the magnitude payload.  A leading 8-bit component count
+    delimits the label; the caret *group* structure is rebuilt from
+    parity (a group ends at its first odd component), so carets need no
+    framing of their own.
+    """
+
+    def write_label(self, writer: BitWriter, label) -> None:
+        flat = [value for group in label for value in group]
+        writer.write_bits(len(flat), _DEPTH_BITS)
+        for value in flat:
+            bucket = ordpath_module.bucket_of(value)
+            writer.write_bitstring(ordpath_module.BUCKET_PREFIXES[bucket])
+            writer.write_bit(1 if value < 0 else 0)
+            writer.write_bits(
+                abs(value), ordpath_module.bucket_payload_bits(bucket)
+            )
+
+    def read_label(self, reader: BitReader):
+        count = reader.read_bits(_DEPTH_BITS)
+        values: List[int] = []
+        for _ in range(count):
+            bucket = self._read_bucket(reader)
+            negative = reader.read_bit()
+            magnitude = reader.read_bits(
+                ordpath_module.bucket_payload_bits(bucket)
+            )
+            values.append(-magnitude if negative else magnitude)
+        return ordpath_module.parse_label(
+            ".".join(str(value) for value in values)
+        ) if values else ()
+
+    def _read_bucket(self, reader: BitReader) -> int:
+        if reader.read_bits(2) != 0:
+            raise InvalidLabelError("bad ORDPATH bucket marker")
+        index = 0
+        while reader.read_bit():
+            index += 1
+            if index >= len(ordpath_module.BUCKET_PREFIXES):
+                raise InvalidLabelError("bad ORDPATH bucket marker")
+        return index
+
+
+# ----------------------------------------------------------------------
+# Length-field layouts (the overflow-prone variable designs)
+# ----------------------------------------------------------------------
+
+class StringPathCodec(LabelStreamCodec):
+    """Prefix labels whose components are strings over a tiny alphabet.
+
+    Used for ImprovedBinary/CDBS (bits) and LSDX/Com-D (letters): an
+    8-bit depth, then per component a fixed-width *length field* and the
+    symbols.  The length field is exactly the overflow surface section 4
+    describes.
+    """
+
+    alphabet_bits: int
+    symbols: str
+
+    def __init__(self, scheme: LabelingScheme):
+        super().__init__(scheme)
+        self.length_field_bits = scheme.storage.length_field_bits
+
+    def write_label(self, writer: BitWriter, label: Tuple[str, ...]) -> None:
+        writer.write_bits(len(label), _DEPTH_BITS)
+        for code in label:
+            writer.write_bits(len(code), self.length_field_bits)
+            for symbol in code:
+                writer.write_bits(self.symbols.index(symbol), self.alphabet_bits)
+
+    def read_label(self, reader: BitReader) -> Tuple[str, ...]:
+        depth = reader.read_bits(_DEPTH_BITS)
+        codes = []
+        for _ in range(depth):
+            length = reader.read_bits(self.length_field_bits)
+            codes.append(
+                "".join(
+                    self.symbols[reader.read_bits(self.alphabet_bits)]
+                    for _ in range(length)
+                )
+            )
+        return tuple(codes)
+
+
+class BinaryPathCodec(StringPathCodec):
+    alphabet_bits = 1
+    symbols = "01"
+
+
+class LetterPathCodec(StringPathCodec):
+    alphabet_bits = 6
+    symbols = "abcdefghijklmnopqrstuvwxyz"
+
+
+class DeweyStreamCodec(LabelStreamCodec):
+    """DeweyID labels: depth, then fixed-width integer components."""
+
+    def __init__(self, scheme: LabelingScheme):
+        super().__init__(scheme)
+        self.component_bits = scheme.component_bits
+
+    def write_label(self, writer: BitWriter, label: Tuple[int, ...]) -> None:
+        writer.write_bits(len(label), _DEPTH_BITS)
+        for component in label:
+            writer.write_bits(component, self.component_bits)
+
+    def read_label(self, reader: BitReader) -> Tuple[int, ...]:
+        depth = reader.read_bits(_DEPTH_BITS)
+        return tuple(
+            reader.read_bits(self.component_bits) for _ in range(depth)
+        )
+
+
+class DLNStreamCodec(LabelStreamCodec):
+    """DLN labels: depth, per component a sub-level count and sub-values."""
+
+    _SUBCOUNT_BITS = 4
+
+    def __init__(self, scheme: LabelingScheme):
+        super().__init__(scheme)
+        self.subvalue_bits = scheme.storage.width_bits
+
+    def write_label(self, writer: BitWriter, label) -> None:
+        writer.write_bits(len(label), _DEPTH_BITS)
+        for component in label:
+            writer.write_bits(len(component), self._SUBCOUNT_BITS)
+            for value in component:
+                writer.write_bit(1 if value < 0 else 0)
+                writer.write_bits(abs(value), self.subvalue_bits)
+
+    def read_label(self, reader: BitReader):
+        depth = reader.read_bits(_DEPTH_BITS)
+        components = []
+        for _ in range(depth):
+            subcount = reader.read_bits(self._SUBCOUNT_BITS)
+            values = []
+            for _ in range(subcount):
+                negative = reader.read_bit()
+                magnitude = reader.read_bits(self.subvalue_bits)
+                values.append(-magnitude if negative else magnitude)
+            components.append(tuple(values))
+        return tuple(components)
+
+
+# ----------------------------------------------------------------------
+# Fixed-width layouts (containment family)
+# ----------------------------------------------------------------------
+
+class PrePostStreamCodec(LabelStreamCodec):
+    def __init__(self, scheme: LabelingScheme):
+        super().__init__(scheme)
+        self.width = scheme.storage.width_bits
+
+    def write_label(self, writer: BitWriter, label: PrePostLabel) -> None:
+        writer.write_bits(label.pre, self.width)
+        writer.write_bits(label.post, self.width)
+        writer.write_bits(label.level, self.width)
+
+    def read_label(self, reader: BitReader) -> PrePostLabel:
+        return PrePostLabel(
+            reader.read_bits(self.width),
+            reader.read_bits(self.width),
+            reader.read_bits(self.width),
+        )
+
+
+class RegionStreamCodec(LabelStreamCodec):
+    def __init__(self, scheme: LabelingScheme):
+        super().__init__(scheme)
+        self.width = scheme.storage.width_bits
+
+    def write_label(self, writer: BitWriter, label: RegionLabel) -> None:
+        writer.write_bits(label.begin, self.width)
+        writer.write_bits(label.end, self.width)
+        writer.write_bits(label.level, self.width)
+
+    def read_label(self, reader: BitReader) -> RegionLabel:
+        return RegionLabel(
+            reader.read_bits(self.width),
+            reader.read_bits(self.width),
+            reader.read_bits(self.width),
+        )
+
+
+class SectorStreamCodec(LabelStreamCodec):
+    _WIDTH = SECTOR_WORD_BITS
+
+    def write_label(self, writer: BitWriter, label: SectorLabel) -> None:
+        writer.write_bits(label.start, self._WIDTH)
+        writer.write_bits(label.span, self._WIDTH)
+
+    def read_label(self, reader: BitReader) -> SectorLabel:
+        return SectorLabel(
+            reader.read_bits(self._WIDTH), reader.read_bits(self._WIDTH)
+        )
+
+
+class QRSStreamCodec(LabelStreamCodec):
+    def write_label(self, writer: BitWriter, label: QRSLabel) -> None:
+        for value in (label.begin, label.end):
+            writer.write_bytes(struct.pack(">d", value))
+
+    def read_label(self, reader: BitReader) -> QRSLabel:
+        begin = struct.unpack(">d", reader.read_bytes(8))[0]
+        end = struct.unpack(">d", reader.read_bytes(8))[0]
+        return QRSLabel(begin, end)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_CODECS: Dict[str, Type[LabelStreamCodec]] = {
+    "prepost": PrePostStreamCodec,
+    "xrel": RegionStreamCodec,
+    "sector": SectorStreamCodec,
+    "qrs": QRSStreamCodec,
+    "dewey": DeweyStreamCodec,
+    "ordpath": OrdpathStreamCodec,
+    "dln": DLNStreamCodec,
+    "lsdx": LetterPathCodec,
+    "comd": LetterPathCodec,
+    "improved-binary": BinaryPathCodec,
+    "cdbs": BinaryPathCodec,
+    "cohen": BinaryPathCodec,
+    "qed": QuaternaryStreamCodec,
+    "cdqs": QuaternaryStreamCodec,
+    "vector": VectorStreamCodec,
+    "dde": DDEStreamCodec,
+}
+
+
+def codec_for(scheme: LabelingScheme) -> LabelStreamCodec:
+    """The stream codec matching a scheme's storage model."""
+    try:
+        codec_class = _CODECS[scheme.metadata.name]
+    except KeyError:
+        raise InvalidLabelError(
+            f"no label stream codec for scheme {scheme.metadata.name!r}"
+        ) from None
+    return codec_class(scheme)
+
+
+def supported_codec_schemes() -> List[str]:
+    """Scheme names with a stream codec (all but the prime extension)."""
+    return sorted(_CODECS)

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  The hierarchy mirrors the package layers:
+parsing, labelling, updates and the evaluation framework each get their own
+branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised by the parser on malformed XML input.
+
+    Carries the 1-based ``line`` and ``column`` of the offending character
+    when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class TreeStructureError(ReproError):
+    """Raised for invalid tree manipulations (cycles, bad parents, ...)."""
+
+
+class LabelError(ReproError):
+    """Base class for labelling-scheme errors."""
+
+
+class InvalidLabelError(LabelError):
+    """A label value is malformed for the scheme that produced it."""
+
+
+class LabelCollisionError(LabelError):
+    """Two distinct nodes were assigned the same label.
+
+    LSDX-family schemes raise this in the documented corner cases; the
+    evaluation framework catches it as evidence for the uniqueness failure
+    described in the paper (Sans & Laurent [19]).
+    """
+
+
+class OverflowEvent(LabelError):
+    """A fixed-size field of the labelling scheme has been exhausted.
+
+    The updates layer catches this, relabels the document and records the
+    event; it is the mechanism behind the paper's section 4 "overflow
+    problem".
+    """
+
+
+class UnsupportedRelationshipError(LabelError):
+    """The scheme cannot decide the requested relationship from labels alone.
+
+    For example preorder/postorder containment labels cannot decide
+    parent-child without level information, and vector labels cannot decide
+    parent-child at all.  The XPath-evaluation probe interprets this error
+    as partial or no compliance.
+    """
+
+
+class UpdateError(ReproError):
+    """An update operation was invalid for the current document state."""
+
+
+class XPathError(ReproError):
+    """Raised by the mini XPath evaluator for unsupported or bad paths."""
+
+
+class FrameworkError(ReproError):
+    """Raised by the evaluation framework for misconfigured probes."""

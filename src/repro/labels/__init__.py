@@ -1,0 +1,5 @@
+"""Label algebra: binary strings, quaternary codes, varints, ordered strings."""
+
+from repro.labels import bitstring, ordered_strings, quaternary, varint
+
+__all__ = ["bitstring", "ordered_strings", "quaternary", "varint"]

@@ -1,0 +1,147 @@
+"""Binary-string label algebra (ImprovedBinary [13] and CDBS [15]).
+
+ImprovedBinary positional identifiers are binary strings that always end
+in ``1`` — the invariant that guarantees a middle label can always be
+computed (section 3.1.2 of the survey).  This module implements the three
+published insertion rules and the ``AssignMiddleSelfLabel`` computation,
+plus the fraction interpretation used by tests to check that lexicographic
+order on these strings is a faithful total order.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.errors import InvalidLabelError
+from repro.labels.ordered_strings import (
+    shortest_string_between,
+    validate_alphabet_string,
+)
+
+BINARY_ALPHABET = ("0", "1")
+
+
+def validate_code(code: str) -> None:
+    """A valid ImprovedBinary positional identifier: bits, ending in 1."""
+    validate_alphabet_string(code, BINARY_ALPHABET, "binary code")
+    if not code:
+        raise InvalidLabelError("binary codes must be non-empty")
+    if code[-1] != "1":
+        raise InvalidLabelError(f"binary code {code!r} must end in 1")
+
+
+def code_to_fraction(code: str) -> Fraction:
+    """Interpret a bit string as the binary fraction ``0.code``.
+
+    For codes ending in 1 this mapping is an order isomorphism with
+    lexicographic string order, which is what makes the scheme sound; the
+    property tests assert it.
+    """
+    value = Fraction(0)
+    weight = Fraction(1, 2)
+    for bit in code:
+        if bit == "1":
+            value += weight
+        weight /= 2
+    return value
+
+
+def middle_code(left: str, right: str) -> str:
+    """``AssignMiddleSelfLabel`` — a code strictly between two codes.
+
+    The published rule (Li & Ling [13]): when the left code is at least as
+    long, append ``1`` to it; otherwise change the right code's final ``1``
+    to ``01``.  Both cases preserve the ends-in-1 invariant.  Reproduces
+    the Figure 6 labels (``middle_code("01", "011") == "0101"`` and so on).
+    """
+    validate_code(left)
+    validate_code(right)
+    if not left < right:
+        raise InvalidLabelError(f"codes out of order: {left!r} !< {right!r}")
+    if len(left) >= len(right):
+        return left + "1"
+    return right[:-1] + "01"
+
+
+def before_first_code(first: str) -> str:
+    """Insert before the first sibling: change the trailing ``1`` to ``01``.
+
+    Figure 6 example: the first child ``01`` yields ``001``.
+    """
+    validate_code(first)
+    return first[:-1] + "01"
+
+
+def after_last_code(last: str) -> str:
+    """Insert after the last sibling: concatenate an extra ``1``.
+
+    Figure 6 example: the last child ``01`` yields ``011``.
+    """
+    validate_code(last)
+    return last + "1"
+
+
+def compact_code_between(left: str, right: str) -> str:
+    """CDBS-style insertion: the *shortest* valid code strictly between.
+
+    This is the compactness improvement of CDBS over ImprovedBinary's
+    one-sided rules; under skewed insertion it grows like the binary
+    representation of the insertion count instead of one bit per insert.
+    ``left`` may be empty and ``right`` may be ``None`` for the interval
+    ends.
+    """
+    if left:
+        validate_code(left)
+    if right is not None:
+        validate_code(right)
+    return shortest_string_between(
+        left, right, BINARY_ALPHABET, valid_last=("1",)
+    )
+
+
+def initial_codes(count: int) -> List[str]:
+    """ImprovedBinary bulk assignment for ``count`` siblings.
+
+    Reproduces the published recursive Labelling algorithm *results* in
+    closed form for the callers that need only the code sequence: the
+    leftmost sibling gets ``01``, the rightmost ``011``, and middles are
+    filled by ``AssignMiddleSelfLabel`` on the ``((1 + n) / 2)``-th
+    position.  The scheme implementation performs the actual recursion
+    (with instrumentation); this helper is the reference the tests compare
+    it against.
+    """
+    if count < 0:
+        raise InvalidLabelError("count must be non-negative")
+    if count == 0:
+        return []
+    if count == 1:
+        return ["01"]
+    codes = [""] * count
+    codes[0] = "01"
+    codes[-1] = "011"
+
+    def fill(low: int, high: int) -> None:
+        # Assign the middle of the open index interval (low, high), then
+        # recurse into both halves, exactly as the published algorithm.
+        if high - low <= 1:
+            return
+        middle = (low + 1 + high + 1) // 2 - 1  # ((1 + n) / 2)-th, 0-based
+        codes[middle] = middle_code(codes[low], codes[high])
+        fill(low, middle)
+        fill(middle, high)
+
+    fill(0, count - 1)
+    return codes
+
+
+def compact_initial_codes(count: int) -> List[str]:
+    """CDBS bulk assignment: ``count`` short ordered codes ending in 1."""
+    from repro.labels.ordered_strings import evenly_spaced_codes
+
+    return evenly_spaced_codes(count, BINARY_ALPHABET, valid_last=("1",))
+
+
+def code_size_bits(code: str) -> int:
+    """Storage size of one code: one bit per symbol."""
+    return len(code)

@@ -1,0 +1,149 @@
+"""Generic machinery for lexicographically ordered label strings.
+
+Several schemes in the survey are, at their core, generators of strings
+over a small ordered alphabet such that a new string can always be created
+strictly between two existing ones: ImprovedBinary and CDBS over ``{0,1}``,
+QED and CDQS over ``{1,2,3}``, LSDX over letters.  This module implements
+the shared combinatorics:
+
+* lexicographic comparison with correct prefix semantics,
+* minimal successor computation at a fixed length, and
+* :func:`shortest_string_between` — the smallest (shortest, then
+  lexicographically least) string strictly inside an open interval, which
+  is precisely the compactness improvement CDBS/CDQS contribute over
+  ImprovedBinary/QED (Li, Ling & Hu [15, 16]).
+
+Strings are ordinary ``str`` values; callers guarantee their characters
+come from the declared alphabet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import InvalidLabelError
+
+
+def validate_alphabet_string(value: str, alphabet: Sequence[str], what: str) -> None:
+    """Raise :class:`InvalidLabelError` unless every character is allowed."""
+    allowed = set(alphabet)
+    for char in value:
+        if char not in allowed:
+            raise InvalidLabelError(
+                f"{what} {value!r} contains {char!r}; allowed: {sorted(allowed)}"
+            )
+
+
+def compare_strings(left: str, right: str) -> int:
+    """Three-way lexicographic comparison (-1, 0, 1).
+
+    Python's native string comparison is already lexicographic with the
+    prefix-is-smaller rule the schemes rely on; this wrapper normalises to
+    the three-way convention used across the package.
+    """
+    if left == right:
+        return 0
+    return -1 if left < right else 1
+
+
+def _increment_at_length(value: str, alphabet: Sequence[str]) -> Optional[str]:
+    """The next string of the same length after ``value``, or ``None``.
+
+    Digits carry within the alphabet: the successor of ``"13"`` over
+    ``123`` is ``"21"``; the successor of ``"33"`` is ``None``.
+    """
+    order = {char: index for index, char in enumerate(alphabet)}
+    digits = [order[char] for char in value]
+    top = len(alphabet) - 1
+    index = len(digits) - 1
+    while index >= 0:
+        if digits[index] < top:
+            digits[index] += 1
+            break
+        digits[index] = 0
+        index -= 1
+    else:
+        return None
+    return "".join(alphabet[digit] for digit in digits)
+
+
+def _smallest_of_length_above(
+    lower: str, length: int, alphabet: Sequence[str]
+) -> Optional[str]:
+    """Smallest string of exactly ``length`` strictly greater than ``lower``.
+
+    ``lower`` may be empty (the open lower end of the label space), in
+    which case the answer is the all-smallest-digit string.
+    """
+    smallest = alphabet[0]
+    if len(lower) < length:
+        # Any extension of ``lower`` is strictly greater (prefix rule);
+        # padding with the smallest digit is minimal.
+        return lower + smallest * (length - len(lower))
+    # Every length-``length`` prefix-or-smaller candidate is <= lower, so
+    # the answer is the successor of lower's prefix at this length.
+    return _increment_at_length(lower[:length], alphabet)
+
+
+def shortest_string_between(
+    left: str,
+    right: str,
+    alphabet: Sequence[str],
+    valid_last: Optional[Sequence[str]] = None,
+    max_length: Optional[int] = None,
+) -> str:
+    """The shortest valid string strictly between ``left`` and ``right``.
+
+    ``left`` may be ``""`` (no lower bound) and ``right`` may be ``None``
+    (no upper bound).  ``valid_last`` restricts the final character — QED
+    codes must end in 2 or 3, binary codes in 1 — which is what makes
+    arbitrarily repeatable insertion possible.
+
+    Raises :class:`InvalidLabelError` when the interval is empty (callers
+    pass ``left < right``) or no valid string exists within ``max_length``.
+    """
+    if right is not None and not left < right:
+        raise InvalidLabelError(
+            f"cannot insert between {left!r} and {right!r}: not an open interval"
+        )
+    last_chars = set(valid_last) if valid_last is not None else set(alphabet)
+    limit = max_length or (len(left) + (len(right) if right else 0) + 2)
+    for length in range(1, limit + 1):
+        candidate = _smallest_of_length_above(left, length, alphabet)
+        while candidate is not None:
+            if right is not None and candidate >= right:
+                candidate = None
+                break
+            if candidate[-1] in last_chars:
+                return candidate
+            candidate = _increment_at_length(candidate, alphabet)
+        # No valid candidate at this length; try one digit longer.
+    raise InvalidLabelError(
+        f"no string between {left!r} and {right!r} within length {limit}"
+    )
+
+
+def evenly_spaced_codes(count: int, alphabet: Sequence[str],
+                        valid_last: Optional[Sequence[str]] = None) -> list:
+    """``count`` shortest-possible ordered valid codes for bulk assignment.
+
+    Used by the compact schemes (CDBS/CDQS): the ``count`` shortest valid
+    codes — every code of each length before any longer one — sorted
+    lexicographically.  Total code length is minimal, which is the
+    compactness CDBS/CDQS claim over the recursive-thirds allocation.
+    """
+    if count < 0:
+        raise InvalidLabelError("count must be non-negative")
+    last_chars = set(valid_last) if valid_last is not None else set(alphabet)
+    selected: list = []
+    length = 1
+    while len(selected) < count:
+        layer = [""]
+        for _ in range(length):
+            layer = [prefix + char for prefix in layer for char in alphabet]
+        valid = [code for code in layer if code[-1] in last_chars]
+        selected.extend(valid[: count - len(selected)])
+        length += 1
+        if length > 64:
+            raise InvalidLabelError("bulk code allocation ran away")
+    return sorted(selected)

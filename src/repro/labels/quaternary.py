@@ -1,0 +1,183 @@
+"""Quaternary-string label algebra (QED [14] and CDQS [16]).
+
+QED codes are strings over the digits ``1``, ``2``, ``3``; each digit is
+stored in two bits and the two-bit value ``00`` is reserved as the
+*separator*, which is the mechanism that defeats the overflow problem
+(section 4): code boundaries inside a composite label are found by
+scanning for ``00`` instead of storing a fixed-size length field.
+
+Invariants maintained here (and asserted by the property tests):
+
+* codes are non-empty strings over ``{1,2,3}``,
+* codes end in ``2`` or ``3`` — a code ending in ``1`` would leave no room
+  to insert immediately before it without growing forever,
+* lexicographic order on such codes is isomorphic to the base-4 fraction
+  order, and a new code strictly between any two codes always exists.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.errors import InvalidLabelError
+from repro.labels.ordered_strings import (
+    evenly_spaced_codes,
+    shortest_string_between,
+    validate_alphabet_string,
+)
+
+QUATERNARY_ALPHABET = ("1", "2", "3")
+#: Two-bit encodings: the separator 00 is reserved (section 4).
+SEPARATOR_BITS = 2
+BITS_PER_DIGIT = 2
+
+
+def validate_code(code: str) -> None:
+    """A valid QED code: digits 1-3, non-empty, ending in 2 or 3."""
+    validate_alphabet_string(code, QUATERNARY_ALPHABET, "quaternary code")
+    if not code:
+        raise InvalidLabelError("quaternary codes must be non-empty")
+    if code[-1] not in ("2", "3"):
+        raise InvalidLabelError(f"quaternary code {code!r} must end in 2 or 3")
+
+
+def code_to_fraction(code: str) -> Fraction:
+    """Interpret a code as the base-4 fraction ``0.code``."""
+    value = Fraction(0)
+    weight = Fraction(1, 4)
+    for digit in code:
+        value += int(digit) * weight
+        weight /= 4
+    return value
+
+
+def code_between(left: str, right: str) -> str:
+    """QED insertion: a code strictly between two codes (published rules).
+
+    Li & Ling's case analysis on sizes and final digits:
+
+    * ``len(left) >= len(right)``: extend the left code — a trailing ``2``
+      becomes ``3``; a trailing ``3`` gains a ``2``.
+    * ``len(left) < len(right)``: shrink toward the right code — a trailing
+      ``3`` becomes ``2``; a trailing ``2`` becomes ``12``.
+
+    Each case preserves the ends-in-2-or-3 invariant and strict
+    betweenness; the property tests verify both for arbitrary code pairs.
+    """
+    validate_code(left)
+    validate_code(right)
+    if not left < right:
+        raise InvalidLabelError(f"codes out of order: {left!r} !< {right!r}")
+    if len(left) >= len(right):
+        if left[-1] == "2":
+            candidate = left[:-1] + "3"
+        else:
+            candidate = left + "2"
+    else:
+        if right[-1] == "3":
+            candidate = right[:-1] + "2"
+        else:
+            candidate = right[:-1] + "12"
+    if not left < candidate < right:
+        # The simple rules can land on a boundary when the gap is tight
+        # (for example left="2", right="3" gives candidate "3"); fall back
+        # to the always-correct shortest-code search.
+        candidate = shortest_string_between(
+            left, right, QUATERNARY_ALPHABET, valid_last=("2", "3")
+        )
+    return candidate
+
+
+def before_first_code(first: str) -> str:
+    """A code strictly before ``first`` (insertion before the first sibling).
+
+    Mirrors QED's left-end rule: a trailing ``2`` becomes ``12`` …, kept
+    uniform here via the open-interval search with no lower bound.
+    """
+    validate_code(first)
+    return shortest_string_between(
+        "", first, QUATERNARY_ALPHABET, valid_last=("2", "3")
+    )
+
+
+def after_last_code(last: str) -> str:
+    """A code strictly after ``last`` (insertion after the last sibling)."""
+    validate_code(last)
+    if last[-1] == "2":
+        return last[:-1] + "3"
+    return last + "2"
+
+
+def compact_code_between(left: str, right: str) -> str:
+    """CDQS insertion: the *shortest* valid code strictly between.
+
+    The compactness improvement of CDQS over QED — identical invariants,
+    minimal code length.
+    """
+    if left:
+        validate_code(left)
+    if right is not None:
+        validate_code(right)
+    return shortest_string_between(
+        left, right, QUATERNARY_ALPHABET, valid_last=("2", "3")
+    )
+
+
+def initial_codes(count: int) -> List[str]:
+    """QED bulk assignment: codes for ``count`` ordered siblings.
+
+    The published algorithm recursively computes the ``(1/3)``-th and
+    ``(2/3)``-th codes between the current bounds
+    (``GetOneThirdAndTwoThirdCode``).  This reference implementation
+    produces the code sequence; the scheme class performs the recursion
+    itself so the instrumentation can observe it.
+    """
+    codes: List[str] = [""] * count
+    if count == 0:
+        return codes
+
+    def fill(low_index: int, high_index: int, low_code: str, high_code: str) -> None:
+        # Assign codes for the open index range (low_index, high_index).
+        size = high_index - low_index - 1
+        if size <= 0:
+            return
+        if size == 1:
+            codes[low_index + 1] = between_or_end(low_code, high_code)
+            return
+        one_third = low_index + (1 + size) // 3
+        one_third = max(low_index + 1, min(high_index - 2, one_third))
+        two_third = low_index + (2 * (1 + size)) // 3
+        two_third = max(one_third + 1, min(high_index - 1, two_third))
+        first_code = between_or_end(low_code, high_code)
+        second_code = between_or_end(first_code, high_code)
+        codes[one_third] = first_code
+        codes[two_third] = second_code
+        fill(low_index, one_third, low_code, first_code)
+        fill(one_third, two_third, first_code, second_code)
+        fill(two_third, high_index, second_code, high_code)
+
+    fill(-1, count, "", "")
+    return codes
+
+
+def between_or_end(low_code: str, high_code: str) -> str:
+    """Between two codes where either end may be the open interval end."""
+    if not low_code and not high_code:
+        return "2"
+    if not low_code:
+        return before_first_code(high_code)
+    if not high_code:
+        return after_last_code(low_code)
+    return code_between(low_code, high_code)
+
+
+def compact_initial_codes(count: int) -> List[str]:
+    """CDQS bulk assignment: ``count`` short ordered codes."""
+    return evenly_spaced_codes(count, QUATERNARY_ALPHABET, valid_last=("2", "3"))
+
+
+def code_size_bits(code: str) -> int:
+    """Storage for one code: two bits per digit (separator counted by the
+    scheme per embedded code)."""
+    return BITS_PER_DIGIT * len(code)

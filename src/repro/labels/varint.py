@@ -1,0 +1,145 @@
+"""UTF-8-style variable-length integer encoding (Vector scheme storage).
+
+The vector labelling scheme [27] stores its integer components with UTF-8
+so that code boundaries need no length field — the same separator trick
+QED plays with the reserved ``00`` unit.  Section 4 of the survey points
+out that a single UTF-8 instance tops out at 2^21, leaving open how larger
+components are stored.  We resolve that (and document the substitution in
+DESIGN.md) with an explicit extension: values at or above 2^21 are written
+as a one-byte ``0xF8 | unit_count`` header followed by big-endian 4-byte
+units of 21 payload bits each.  Small-value sizes match UTF-8 exactly:
+1 byte below 2^7, 2 below 2^11, 3 below 2^16, 4 below 2^21.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import InvalidLabelError
+
+#: (exclusive upper bound, bytes) ladder copied from UTF-8 / RFC 3629.
+_UTF8_LADDER: List[Tuple[int, int]] = [
+    (1 << 7, 1),
+    (1 << 11, 2),
+    (1 << 16, 3),
+    (1 << 21, 4),
+]
+
+#: Payload bits carried by one 4-byte unit in chained (extended) mode.
+_UNIT_PAYLOAD_BITS = 21
+_UNIT_PAYLOAD_MASK = (1 << _UNIT_PAYLOAD_BITS) - 1
+#: Chained mode supports at most 7 units = 147 payload bits, far beyond
+#: any component the experiments produce; the bound is checked explicitly.
+_MAX_CHAIN_UNITS = 7
+
+
+def _chain_units(value: int) -> int:
+    units = 1
+    remaining = value >> _UNIT_PAYLOAD_BITS
+    while remaining:
+        units += 1
+        remaining >>= _UNIT_PAYLOAD_BITS
+    return units
+
+
+def encoded_size_bytes(value: int) -> int:
+    """Bytes needed to store ``value`` (the storage-cost model)."""
+    if value < 0:
+        raise InvalidLabelError("varint values must be non-negative")
+    for bound, size in _UTF8_LADDER:
+        if value < bound:
+            return size
+    return 1 + 4 * _chain_units(value)
+
+
+def encoded_size_bits(value: int) -> int:
+    """Bit-denominated size (what the growth experiments accumulate)."""
+    return 8 * encoded_size_bytes(value)
+
+
+def _pack_unit(payload: int, out: bytearray) -> None:
+    """Write one 4-byte UTF-8-shaped unit carrying 21 payload bits."""
+    out.append(0xF0 | ((payload >> 18) & 0x07))
+    out.append(0x80 | ((payload >> 12) & 0x3F))
+    out.append(0x80 | ((payload >> 6) & 0x3F))
+    out.append(0x80 | (payload & 0x3F))
+
+
+def encode(value: int) -> bytes:
+    """Encode ``value``; :func:`decode` inverts this.
+
+    The encoding is a real codec, not just a size model, because
+    Definition 2 requires full reconstruction from stored labels.
+    """
+    if value < 0:
+        raise InvalidLabelError("varint values must be non-negative")
+    out = bytearray()
+    if value < (1 << 7):
+        out.append(value)
+    elif value < (1 << 11):
+        out.append(0xC0 | (value >> 6))
+        out.append(0x80 | (value & 0x3F))
+    elif value < (1 << 16):
+        out.append(0xE0 | (value >> 12))
+        out.append(0x80 | ((value >> 6) & 0x3F))
+        out.append(0x80 | (value & 0x3F))
+    elif value < (1 << 21):
+        _pack_unit(value, out)
+    else:
+        units = _chain_units(value)
+        if units > _MAX_CHAIN_UNITS:
+            raise InvalidLabelError(f"value {value} exceeds the chained varint range")
+        out.append(0xF8 | units)
+        for index in range(units - 1, -1, -1):
+            _pack_unit((value >> (index * _UNIT_PAYLOAD_BITS)) & _UNIT_PAYLOAD_MASK, out)
+    return bytes(out)
+
+
+def decode(data: bytes) -> Tuple[int, int]:
+    """Decode one varint from the head of ``data``.
+
+    Returns ``(value, bytes_consumed)``.  Raises on malformed input.
+    """
+    if not data:
+        raise InvalidLabelError("cannot decode an empty varint")
+    lead = data[0]
+    if lead < 0x80:
+        return lead, 1
+    if lead >> 5 == 0b110:
+        return _decode_multibyte(data, 2, lead & 0x1F)
+    if lead >> 4 == 0b1110:
+        return _decode_multibyte(data, 3, lead & 0x0F)
+    if lead >> 3 == 0b11110:
+        return _decode_multibyte(data, 4, lead & 0x07)
+    if lead >> 3 == 0b11111:
+        units = lead & 0x07
+        if units == 0:
+            raise InvalidLabelError("chained varint with zero units")
+        value = 0
+        consumed = 1
+        for _ in range(units):
+            if consumed >= len(data):
+                raise InvalidLabelError("truncated chained varint")
+            unit, used = _decode_multibyte(
+                data[consumed:], 4, data[consumed] & 0x07
+            )
+            value = (value << _UNIT_PAYLOAD_BITS) | unit
+            consumed += used
+        return value, consumed
+    raise InvalidLabelError(f"bad varint lead byte {lead:#x}")
+
+
+def _decode_multibyte(data: bytes, size: int, value: int) -> Tuple[int, int]:
+    if len(data) < size:
+        raise InvalidLabelError("truncated varint")
+    for offset in range(1, size):
+        byte = data[offset]
+        if byte >> 6 != 0b10:
+            raise InvalidLabelError(f"bad varint continuation byte {byte:#x}")
+        value = (value << 6) | (byte & 0x3F)
+    return value, size
+
+
+def single_unit_limit() -> int:
+    """The 2^21 bound the survey quotes for one UTF-8 instance."""
+    return 1 << 21

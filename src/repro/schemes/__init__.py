@@ -1,0 +1,41 @@
+"""All labelling schemes: base classes, families, registry."""
+
+from repro.schemes.base import (
+    InsertOutcome,
+    LabelingScheme,
+    PrefixSchemeBase,
+    SchemeFamily,
+    SchemeMetadata,
+    SiblingInsertContext,
+)
+from repro.schemes.registry import (
+    FIGURE7_ORDER,
+    available_schemes,
+    extension_schemes,
+    figure7_schemes,
+    make_scheme,
+    scheme_class,
+)
+from repro.schemes.storage import (
+    FixedWidthStorage,
+    LengthFieldStorage,
+    SeparatorStorage,
+)
+
+__all__ = [
+    "FIGURE7_ORDER",
+    "FixedWidthStorage",
+    "InsertOutcome",
+    "LabelingScheme",
+    "LengthFieldStorage",
+    "PrefixSchemeBase",
+    "SchemeFamily",
+    "SchemeMetadata",
+    "SeparatorStorage",
+    "SiblingInsertContext",
+    "available_schemes",
+    "extension_schemes",
+    "figure7_schemes",
+    "make_scheme",
+    "scheme_class",
+]

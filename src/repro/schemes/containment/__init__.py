@@ -1,0 +1,17 @@
+"""Containment (interval/region) labelling schemes — section 3.1.1."""
+
+from repro.schemes.containment.prepost import PrePostLabel, PrePostScheme
+from repro.schemes.containment.qrs import QRSLabel, QRSScheme
+from repro.schemes.containment.region import RegionLabel, RegionScheme
+from repro.schemes.containment.sector import SectorLabel, SectorScheme
+
+__all__ = [
+    "PrePostLabel",
+    "PrePostScheme",
+    "QRSLabel",
+    "QRSScheme",
+    "RegionLabel",
+    "RegionScheme",
+    "SectorLabel",
+    "SectorScheme",
+]

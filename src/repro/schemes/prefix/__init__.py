@@ -1,0 +1,34 @@
+"""Prefix labelling schemes — section 3.1.2 (plus the vector scheme)."""
+
+from repro.schemes.prefix.cdbs import CDBSScheme
+from repro.schemes.prefix.cdqs import CDQSScheme
+from repro.schemes.prefix.cohen import CohenScheme
+from repro.schemes.prefix.comd import ComDScheme, compress, decompress
+from repro.schemes.prefix.dde import DDEScheme
+from repro.schemes.prefix.dewey import DeweyScheme
+from repro.schemes.prefix.dln import DLNScheme
+from repro.schemes.prefix.improved_binary import ImprovedBinaryScheme
+from repro.schemes.prefix.lsdx import LSDXScheme, increment_letters
+from repro.schemes.prefix.ordpath import OrdpathScheme, parse_label
+from repro.schemes.prefix.qed import QEDScheme
+from repro.schemes.prefix.vector import VectorLabel, VectorScheme
+
+__all__ = [
+    "CDBSScheme",
+    "CDQSScheme",
+    "CohenScheme",
+    "ComDScheme",
+    "DDEScheme",
+    "DeweyScheme",
+    "DLNScheme",
+    "ImprovedBinaryScheme",
+    "LSDXScheme",
+    "OrdpathScheme",
+    "QEDScheme",
+    "VectorLabel",
+    "VectorScheme",
+    "compress",
+    "decompress",
+    "increment_letters",
+    "parse_label",
+]

@@ -1,0 +1,81 @@
+"""CDBS — Compact Dynamic Binary String labels, Li, Ling & Hu [15].
+
+"A highly compact adaptation of the ImprovedBinary labelling scheme with
+more efficient update costs.  However, these improvements were made
+possible through the use of fixed length bit encoding of the labels and
+thus, are subject to the overflow problem" (section 4).
+
+Compactness comes from two changes over ImprovedBinary: bulk codes are
+allocated densely (all codes of the minimal sufficient length) and every
+insertion takes the *shortest* code in the open interval.  Both are
+implemented in :mod:`repro.labels.bitstring`; the length field of the
+storage model is what overflows under sustained skewed insertion.
+
+CDBS is mentioned in the survey text but not given a Figure 7 row, so
+the scheme carries ``extension=True`` and appears in extended matrices
+only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.properties import (
+    Compliance,
+    DocumentOrderApproach,
+    EncodingRepresentation,
+)
+from repro.labels import bitstring
+from repro.schemes.base import (
+    PrefixSchemeBase,
+    SchemeFamily,
+    SchemeMetadata,
+)
+from repro.schemes.storage import LengthFieldStorage
+
+
+class CDBSScheme(PrefixSchemeBase):
+    """Compact binary codes with a fixed-width length field."""
+
+    metadata = SchemeMetadata(
+        name="cdbs",
+        display_name="CDBS",
+        reference="Li, Ling & Hu [15]",
+        family=SchemeFamily.PREFIX,
+        document_order=DocumentOrderApproach.HYBRID,
+        encoding_representation=EncodingRepresentation.FIXED,
+        declared_compactness=Compliance.FULL,
+        orthogonal_strategy="cdbs",
+        extension=True,
+        notes="compact binary; fixed length field reintroduces overflow",
+    )
+
+    def __init__(self, length_field_bits: int = 8):
+        super().__init__()
+        self.storage = LengthFieldStorage(
+            length_field_bits=length_field_bits, unit_bits=1
+        )
+
+    def initial_child_components(self, count: int) -> List[str]:
+        return bitstring.compact_initial_codes(count)
+
+    def component_before(self, first: str) -> str:
+        return bitstring.compact_code_between("", first)
+
+    def component_after(self, last: str) -> str:
+        return bitstring.compact_code_between(last, None)
+
+    def component_between(self, left: str, right: str) -> str:
+        return bitstring.compact_code_between(left, right)
+
+    def compare_components(self, left: str, right: str) -> int:
+        if left == right:
+            return 0
+        return -1 if left < right else 1
+
+    def component_size_bits(self, component: str) -> int:
+        return self.storage.stored_bits(len(component))
+
+    def check_component(self, component: str) -> str:
+        self.storage.check_length(len(component), context="CDBS code")
+        return component

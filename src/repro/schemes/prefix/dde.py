@@ -1,0 +1,98 @@
+"""DDE — "From Dewey to a Fully Dynamic XML Labeling Scheme" [28].
+
+Listed in the survey's conclusions as future work to fold into the
+framework, so implemented here as an extension row.  DDE keeps Dewey's
+path structure but makes each positional component a *rational pair*
+``(p, q)`` ordered by the fraction ``p/q`` (compared by
+cross-multiplication, like the vector scheme) and inserts between two
+siblings by component-wise *addition* of their pairs — the mediant.
+Initial components are ``(1,1), (2,1), ..., (n,1)``, so an un-updated DDE
+label prints exactly like a DeweyID label.
+
+Persistent (no relabelling), overflow-free (varint storage), divides
+nothing, recursion-free bulk — the "fully dynamic" Dewey the title
+promises.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.properties import (
+    Compliance,
+    DocumentOrderApproach,
+    EncodingRepresentation,
+)
+from repro.labels import varint
+from repro.schemes.base import (
+    PrefixSchemeBase,
+    SchemeFamily,
+    SchemeMetadata,
+)
+
+#: A DDE component: the rational pair (p, q), ordered by p/q.
+Component = Tuple[int, int]
+
+
+class DDEScheme(PrefixSchemeBase):
+    """Dewey paths with mediant-insertable rational components."""
+
+    metadata = SchemeMetadata(
+        name="dde",
+        display_name="DDE",
+        reference="Xu, Ling, Wu & Bao [28]",
+        family=SchemeFamily.PREFIX,
+        document_order=DocumentOrderApproach.HYBRID,
+        encoding_representation=EncodingRepresentation.VARIABLE,
+        declared_compactness=Compliance.FULL,
+        extension=True,
+        notes="survey section 6 future work; mediant Dewey components",
+    )
+
+    def root_label(self) -> Tuple[Component, ...]:
+        return ((1, 1),)
+
+    def level(self, label: Tuple[Component, ...]) -> int:
+        return len(label) - 1
+
+    # -- component algebra ----------------------------------------------
+
+    def initial_child_components(self, count: int) -> List[Component]:
+        return [(position, 1) for position in range(1, count + 1)]
+
+    def component_before(self, first: Component) -> Component:
+        # Mediant with the virtual zero fraction (0, 1).
+        return (
+            self.instruments.add(first[0], 0),
+            self.instruments.add(first[1], 1),
+        )
+
+    def component_after(self, last: Component) -> Component:
+        # Mediant with the virtual infinite fraction (1, 0).
+        return (
+            self.instruments.add(last[0], 1),
+            self.instruments.add(last[1], 0),
+        )
+
+    def component_between(self, left: Component, right: Component) -> Component:
+        return (
+            self.instruments.add(left[0], right[0]),
+            self.instruments.add(left[1], right[1]),
+        )
+
+    def compare_components(self, left: Component, right: Component) -> int:
+        # p1/q1 versus p2/q2 by cross-multiplication: no division.
+        left_cross = self.instruments.multiply(left[0], right[1])
+        right_cross = self.instruments.multiply(right[0], left[1])
+        if left_cross == right_cross:
+            return 0
+        return -1 if left_cross < right_cross else 1
+
+    def component_size_bits(self, component: Component) -> int:
+        return varint.encoded_size_bits(component[0]) + varint.encoded_size_bits(
+            component[1]
+        )
+
+    def format_component(self, component: Component) -> str:
+        p, q = component
+        return str(p) if q == 1 else f"{p}/{q}"

@@ -1,0 +1,112 @@
+"""DLN — Dynamic Level Numbering, Böhme & Rahm [3].
+
+"Conceptually similar to ORDPATH ... adopts a fixed bit-length for
+component values and supports arbitrary insertions through the addition
+of suffix values between any two consecutive positional identifiers.
+However, under frequent updates, the fixed label size may overflow"
+(section 3.1.2).
+
+A positional component here is a tuple of sub-values (rendered
+``3/1/2``); insertion between two identifiers appends a sub-level.  Every
+sub-value must fit the fixed width and every component is bounded in
+sub-level depth — exceeding either is the overflow that forces a relabel,
+exactly the DeweyID-with-sparse-allocation failure mode the survey
+predicts.
+
+Figure 7 row: Hybrid, Fixed, Persistent N, XPath F, Level F, Overflow N,
+Orthogonal N, Compact N, Division F, Recursion F.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.properties import (
+    Compliance,
+    DocumentOrderApproach,
+    EncodingRepresentation,
+)
+from repro.errors import OverflowEvent
+from repro.schemes.base import (
+    PrefixSchemeBase,
+    SchemeFamily,
+    SchemeMetadata,
+)
+from repro.schemes.storage import FixedWidthStorage
+
+#: A DLN positional component: top value plus optional sub-level values.
+Component = Tuple[int, ...]
+
+
+class DLNScheme(PrefixSchemeBase):
+    """Fixed-width Dewey-style labels with sub-level insertion."""
+
+    metadata = SchemeMetadata(
+        name="dln",
+        display_name="DLN",
+        reference="Böhme & Rahm [3]",
+        family=SchemeFamily.PREFIX,
+        document_order=DocumentOrderApproach.HYBRID,
+        encoding_representation=EncodingRepresentation.FIXED,
+        declared_compactness=Compliance.NONE,
+        notes="fixed bit-length components with sub-level separators",
+    )
+
+    def __init__(self, subvalue_bits: int = 8, max_sublevels: int = 8):
+        super().__init__()
+        self.storage = FixedWidthStorage(width_bits=subvalue_bits, signed=True)
+        self.max_sublevels = max_sublevels
+
+    def root_label(self) -> Tuple[Component, ...]:
+        return ((1,),)
+
+    def level(self, label: Tuple[Component, ...]) -> int:
+        return len(label) - 1
+
+    # -- component algebra ----------------------------------------------
+
+    def initial_child_components(self, count: int) -> List[Component]:
+        return [(position,) for position in range(1, count + 1)]
+
+    def component_before(self, first: Component) -> Component:
+        # Step below the first top value; sub-level 1 keeps room for more
+        # insertions before this one.
+        return (first[0] - 1, 1)
+
+    def component_after(self, last: Component) -> Component:
+        return (last[0] + 1,)
+
+    def component_between(self, left: Component, right: Component) -> Component:
+        """Append a sub-level; descend when the left is a prefix of right.
+
+        Pure tuple surgery — additions only, matching DLN's F grade on
+        Division Computation.
+        """
+        if left == right[: len(left)]:
+            # right extends left: slot in just below right's next value.
+            return left + (right[len(left)] - 1, 1)
+        return left + (1,)
+
+    def compare_components(self, left: Component, right: Component) -> int:
+        if left == right:
+            return 0
+        return -1 if left < right else 1
+
+    def component_size_bits(self, component: Component) -> int:
+        # Fixed representation: every label slot stores max_sublevels
+        # sub-values at the fixed width (unused slots are padding) — the
+        # price of a fixed-length encoding.
+        return self.max_sublevels * self.storage.width_bits
+
+    def check_component(self, component: Component) -> Component:
+        if len(component) > self.max_sublevels:
+            raise OverflowEvent(
+                f"DLN component {component!r} exceeds {self.max_sublevels} "
+                "sub-levels"
+            )
+        for value in component:
+            self.storage.check(value, "DLN sub-value")
+        return component
+
+    def format_component(self, component: Component) -> str:
+        return "/".join(str(value) for value in component)

@@ -1,0 +1,105 @@
+"""ImprovedBinary — binary-string prefix labels, Li & Ling [13].
+
+Section 3.1.2 describes the scheme at length and Figure 6 shows it on the
+example tree; the Figure 6 benchmark asserts this implementation
+reproduces every label there, initial and inserted.
+
+The bulk Labelling algorithm is *recursive* and determines the middle
+node "using the simple calculation ((1 + n) / 2)" — both facts are
+survey-graded (Recursion N, Division N) and both are reproduced and
+instrumented here.  Insertions use the three published rules from
+:mod:`repro.labels.bitstring` and never touch existing labels
+(Persistent F); but codes carry a fixed-width length field, so repeated
+one-sided insertions eventually overflow it (Overflow N) — "repeated
+insertions before the first sibling node and after the last sibling node
+has a bit-growth rate of 1 for each insertion".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.properties import (
+    Compliance,
+    DocumentOrderApproach,
+    EncodingRepresentation,
+)
+from repro.labels import bitstring
+from repro.schemes.base import (
+    PrefixSchemeBase,
+    SchemeFamily,
+    SchemeMetadata,
+)
+from repro.schemes.storage import LengthFieldStorage
+
+
+class ImprovedBinaryScheme(PrefixSchemeBase):
+    """Binary-string positional identifiers ending in 1."""
+
+    metadata = SchemeMetadata(
+        name="improved-binary",
+        display_name="ImprovedBinary",
+        reference="Li & Ling [13]",
+        family=SchemeFamily.PREFIX,
+        document_order=DocumentOrderApproach.HYBRID,
+        encoding_representation=EncodingRepresentation.VARIABLE,
+        declared_compactness=Compliance.NONE,
+        notes="recursive AssignMiddleSelfLabel construction",
+    )
+
+    def __init__(self, length_field_bits: int = 16):
+        super().__init__()
+        self.storage = LengthFieldStorage(
+            length_field_bits=length_field_bits, unit_bits=1
+        )
+
+    # -- component algebra ----------------------------------------------
+
+    def initial_child_components(self, count: int) -> List[str]:
+        """The published recursive Labelling algorithm.
+
+        Leftmost sibling ``01``, rightmost ``011``, middles assigned by
+        ``AssignMiddleSelfLabel`` at the ``((1 + n) / 2)``-th position,
+        recursing into both halves.  Division and recursion are routed
+        through the instrumentation — they are what Figure 7 grades.
+        """
+        if count == 0:
+            return []
+        if count == 1:
+            return ["01"]
+        codes = [""] * count
+        codes[0] = "01"
+        codes[-1] = "011"
+        self._label_range(codes, 0, count - 1)
+        return codes
+
+    def _label_range(self, codes: List[str], low: int, high: int) -> None:
+        with self.instruments.recursive_call():
+            size = high - low + 1
+            if size <= 2:
+                return
+            middle = low + self.instruments.divide(1 + size, 2) - 1
+            codes[middle] = bitstring.middle_code(codes[low], codes[high])
+            self._label_range(codes, low, middle)
+            self._label_range(codes, middle, high)
+
+    def component_before(self, first: str) -> str:
+        return bitstring.before_first_code(first)
+
+    def component_after(self, last: str) -> str:
+        return bitstring.after_last_code(last)
+
+    def component_between(self, left: str, right: str) -> str:
+        return bitstring.middle_code(left, right)
+
+    def compare_components(self, left: str, right: str) -> int:
+        if left == right:
+            return 0
+        return -1 if left < right else 1
+
+    def component_size_bits(self, component: str) -> int:
+        return self.storage.stored_bits(len(component))
+
+    def check_component(self, component: str) -> str:
+        self.storage.check_length(len(component), context="binary code")
+        return component

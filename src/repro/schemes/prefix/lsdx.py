@@ -1,0 +1,198 @@
+"""LSDX — letters combined with level numbers, Duong & Zhang [7].
+
+A label is rendered as the node's level, the concatenated positional
+letters of its ancestors, a dot, and the node's own positional letters —
+Figure 5's ``2ab.b`` is level 2, ancestor letters ``a``+``b``, own
+position ``b``.  Internally the label is the tuple of positional letter
+strings along the path, from which the rendering is derived.
+
+Published update rules (all reproduced, including the defect):
+
+* first child of every node is ``b`` (``a`` is reserved so an insertion
+  before the first child is always possible by prefixing ``a``);
+* after ``z`` comes ``zb``;
+* insert-after-last lexicographically increments the last letter;
+* insert-between "increments" the left neighbour's identifier.
+
+Sans & Laurent [19] showed these rules collide in corner cases — e.g.
+inserting between ``z`` and its increment ``zb`` produces ``zb`` again.
+This implementation deliberately produces the collision; the updates
+layer detects duplicate labels and raises
+:class:`~repro.errors.LabelCollisionError`, which is the paper's stated
+reason LSDX-family schemes "are unsuitable for use as dynamic labelling
+schemes for XML".
+
+LSDX labels are also not persistent: "labels are not persistent and may
+be reassigned upon deletion" — :meth:`on_delete` compacts the letters of
+the following siblings, which the persistence probe observes.
+
+Figure 7 row: Hybrid, Variable, Persistent N, XPath F, Level F,
+Overflow N, Orthogonal N, Compact N, Division F, Recursion F.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.properties import (
+    Compliance,
+    DocumentOrderApproach,
+    EncodingRepresentation,
+)
+from repro.errors import InvalidLabelError
+from repro.schemes.base import (
+    PrefixSchemeBase,
+    SchemeFamily,
+    SchemeMetadata,
+)
+from repro.schemes.storage import LengthFieldStorage
+from repro.xmlmodel.tree import Document, XMLNode
+
+#: Six bits comfortably index the letter alphabet with room for framing.
+BITS_PER_LETTER = 6
+
+
+def increment_letters(position: str) -> str:
+    """The published successor rule: bump the last letter; after z, append.
+
+    ``b -> c``, ``y -> z``, ``z -> zb``, ``zz -> zzb``.
+    """
+    if not position:
+        raise InvalidLabelError("cannot increment an empty LSDX position")
+    last = position[-1]
+    if last < "z":
+        return position[:-1] + chr(ord(last) + 1)
+    return position + "b"
+
+
+class LSDXScheme(PrefixSchemeBase):
+    """LSDX letter labels, including the documented collision behaviour."""
+
+    metadata = SchemeMetadata(
+        name="lsdx",
+        display_name="LSDX",
+        reference="Duong & Zhang [7]",
+        family=SchemeFamily.PREFIX,
+        document_order=DocumentOrderApproach.HYBRID,
+        encoding_representation=EncodingRepresentation.VARIABLE,
+        declared_compactness=Compliance.NONE,
+        notes="letter positions; collides in corner cases [19]",
+    )
+
+    def __init__(self, length_field_bits: int = 8,
+                 reassign_on_delete: bool = True):
+        super().__init__()
+        self.storage = LengthFieldStorage(
+            length_field_bits=length_field_bits, unit_bits=BITS_PER_LETTER
+        )
+        self.reassign_on_delete = reassign_on_delete
+
+    def root_label(self) -> Tuple[str, ...]:
+        # "The root node of the tree is label 0a."
+        return ("a",)
+
+    def level(self, label: Tuple[str, ...]) -> int:
+        return len(label) - 1
+
+    # -- component algebra ----------------------------------------------
+
+    def initial_child_components(self, count: int) -> List[str]:
+        # "the first child of every node uses the letter b instead of a
+        # to permit future insertions before the first child"
+        components: List[str] = []
+        position = "b"
+        for _ in range(count):
+            components.append(position)
+            position = increment_letters(position)
+        return components
+
+    def component_before(self, first: str) -> str:
+        # "taking the existing leftmost child label and prefixing an a"
+        return "a" + first
+
+    def component_after(self, last: str) -> str:
+        # "lexicographically incrementing the last letter"
+        return increment_letters(last)
+
+    def component_between(self, left: str, right: str) -> str:
+        """The published increment-based rule — collisions included.
+
+        Try the increment of the left position; if that is not inside the
+        interval, try appending ``b``.  When neither lands strictly
+        between (the [19] corner cases, e.g. between ``z`` and ``zb``)
+        the rule yields a value equal to the right neighbour: returned
+        as-is, to be caught as a :class:`LabelCollisionError` upstream.
+        """
+        candidate = increment_letters(left)
+        if left < candidate < right:
+            return candidate
+        candidate = left + "b"
+        if left < candidate < right:
+            return candidate
+        return candidate  # documented collision (candidate >= right)
+
+    def compare_components(self, left: str, right: str) -> int:
+        if left == right:
+            return 0
+        return -1 if left < right else 1
+
+    def component_size_bits(self, component: str) -> int:
+        return self.storage.stored_bits(len(component))
+
+    def check_component(self, component: str) -> str:
+        self.storage.check_length(len(component), context="LSDX position")
+        return component
+
+    # -- deletion reassignment -------------------------------------------
+
+    def on_delete(self, document: Document, labels: Dict[int, Any],
+                  node_id: int) -> Dict[int, Any]:
+        """Compact sibling letters after a deletion (labels reassigned).
+
+        The parent is found from the remaining structure; every child is
+        re-assigned the bulk letter sequence, and changed subtrees are
+        relabelled.  This is the non-persistence the survey notes.
+        """
+        if not self.reassign_on_delete:
+            return {}
+        parent = self._find_parent_of_deleted(document, labels, node_id)
+        if parent is None:
+            return {}
+        relabeled: Dict[int, Any] = {}
+        children = parent.labeled_children()
+        parent_label = labels[parent.node_id]
+        for child, component in zip(
+            children, self.initial_child_components(len(children))
+        ):
+            fresh = parent_label + (component,)
+            if labels.get(child.node_id) != fresh:
+                self._relabel_subtree(child, fresh, labels, relabeled)
+        return relabeled
+
+    def _find_parent_of_deleted(self, document: Document,
+                                labels: Dict[int, Any], node_id: int):
+        deleted_label = labels.get(node_id)
+        if deleted_label is None or len(deleted_label) < 2:
+            return None
+        parent_label = deleted_label[:-1]
+        for node in document.labeled_nodes():
+            if labels.get(node.node_id) == parent_label:
+                return node
+        return None
+
+    def _relabel_subtree(self, node: XMLNode, fresh: Tuple[str, ...],
+                         labels: Dict[int, Any],
+                         relabeled: Dict[int, Any]) -> None:
+        relabeled[node.node_id] = fresh
+        for child in node.labeled_children():
+            old = labels[child.node_id]
+            self._relabel_subtree(child, fresh + (old[-1],), labels, relabeled)
+
+    # -- rendering ---------------------------------------------------------
+
+    def format_label(self, label: Tuple[str, ...]) -> str:
+        """Figure 5 rendering: level, ancestor letters, dot, own letters."""
+        level = len(label) - 1
+        if level == 0:
+            return f"0{label[0]}"
+        return f"{level}{''.join(label[:-1])}.{label[-1]}"

@@ -1,0 +1,146 @@
+"""The Vector labelling scheme — Xu, Bao & Ling [27].
+
+Labels are intervals of integer *vectors*: each node stores a begin and
+an end vector, nested inside its parent's interval, and document order is
+the numerical order of the vectors' gradients — compared by
+cross-multiplication, never division ("G(A) > G(B) iff y1x2 > x1y2").
+
+Insertion anywhere produces fresh vectors by *mediant* addition (the sum
+of the two neighbouring vectors), so existing labels are never touched
+and nothing overflows: component values grow, and the UTF-8-style varint
+storage (:mod:`repro.labels.varint`) simply spends more bytes — including
+past the 2^21 single-unit bound the survey questions, via the documented
+chained extension.
+
+The published construction "assigns to the middle node a vector that
+equals the sums of two vectors that corresponds to the start and end
+positions in each iteration" — reproduced as a recursive bisection
+(Recursion N) whose only arithmetic is vector addition (Division F).
+
+Figure 7 row: Hybrid, Variable, Persistent F, XPath P (ancestor by
+interval containment; no level, so no parent/sibling), Level N,
+Overflow F, Orthogonal F, Compact F, Division F, Recursion N.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.properties import (
+    Compliance,
+    DocumentOrderApproach,
+    EncodingRepresentation,
+)
+from repro.schemes.base import (
+    InsertOutcome,
+    LabelingScheme,
+    SchemeFamily,
+    SchemeMetadata,
+    SiblingInsertContext,
+)
+from repro.strategies.vector_keys import (
+    HIGH_BOUND,
+    LOW_BOUND,
+    VectorKey,
+    gradient_compare,
+    key_size_bits,
+    mediant,
+)
+from repro.xmlmodel.tree import Document
+
+#: A vector label: (begin vector, end vector).
+VectorLabel = Tuple[VectorKey, VectorKey]
+
+
+class VectorScheme(LabelingScheme):
+    """Vector-interval labels ordered by gradient."""
+
+    metadata = SchemeMetadata(
+        name="vector",
+        display_name="Vector",
+        reference="Xu, Bao & Ling [27]",
+        family=SchemeFamily.CONTAINMENT,
+        document_order=DocumentOrderApproach.HYBRID,
+        encoding_representation=EncodingRepresentation.VARIABLE,
+        declared_compactness=Compliance.FULL,
+        orthogonal_strategy="vector",
+        notes="gradient order via cross-multiplication; mediant insertion",
+    )
+
+    # ------------------------------------------------------------------
+
+    def label_tree(self, document: Document) -> Dict[int, VectorLabel]:
+        """Assign one vector per begin/end event by recursive bisection.
+
+        The event midpoint is located with a bit shift (no value is ever
+        divided — the scheme's whole point is avoiding division), and the
+        assigned vector is the mediant of the bounding vectors, exactly
+        the published "sum of the start and end positions".
+        """
+        if document.root is None:
+            return {}
+        events: List[Tuple[int, str]] = []
+
+        def collect(node) -> None:
+            if node.kind.is_labeled:
+                events.append((node.node_id, "begin"))
+            for child in node.children:
+                collect(child)
+            if node.kind.is_labeled:
+                events.append((node.node_id, "end"))
+
+        collect(document.root)
+        keys: List[VectorKey] = [None] * len(events)  # type: ignore[list-item]
+        self._assign_range(keys, 0, len(events) - 1, LOW_BOUND, HIGH_BOUND)
+        begins: Dict[int, VectorKey] = {}
+        labels: Dict[int, VectorLabel] = {}
+        for (node_id, kind), key in zip(events, keys):
+            if kind == "begin":
+                begins[node_id] = key
+            else:
+                labels[node_id] = (begins[node_id], key)
+        return labels
+
+    def _assign_range(self, keys: List[VectorKey], low: int, high: int,
+                      low_vector: VectorKey, high_vector: VectorKey) -> None:
+        with self.instruments.recursive_call():
+            if low > high:
+                return
+            middle = (low + high) >> 1  # index halving: a shift, not a divide
+            middle_vector = mediant(low_vector, high_vector, self.instruments)
+            keys[middle] = middle_vector
+            self._assign_range(keys, low, middle - 1, low_vector, middle_vector)
+            self._assign_range(keys, middle + 1, high, middle_vector, high_vector)
+
+    # ------------------------------------------------------------------
+
+    def compare(self, left: VectorLabel, right: VectorLabel) -> int:
+        return gradient_compare(left[0], right[0], self.instruments)
+
+    def is_ancestor(self, ancestor: VectorLabel, descendant: VectorLabel) -> bool:
+        return (
+            gradient_compare(ancestor[0], descendant[0], self.instruments) < 0
+            and gradient_compare(descendant[1], ancestor[1], self.instruments) < 0
+        )
+
+    def insert_sibling(self, context: SiblingInsertContext) -> InsertOutcome:
+        low_vector = (
+            context.labels[context.left_id][1]
+            if context.left_id is not None
+            else context.parent_label[0]
+        )
+        high_vector = (
+            context.labels[context.right_id][0]
+            if context.right_id is not None
+            else context.parent_label[1]
+        )
+        begin = mediant(low_vector, high_vector, self.instruments)
+        end = mediant(begin, high_vector, self.instruments)
+        return InsertOutcome(label=(begin, end))
+
+    def label_size_bits(self, label: VectorLabel) -> int:
+        return key_size_bits(label[0]) + key_size_bits(label[1])
+
+    def format_label(self, label: VectorLabel) -> str:
+        (bx, by), (ex, ey) = label
+        return f"[({bx},{by})..({ex},{ey})]"

@@ -1,0 +1,5 @@
+"""Prime-number labelling schemes — survey section 6 future work."""
+
+from repro.schemes.prime.prime import PrimeLabel, PrimeScheme, primes
+
+__all__ = ["PrimeLabel", "PrimeScheme", "primes"]

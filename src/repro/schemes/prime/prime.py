@@ -1,0 +1,151 @@
+"""Prime-number labelling — Wu, Lee & Hsu [25].
+
+The survey's conclusions name this scheme as the first candidate for
+future evaluation under the framework, so it is implemented as an
+extension row.  Each node is assigned a distinct prime; its label is
+``(product, self_prime)`` where ``product`` multiplies the primes along
+the root path.  Ancestor-descendant is divisibility of the products;
+parent-child divides out the node's own prime; siblinghood compares
+parent products.
+
+Document order is the scheme's weakness: it is maintained by a
+*simultaneous congruence* (SC) side table that must be recomputed when
+nodes are inserted.  We model that honestly: each label carries an SC
+order key, and an insertion renumbers the SC component of every node
+after the insertion point — counted by the persistence probe as
+relabelling, which is why the scheme would grade Persistent N.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, NamedTuple
+
+from repro.core.properties import (
+    Compliance,
+    DocumentOrderApproach,
+    EncodingRepresentation,
+)
+from repro.schemes.base import (
+    InsertOutcome,
+    LabelingScheme,
+    SchemeFamily,
+    SchemeMetadata,
+    SiblingInsertContext,
+)
+from repro.xmlmodel.tree import Document
+
+
+def primes() -> Iterator[int]:
+    """An unbounded incremental prime generator (trial division)."""
+    known: List[int] = []
+    for candidate in itertools.count(2):
+        if all(candidate % prime for prime in known if prime * prime <= candidate):
+            known.append(candidate)
+            yield candidate
+
+
+class PrimeLabel(NamedTuple):
+    """A prime-scheme label: path product, own prime, SC order key."""
+
+    product: int
+    self_prime: int
+    sc: int
+
+
+class PrimeScheme(LabelingScheme):
+    """Prime products with an SC order table recomputed on update."""
+
+    metadata = SchemeMetadata(
+        name="prime",
+        display_name="Prime",
+        reference="Wu, Lee & Hsu [25]",
+        family=SchemeFamily.PRIME,
+        document_order=DocumentOrderApproach.GLOBAL,
+        encoding_representation=EncodingRepresentation.VARIABLE,
+        declared_compactness=Compliance.NONE,
+        extension=True,
+        notes="survey section 6 future work; SC renumbering on insert",
+    )
+
+    def __init__(self):
+        super().__init__()
+        self._prime_source = primes()
+
+    def _next_prime(self) -> int:
+        return next(self._prime_source)
+
+    # ------------------------------------------------------------------
+
+    def label_tree(self, document: Document) -> Dict[int, PrimeLabel]:
+        labels: Dict[int, PrimeLabel] = {}
+        if document.root is None:
+            return labels
+        self._prime_source = primes()
+        products: Dict[int, int] = {}
+        for position, node in enumerate(document.labeled_nodes()):
+            own = self._next_prime()
+            parent_product = 1
+            if node.parent is not None and node.parent.node_id in products:
+                parent_product = products[node.parent.node_id]
+            product = self.instruments.multiply(parent_product, own)
+            products[node.node_id] = product
+            labels[node.node_id] = PrimeLabel(product, own, position)
+        return labels
+
+    def compare(self, left: PrimeLabel, right: PrimeLabel) -> int:
+        self.instruments.note_comparison()
+        if left.sc == right.sc:
+            return 0
+        return -1 if left.sc < right.sc else 1
+
+    def is_ancestor(self, ancestor: PrimeLabel, descendant: PrimeLabel) -> bool:
+        return (
+            ancestor.product != descendant.product
+            and descendant.product % ancestor.product == 0
+        )
+
+    def is_parent(self, parent: PrimeLabel, child: PrimeLabel) -> bool:
+        return child.product == parent.product * child.self_prime
+
+    def is_sibling(self, left: PrimeLabel, right: PrimeLabel) -> bool:
+        if left.product == right.product:
+            return False
+        left_parent = left.product // left.self_prime
+        right_parent = right.product // right.self_prime
+        return left_parent == right_parent
+
+    def insert_sibling(self, context: SiblingInsertContext) -> InsertOutcome:
+        """New prime for the node; SC keys shift for all following nodes."""
+        parent = context.parent_label
+        own = self._next_prime()
+        product = self.instruments.multiply(parent.product, own)
+        # SC renumbering: walk the document order and reassign order keys.
+        relabeled: Dict[int, PrimeLabel] = {}
+        new_label = None
+        position = 0
+        for node in context.document.labeled_nodes():
+            if node.node_id == context.new_id:
+                new_label = PrimeLabel(product, own, position)
+                position += 1
+                continue
+            old = context.labels.get(node.node_id)
+            if old is None:
+                # Not yet labelled (a later node of a subtree graft):
+                # it gets its SC key when its own insertion runs.
+                continue
+            if old.sc != position:
+                relabeled[node.node_id] = PrimeLabel(
+                    old.product, old.self_prime, position
+                )
+            position += 1
+        assert new_label is not None
+        return InsertOutcome(label=new_label, relabeled=relabeled)
+
+    def label_size_bits(self, label: PrimeLabel) -> int:
+        return max(label.product.bit_length(), 1) + max(
+            label.self_prime.bit_length(), 1
+        ) + 32
+
+    def format_label(self, label: PrimeLabel) -> str:
+        return f"{label.product}({label.self_prime})#{label.sc}"

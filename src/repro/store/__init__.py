@@ -1,0 +1,37 @@
+"""The XML repository layer: indexes, structural joins, snapshots."""
+
+from repro.store.indexes import DocumentIndexes
+from repro.store.joins import (
+    count_join,
+    nested_loop_join,
+    path_join,
+    semi_join,
+    stack_tree_join,
+)
+from repro.store.repository import (
+    REQUIREMENT_PROPERTIES,
+    Snapshot,
+    StoredDocument,
+    XMLRepository,
+    suggest_scheme,
+)
+from repro.store.twig import TwigMatcher, TwigNode, child, descendant, twig
+
+__all__ = [
+    "DocumentIndexes",
+    "REQUIREMENT_PROPERTIES",
+    "Snapshot",
+    "StoredDocument",
+    "TwigMatcher",
+    "TwigNode",
+    "XMLRepository",
+    "child",
+    "count_join",
+    "descendant",
+    "twig",
+    "nested_loop_join",
+    "path_join",
+    "semi_join",
+    "stack_tree_join",
+    "suggest_scheme",
+]

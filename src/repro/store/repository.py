@@ -1,0 +1,224 @@
+"""A small multi-document XML repository over labelling schemes.
+
+The survey frames its whole analysis around "the adoption of XML
+repositories in mainstream industry"; this module is that repository in
+miniature: named documents, each bound to a (per-document) labelling
+scheme, with secondary indexes, structural-join path queries, snapshot
+and restore through the bit-exact label codecs, and storage reporting.
+It is also where section 5.2's selection advice becomes executable —
+``suggest_scheme`` turns a requirements profile into a Figure 7 lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.properties import PAPER_FIGURE_7, PROPERTY_ORDER, Property
+from repro.encoding.codec import codec_for
+from repro.errors import UpdateError
+from repro.schemes.registry import make_scheme
+from repro.store.indexes import DocumentIndexes
+from repro.store.joins import path_join
+from repro.updates.document import LabeledDocument
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.serializer import serialize
+from repro.xmlmodel.tree import Document, XMLNode
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A frozen document state: text, scheme and the exact label bits.
+
+    Restoring re-parses the text and re-attaches the *decoded* labels by
+    document order, so persistent labels survive a round trip through
+    storage — the version-control property of section 5.2.
+    """
+
+    name: str
+    scheme_name: str
+    xml: str
+    label_stream: bytes
+
+
+class StoredDocument:
+    """One repository entry: labelled document + its indexes."""
+
+    def __init__(self, name: str, ldoc: LabeledDocument):
+        self.name = name
+        self.ldoc = ldoc
+        self.indexes = DocumentIndexes(ldoc)
+
+    # -- queries ---------------------------------------------------------
+
+    def find(self, name: str) -> List[XMLNode]:
+        """All elements/attributes called ``name``, in document order."""
+        return [node for _label, node in self.indexes.by_name(name)]
+
+    def find_value(self, value: str) -> List[XMLNode]:
+        """All nodes whose content equals ``value``."""
+        return [node for _label, node in self.indexes.by_value(value)]
+
+    def descendant_path(self, names: Sequence[str]) -> List[XMLNode]:
+        """``//a//b//c``-style query via structural semi-joins.
+
+        Index scans feed the stack-based joins of
+        :mod:`repro.store.joins`; no tree navigation happens.
+        """
+        levels = [self.indexes.by_name(step) for step in names]
+        if any(not level for level in levels):
+            return []
+        return [node for _label, node in path_join(self.ldoc.scheme, levels)]
+
+    def xpath(self, path: str) -> List[XMLNode]:
+        """Full mini-XPath over this document."""
+        from repro.axes.xpath import xpath as evaluate
+
+        return evaluate(self.ldoc, path)
+
+    # -- persistence -------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        codec = codec_for(self.ldoc.scheme)
+        data, _bits = codec.encode_labels(self.ldoc.labels_in_document_order())
+        return Snapshot(
+            name=self.name,
+            scheme_name=self.ldoc.scheme.metadata.name,
+            xml=serialize(self.ldoc.document),
+            label_stream=data,
+        )
+
+    def storage_bits(self) -> int:
+        return self.ldoc.total_label_bits()
+
+
+class XMLRepository:
+    """Named documents, each labelled by a scheme of the caller's choice."""
+
+    def __init__(self, default_scheme: str = "cdqs"):
+        self.default_scheme = default_scheme
+        self._documents: Dict[str, StoredDocument] = {}
+
+    # -- document management ----------------------------------------------
+
+    def add(self, name: str, source: Union[str, Document],
+            scheme: Optional[str] = None, **scheme_config) -> StoredDocument:
+        """Ingest a document (XML text or an existing tree)."""
+        if name in self._documents:
+            raise UpdateError(f"document {name!r} already exists")
+        document = parse(source) if isinstance(source, str) else source
+        ldoc = LabeledDocument(
+            document, make_scheme(scheme or self.default_scheme,
+                                  **scheme_config)
+        )
+        stored = StoredDocument(name, ldoc)
+        self._documents[name] = stored
+        return stored
+
+    def get(self, name: str) -> StoredDocument:
+        try:
+            return self._documents[name]
+        except KeyError:
+            raise UpdateError(f"no document named {name!r}") from None
+
+    def remove(self, name: str) -> None:
+        self.get(name)
+        del self._documents[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._documents)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    # -- persistence -------------------------------------------------------
+
+    def snapshot(self, name: str) -> Snapshot:
+        """Freeze one document's state."""
+        return self.get(name).snapshot()
+
+    def restore(self, snapshot: Snapshot,
+                name: Optional[str] = None) -> StoredDocument:
+        """Rebuild a document from a snapshot, labels included.
+
+        The label stream is decoded and re-attached to the re-parsed
+        tree in document order; a persistent scheme's labels therefore
+        come back bit-identical.
+        """
+        target = name or snapshot.name
+        if target in self._documents:
+            raise UpdateError(f"document {target!r} already exists")
+        document = parse(snapshot.xml)
+        scheme = make_scheme(snapshot.scheme_name)
+        codec = codec_for(scheme)
+        labels = codec.decode_labels(snapshot.label_stream)
+        nodes = list(document.labeled_nodes())
+        if len(labels) != len(nodes):
+            raise UpdateError(
+                "snapshot label stream does not match the document"
+            )
+        ldoc = LabeledDocument.from_labels(
+            document, scheme,
+            {node.node_id: label for node, label in zip(nodes, labels)},
+        )
+        stored = StoredDocument(target, ldoc)
+        self._documents[target] = stored
+        return stored
+
+    # -- reporting -----------------------------------------------------------
+
+    def storage_report(self) -> List[Tuple[str, str, int, int]]:
+        """(name, scheme, labelled nodes, label bits) per document."""
+        return [
+            (
+                stored.name,
+                stored.ldoc.scheme.metadata.name,
+                len(stored.ldoc.labels),
+                stored.storage_bits(),
+            )
+            for stored in self._documents.values()
+        ]
+
+
+#: Requirement keywords accepted by :func:`suggest_scheme`, mapped to the
+#: Figure 7 column that must grade F.
+REQUIREMENT_PROPERTIES = {
+    "version-control": Property.PERSISTENT_LABELS,
+    "persistent": Property.PERSISTENT_LABELS,
+    "large-documents": Property.OVERFLOW_FREEDOM,
+    "overflow-free": Property.OVERFLOW_FREEDOM,
+    "xpath": Property.XPATH_EVALUATION,
+    "level": Property.LEVEL_ENCODING,
+    "compact": Property.COMPACT_ENCODING,
+    "orthogonal": Property.ORTHOGONALITY,
+    "no-division": Property.DIVISION_FREEDOM,
+    "no-recursion": Property.RECURSION_FREEDOM,
+}
+
+
+def suggest_scheme(requirements: Sequence[str]) -> List[str]:
+    """Section 5.2's selection guidance, from the published matrix.
+
+    "The evaluation framework can provide assistance in the selection of
+    a dynamic labelling scheme ... by enabling the database designer or
+    data modeller to select the labelling scheme that is most suitable
+    for their requirements."  Given requirement keywords (see
+    REQUIREMENT_PROPERTIES), returns the Figure 7 schemes whose graded
+    cells are F for every requirement, in row order.
+    """
+    try:
+        wanted = [REQUIREMENT_PROPERTIES[item] for item in requirements]
+    except KeyError as error:
+        raise UpdateError(
+            f"unknown requirement {error.args[0]!r}; known: "
+            f"{sorted(REQUIREMENT_PROPERTIES)}"
+        ) from None
+    columns = {prop: index + 2 for index, prop in enumerate(PROPERTY_ORDER)}
+    matches = []
+    for scheme_name, row in PAPER_FIGURE_7.items():
+        if all(row[columns[prop]] == "F" for prop in wanted):
+            matches.append(scheme_name)
+    return matches

@@ -1,0 +1,41 @@
+"""Ordered-key strategies and the orthogonality skeleton schemes."""
+
+from repro.strategies.base import (
+    OrderedKeyStrategy,
+    available_strategies,
+    register_strategy,
+    strategy_by_name,
+)
+from repro.strategies.skeletons import (
+    StrategyContainmentScheme,
+    StrategyPrefixScheme,
+)
+from repro.strategies.string_keys import (
+    CDBSKeyStrategy,
+    CDQSKeyStrategy,
+    QEDKeyStrategy,
+)
+from repro.strategies.vector_keys import (
+    HIGH_BOUND,
+    LOW_BOUND,
+    VectorKeyStrategy,
+    gradient_compare,
+    mediant,
+)
+
+__all__ = [
+    "CDBSKeyStrategy",
+    "CDQSKeyStrategy",
+    "HIGH_BOUND",
+    "LOW_BOUND",
+    "OrderedKeyStrategy",
+    "QEDKeyStrategy",
+    "StrategyContainmentScheme",
+    "StrategyPrefixScheme",
+    "VectorKeyStrategy",
+    "available_strategies",
+    "gradient_compare",
+    "mediant",
+    "register_strategy",
+    "strategy_by_name",
+]

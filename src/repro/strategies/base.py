@@ -1,0 +1,90 @@
+"""Ordered-key strategies: the paper's "orthogonality" made concrete.
+
+Section 4 observes that QED, CDQS, CDBS and the vector scheme "are
+orthogonal to the different classifications of labelling schemes; in other
+words, they may be applied to and used in conjunction with existing
+containment schemes, prefix schemes and prime number based schemes".
+
+What those four schemes really contribute is a *generator of ordered keys*
+with the property that a new key can always be created strictly between,
+before or after any existing keys — independent of what the keys are used
+for.  :class:`OrderedKeyStrategy` captures that contract; the skeleton
+schemes in :mod:`repro.strategies.skeletons` plug any strategy into both a
+prefix skeleton and a containment skeleton, which is exactly the evidence
+the orthogonality probe demands before granting an F.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Type
+
+from repro.errors import FrameworkError
+
+
+class OrderedKeyStrategy(abc.ABC):
+    """A total-order key space supporting insertion anywhere, forever."""
+
+    #: Registry key; also the value schemes put in
+    #: ``SchemeMetadata.orthogonal_strategy``.
+    name: str = ""
+
+    @abc.abstractmethod
+    def initial(self, count: int) -> List[Any]:
+        """``count`` ordered keys for bulk assignment."""
+
+    @abc.abstractmethod
+    def before(self, first: Any) -> Any:
+        """A key strictly before ``first``."""
+
+    @abc.abstractmethod
+    def after(self, last: Any) -> Any:
+        """A key strictly after ``last``."""
+
+    @abc.abstractmethod
+    def between(self, left: Any, right: Any) -> Any:
+        """A key strictly between two keys."""
+
+    @abc.abstractmethod
+    def compare(self, left: Any, right: Any) -> int:
+        """Three-way order of two keys."""
+
+    @abc.abstractmethod
+    def key_size_bits(self, key: Any) -> int:
+        """Storage cost of one key (with per-key framing/separator)."""
+
+    @property
+    def overflow_free(self) -> bool:
+        """Whether keys are self-delimiting (no fixed size field)."""
+        return True
+
+    def format_key(self, key: Any) -> str:
+        return str(key)
+
+
+_REGISTRY: Dict[str, Type[OrderedKeyStrategy]] = {}
+
+
+def register_strategy(cls: Type[OrderedKeyStrategy]) -> Type[OrderedKeyStrategy]:
+    """Class decorator adding a strategy to the global registry."""
+    if not cls.name:
+        raise FrameworkError(f"{cls.__name__} must define a non-empty name")
+    if cls.name in _REGISTRY:
+        raise FrameworkError(f"duplicate strategy name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def strategy_by_name(name: str) -> OrderedKeyStrategy:
+    """Instantiate a registered strategy."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise FrameworkError(
+            f"unknown strategy {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_strategies() -> List[str]:
+    """Names of all registered strategies."""
+    return sorted(_REGISTRY)

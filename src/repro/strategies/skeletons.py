@@ -1,0 +1,164 @@
+"""Skeleton schemes: any ordered-key strategy as a full labelling scheme.
+
+These two classes are the demonstration of the paper's orthogonality
+property.  Given one :class:`OrderedKeyStrategy`, the prefix skeleton
+yields a DeweyID-shaped scheme (full paths, parent/sibling/level
+decidable) and the containment skeleton yields an interval scheme
+(ancestor-descendant by containment).  The orthogonality probe
+instantiates both for a scheme's declared strategy and checks order and
+containment correctness against the tree oracle — a scheme is orthogonal
+exactly when its key mechanism survives in both families, which QED, CDQS
+and Vector do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.properties import (
+    Compliance,
+    DocumentOrderApproach,
+    EncodingRepresentation,
+)
+from repro.schemes.base import (
+    InsertOutcome,
+    LabelingScheme,
+    PrefixSchemeBase,
+    SchemeFamily,
+    SchemeMetadata,
+    SiblingInsertContext,
+)
+from repro.strategies.base import OrderedKeyStrategy
+from repro.xmlmodel.tree import Document
+
+
+class StrategyPrefixScheme(PrefixSchemeBase):
+    """A prefix labelling scheme whose components are strategy keys."""
+
+    def __init__(self, strategy: OrderedKeyStrategy):
+        super().__init__()
+        self.strategy = strategy
+        self.metadata = SchemeMetadata(
+            name=f"{strategy.name}-prefix",
+            display_name=f"{strategy.name.upper()} (prefix skeleton)",
+            reference="section 4",
+            family=SchemeFamily.PREFIX,
+            document_order=DocumentOrderApproach.HYBRID,
+            encoding_representation=EncodingRepresentation.VARIABLE,
+            declared_compactness=Compliance.NONE,
+            orthogonal_strategy=strategy.name,
+            extension=True,
+            notes="orthogonality-probe skeleton",
+        )
+
+    def initial_child_components(self, count: int) -> List[Any]:
+        return self.strategy.initial(count)
+
+    def component_before(self, first: Any) -> Any:
+        return self.strategy.before(first)
+
+    def component_after(self, last: Any) -> Any:
+        return self.strategy.after(last)
+
+    def component_between(self, left: Any, right: Any) -> Any:
+        return self.strategy.between(left, right)
+
+    def compare_components(self, left: Any, right: Any) -> int:
+        return self.strategy.compare(left, right)
+
+    def component_size_bits(self, component: Any) -> int:
+        return self.strategy.key_size_bits(component)
+
+    def format_component(self, component: Any) -> str:
+        return self.strategy.format_key(component)
+
+
+class StrategyContainmentScheme(LabelingScheme):
+    """A containment (interval) scheme whose endpoints are strategy keys.
+
+    Labels are ``(begin, end)`` key pairs; a node's interval strictly
+    contains its descendants' intervals.  Insertion allocates two fresh
+    keys inside the gap between the new node's neighbours, so a strategy
+    that can always produce a key in an open interval never relabels here
+    either — containment and prefix usage exercise the same mechanism,
+    which is the point of the probe.
+    """
+
+    def __init__(self, strategy: OrderedKeyStrategy):
+        super().__init__()
+        self.strategy = strategy
+        self.metadata = SchemeMetadata(
+            name=f"{strategy.name}-containment",
+            display_name=f"{strategy.name.upper()} (containment skeleton)",
+            reference="section 4",
+            family=SchemeFamily.CONTAINMENT,
+            document_order=DocumentOrderApproach.GLOBAL,
+            encoding_representation=EncodingRepresentation.VARIABLE,
+            declared_compactness=Compliance.NONE,
+            orthogonal_strategy=strategy.name,
+            extension=True,
+            notes="orthogonality-probe skeleton",
+        )
+
+    # ------------------------------------------------------------------
+
+    def label_tree(self, document: Document) -> Dict[int, Tuple[Any, Any]]:
+        if document.root is None:
+            return {}
+        # One key per begin/end event, generated in event order.
+        events: List[Tuple[int, str]] = []
+
+        def visit(node) -> None:
+            if node.kind.is_labeled:
+                events.append((node.node_id, "begin"))
+            for child in node.children:
+                visit(child)
+            if node.kind.is_labeled:
+                events.append((node.node_id, "end"))
+
+        visit(document.root)
+        keys = self.strategy.initial(len(events))
+        begins: Dict[int, Any] = {}
+        labels: Dict[int, Tuple[Any, Any]] = {}
+        for (node_id, kind), key in zip(events, keys):
+            if kind == "begin":
+                begins[node_id] = key
+            else:
+                labels[node_id] = (begins[node_id], key)
+        return labels
+
+    def compare(self, left: Tuple[Any, Any], right: Tuple[Any, Any]) -> int:
+        return self.strategy.compare(left[0], right[0])
+
+    def is_ancestor(self, ancestor: Tuple[Any, Any],
+                    descendant: Tuple[Any, Any]) -> bool:
+        return (
+            self.strategy.compare(ancestor[0], descendant[0]) < 0
+            and self.strategy.compare(descendant[1], ancestor[1]) < 0
+        )
+
+    def insert_sibling(self, context: SiblingInsertContext) -> InsertOutcome:
+        low_key = (
+            context.labels[context.left_id][1]
+            if context.left_id is not None
+            else context.parent_label[0]
+        )
+        high_key = (
+            context.labels[context.right_id][0]
+            if context.right_id is not None
+            else context.parent_label[1]
+        )
+        begin = self.strategy.between(low_key, high_key)
+        end = self.strategy.between(begin, high_key)
+        return InsertOutcome(label=(begin, end))
+
+    def label_size_bits(self, label: Tuple[Any, Any]) -> int:
+        return self.strategy.key_size_bits(label[0]) + self.strategy.key_size_bits(
+            label[1]
+        )
+
+    def format_label(self, label: Tuple[Any, Any]) -> str:
+        return (
+            f"[{self.strategy.format_key(label[0])},"
+            f" {self.strategy.format_key(label[1])}]"
+        )

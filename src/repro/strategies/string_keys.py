@@ -1,0 +1,117 @@
+"""String-code strategies: QED, CDQS and CDBS as ordered-key generators.
+
+Each strategy wraps the corresponding label algebra from
+:mod:`repro.labels` behind the :class:`OrderedKeyStrategy` contract.  QED
+uses the published one-sided extension rules; CDQS and CDBS use the
+shortest-code-in-interval search that gives them their compactness.  QED
+and CDQS are self-delimiting (``00`` separator, section 4); CDBS went back
+to fixed-length storage and is therefore *not* overflow free, exactly as
+the survey notes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.labels import bitstring, quaternary
+from repro.labels.ordered_strings import compare_strings
+from repro.schemes.storage import LengthFieldStorage, SeparatorStorage
+from repro.strategies.base import OrderedKeyStrategy, register_strategy
+
+
+@register_strategy
+class QEDKeyStrategy(OrderedKeyStrategy):
+    """Quaternary codes with the published QED insertion rules [14]."""
+
+    name = "qed"
+
+    def __init__(self):
+        self.storage = SeparatorStorage(separator_bits=quaternary.SEPARATOR_BITS)
+
+    def initial(self, count: int) -> List[str]:
+        return quaternary.initial_codes(count)
+
+    def before(self, first: str) -> str:
+        return quaternary.before_first_code(first)
+
+    def after(self, last: str) -> str:
+        return quaternary.after_last_code(last)
+
+    def between(self, left: str, right: str) -> str:
+        return quaternary.code_between(left, right)
+
+    def compare(self, left: str, right: str) -> int:
+        return compare_strings(left, right)
+
+    def key_size_bits(self, key: str) -> int:
+        return self.storage.stored_bits(quaternary.code_size_bits(key))
+
+
+@register_strategy
+class CDQSKeyStrategy(OrderedKeyStrategy):
+    """Compact Dynamic Quaternary String codes [16]: shortest-in-interval."""
+
+    name = "cdqs"
+
+    def __init__(self):
+        self.storage = SeparatorStorage(separator_bits=quaternary.SEPARATOR_BITS)
+
+    def initial(self, count: int) -> List[str]:
+        return quaternary.compact_initial_codes(count)
+
+    def before(self, first: str) -> str:
+        return quaternary.compact_code_between("", first)
+
+    def after(self, last: str) -> str:
+        return quaternary.compact_code_between(last, None)
+
+    def between(self, left: str, right: str) -> str:
+        return quaternary.compact_code_between(left, right)
+
+    def compare(self, left: str, right: str) -> int:
+        return compare_strings(left, right)
+
+    def key_size_bits(self, key: str) -> int:
+        return self.storage.stored_bits(quaternary.code_size_bits(key))
+
+
+@register_strategy
+class CDBSKeyStrategy(OrderedKeyStrategy):
+    """Compact Dynamic Binary String codes [15].
+
+    Compact like CDQS but stored with a fixed-width length field — the
+    design choice that reintroduces the overflow problem (section 4).
+    """
+
+    name = "cdbs"
+
+    def __init__(self, length_field_bits: int = 8):
+        self.storage = LengthFieldStorage(
+            length_field_bits=length_field_bits, unit_bits=1
+        )
+
+    def initial(self, count: int) -> List[str]:
+        return bitstring.compact_initial_codes(count)
+
+    def before(self, first: str) -> str:
+        return self._checked(bitstring.compact_code_between("", first))
+
+    def after(self, last: str) -> str:
+        return self._checked(bitstring.compact_code_between(last, None))
+
+    def between(self, left: str, right: str) -> str:
+        return self._checked(bitstring.compact_code_between(left, right))
+
+    def compare(self, left: str, right: str) -> int:
+        return compare_strings(left, right)
+
+    def key_size_bits(self, key: str) -> int:
+        return self.storage.stored_bits(bitstring.code_size_bits(key))
+
+    @property
+    def overflow_free(self) -> bool:
+        return False
+
+    def _checked(self, code: str) -> str:
+        self.storage.check_length(len(code), context="CDBS code")
+        return code

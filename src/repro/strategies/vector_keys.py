@@ -1,0 +1,101 @@
+"""The vector encoding of Xu, Bao & Ling [27] as an ordered-key strategy.
+
+Keys are integer pairs ``(x, y)`` ordered by the gradient ``G((x, y)) =
+y / x`` — but compared without ever dividing: ``G(A) > G(B) iff
+y_A * x_B > x_A * y_B`` (the paper's cross-multiplication identity, and
+the reason the vector scheme grades F on Division Computation).
+
+New keys come from *mediant* addition: the sum of two vectors has a
+gradient strictly between theirs whenever both lie in the first quadrant.
+The virtual bounds are ``(1, 0)`` (gradient 0, before everything) and
+``(0, 1)`` (gradient infinity, after everything), so insertion anywhere is
+always possible and never touches existing keys.
+
+Storage uses the UTF-8-style varint of :mod:`repro.labels.varint` — the
+self-delimiting representation the authors propose, with our documented
+extension past the single-unit 2^21 bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.instrumentation import Instrumentation
+from repro.errors import InvalidLabelError
+from repro.labels import varint
+from repro.strategies.base import OrderedKeyStrategy, register_strategy
+
+VectorKey = Tuple[int, int]
+
+#: Virtual bounds of the key space (never assigned to nodes).
+LOW_BOUND: VectorKey = (1, 0)
+HIGH_BOUND: VectorKey = (0, 1)
+
+
+def mediant(left: VectorKey, right: VectorKey,
+            instruments: Optional[Instrumentation] = None) -> VectorKey:
+    """The vector sum; gradient strictly between the operands'."""
+    if instruments is not None:
+        x = instruments.add(left[0], right[0])
+        y = instruments.add(left[1], right[1])
+        return (x, y)
+    return (left[0] + right[0], left[1] + right[1])
+
+
+def gradient_compare(left: VectorKey, right: VectorKey,
+                     instruments: Optional[Instrumentation] = None) -> int:
+    """Three-way gradient order via cross-multiplication (no division)."""
+    if instruments is not None:
+        instruments.note_comparison()
+        left_cross = instruments.multiply(left[1], right[0])
+        right_cross = instruments.multiply(left[0], right[1])
+    else:
+        left_cross = left[1] * right[0]
+        right_cross = left[0] * right[1]
+    if left_cross == right_cross:
+        return 0
+    return -1 if left_cross < right_cross else 1
+
+
+def validate_key(key: VectorKey) -> None:
+    """Keys must be non-negative, not both zero, and not a virtual bound."""
+    x, y = key
+    if x < 0 or y < 0 or (x == 0 and y == 0):
+        raise InvalidLabelError(f"invalid vector key {key!r}")
+
+
+def key_size_bits(key: VectorKey) -> int:
+    """Varint-encoded size of both components."""
+    return varint.encoded_size_bits(key[0]) + varint.encoded_size_bits(key[1])
+
+
+@register_strategy
+class VectorKeyStrategy(OrderedKeyStrategy):
+    """Vector keys plugged into the generic ordered-key contract."""
+
+    name = "vector"
+
+    def initial(self, count: int) -> List[VectorKey]:
+        # The sequential mediant chain: the k-th of n keys is (1, k),
+        # gradients 1 < 2 < ... < n.  (The VectorScheme class performs the
+        # published recursive assignment; the strategy needs only the key
+        # sequence.)
+        return [(1, position) for position in range(1, count + 1)]
+
+    def before(self, first: VectorKey) -> VectorKey:
+        return mediant(LOW_BOUND, first)
+
+    def after(self, last: VectorKey) -> VectorKey:
+        return mediant(last, HIGH_BOUND)
+
+    def between(self, left: VectorKey, right: VectorKey) -> VectorKey:
+        return mediant(left, right)
+
+    def compare(self, left: VectorKey, right: VectorKey) -> int:
+        return gradient_compare(left, right)
+
+    def key_size_bits(self, key: VectorKey) -> int:
+        return key_size_bits(key)
+
+    def format_key(self, key: VectorKey) -> str:
+        return f"({key[0]},{key[1]})"

@@ -1,0 +1,46 @@
+"""Dynamic updates: the labelled document, operations and workloads."""
+
+from repro.updates.document import LabeledDocument, UpdateLog
+from repro.updates.versioning import (
+    Annotation,
+    Revision,
+    RevisionDiff,
+    VersionedDocument,
+)
+from repro.updates.operations import (
+    Operation,
+    OpKind,
+    adopt_subtree,
+    apply_operation,
+    apply_program,
+)
+from repro.updates.workloads import (
+    WorkloadResult,
+    append_insertions,
+    churn,
+    prepend_insertions,
+    random_insertions,
+    skewed_insertions,
+    uniform_insertions,
+)
+
+__all__ = [
+    "Annotation",
+    "LabeledDocument",
+    "OpKind",
+    "Operation",
+    "Revision",
+    "RevisionDiff",
+    "UpdateLog",
+    "VersionedDocument",
+    "WorkloadResult",
+    "adopt_subtree",
+    "append_insertions",
+    "apply_operation",
+    "apply_program",
+    "churn",
+    "prepend_insertions",
+    "random_insertions",
+    "skewed_insertions",
+    "uniform_insertions",
+]

@@ -1,0 +1,388 @@
+"""LabeledDocument: a document, a labelling scheme, and their contract.
+
+This is the package's central runtime object.  It owns the
+``node_id -> label`` map, routes every structural update through the
+scheme's insertion primitive, applies any relabelling the scheme reports,
+and keeps the books the evaluation framework reads:
+
+* ``relabeled_nodes`` / ``relabel_events`` — the Persistent Labels
+  evidence;
+* ``overflow_events`` — the section 4 overflow problem;
+* ``collisions`` — duplicate labels (the LSDX defect [19]);
+* label storage totals — the Compact Encoding measurements.
+
+Content updates (text, attribute values, renames) never touch labels —
+the paper's structural/content distinction from section 3.1.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import LabelCollisionError, UpdateError
+from repro.schemes.base import LabelingScheme, SiblingInsertContext
+from repro.xmlmodel.tree import Document, NodeKind, XMLNode
+
+
+@dataclass
+class UpdateLog:
+    """Running totals of update activity and its labelling cost."""
+
+    insertions: int = 0
+    deletions: int = 0
+    content_updates: int = 0
+    relabeled_nodes: int = 0
+    relabel_events: int = 0
+    overflow_events: int = 0
+    collisions: int = 0
+
+    def reset(self) -> None:
+        self.insertions = 0
+        self.deletions = 0
+        self.content_updates = 0
+        self.relabeled_nodes = 0
+        self.relabel_events = 0
+        self.overflow_events = 0
+        self.collisions = 0
+
+
+class LabeledDocument:
+    """A document labelled by one scheme, with dynamic update support.
+
+    ``on_collision`` controls what happens when a scheme produces a label
+    that already exists (LSDX's corner cases): ``"raise"`` (default)
+    raises :class:`LabelCollisionError`, ``"record"`` only counts it —
+    the probes use the latter to *measure* the defect.
+    """
+
+    def __init__(self, document: Document, scheme: LabelingScheme,
+                 on_collision: str = "raise"):
+        if on_collision not in ("raise", "record"):
+            raise UpdateError("on_collision must be 'raise' or 'record'")
+        self.document = document
+        self.scheme = scheme
+        self.on_collision = on_collision
+        self.log = UpdateLog()
+        self.labels: Dict[int, Any] = scheme.label_tree(document)
+        self._label_index: Dict[Any, int] = {}
+        self._rebuild_label_index()
+
+    @classmethod
+    def from_labels(cls, document: Document, scheme: LabelingScheme,
+                    labels: Dict[int, Any],
+                    on_collision: str = "raise") -> "LabeledDocument":
+        """Attach precomputed labels (snapshot restore) instead of
+        relabelling — persistent schemes round-trip bit-identically."""
+        instance = cls.__new__(cls)
+        if on_collision not in ("raise", "record"):
+            raise UpdateError("on_collision must be 'raise' or 'record'")
+        instance.document = document
+        instance.scheme = scheme
+        instance.on_collision = on_collision
+        instance.log = UpdateLog()
+        instance.labels = dict(labels)
+        instance._label_index = {}
+        instance._rebuild_label_index()
+        return instance
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def label_of(self, node: XMLNode) -> Any:
+        return self.labels[node.node_id]
+
+    def format_label(self, node: XMLNode) -> str:
+        return self.scheme.format_label(self.labels[node.node_id])
+
+    def node_by_label(self, label: Any) -> XMLNode:
+        node_id = self._label_index.get(label)
+        if node_id is None:
+            raise UpdateError(f"no node labelled {label!r}")
+        return self.document.node_by_id(node_id)
+
+    def labels_in_document_order(self) -> List[Any]:
+        return [self.labels[node.node_id] for node in self.document.labeled_nodes()]
+
+    # ------------------------------------------------------------------
+    # Structural updates: insertion
+    # ------------------------------------------------------------------
+
+    def insert_before(self, reference: XMLNode, name: str) -> XMLNode:
+        """Insert a new element immediately before ``reference``."""
+        parent = self._parent_of(reference)
+        index = parent.child_index(reference)
+        element = self.document.new_element(name)
+        parent.insert_child(index, element)
+        self._label_new_node(element)
+        return element
+
+    def insert_after(self, reference: XMLNode, name: str) -> XMLNode:
+        """Insert a new element immediately after ``reference``."""
+        parent = self._parent_of(reference)
+        index = parent.child_index(reference) + 1
+        element = self.document.new_element(name)
+        parent.insert_child(index, element)
+        self._label_new_node(element)
+        return element
+
+    def append_child(self, parent: XMLNode, name: str) -> XMLNode:
+        """Insert a new element as the last child of ``parent``."""
+        element = self.document.new_element(name)
+        parent.append_child(element)
+        self._label_new_node(element)
+        return element
+
+    def prepend_child(self, parent: XMLNode, name: str) -> XMLNode:
+        """Insert a new element as the first content child of ``parent``."""
+        element = self.document.new_element(name)
+        index = len(parent.attributes())
+        parent.insert_child(index, element)
+        self._label_new_node(element)
+        return element
+
+    def insert_attribute(self, element: XMLNode, name: str, value: str) -> XMLNode:
+        """Insert a new attribute (positioned after existing attributes)."""
+        attribute = self.document.new_attribute(name, value)
+        element.insert_child(len(element.attributes()), attribute)
+        self._label_new_node(attribute)
+        return attribute
+
+    def insert_subtree(self, parent: XMLNode, index: int,
+                       fragment: XMLNode) -> XMLNode:
+        """Insert a whole subtree, one node at a time.
+
+        "Subtree insertions may be serialised as a sequence of nodes and
+        inserted individually" (section 3.1.2, ORDPATH).  ``fragment``
+        may come from another document (for example
+        :func:`~repro.xmlmodel.parser.parse_fragment`); its nodes are
+        re-created in this document.
+        """
+        root_copy = self._copy_shallow(fragment)
+        parent.insert_child(index, root_copy)
+        self._label_new_node(root_copy)
+        self._insert_children_of(fragment, root_copy)
+        return root_copy
+
+    def _insert_children_of(self, source: XMLNode, target: XMLNode) -> None:
+        for child in source.children:
+            child_copy = self._copy_shallow(child)
+            target.append_child(child_copy)
+            if child_copy.kind.is_labeled:
+                self._label_new_node(child_copy)
+            self._insert_children_of(child, child_copy)
+
+    def _copy_shallow(self, node: XMLNode) -> XMLNode:
+        return self.document.new_node(node.kind, node.name, node.value)
+
+    # ------------------------------------------------------------------
+    # Structural updates: deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, node: XMLNode) -> None:
+        """Remove ``node`` and its subtree; labels of others may react."""
+        parent = self._parent_of(node)
+        removed_ids = [
+            child.node_id for child in node.preorder() if child.kind.is_labeled
+        ]
+        parent.remove_child(node)
+        self.log.deletions += 1
+        relabeled = self.scheme.on_delete(
+            self.document, self.labels, node.node_id
+        )
+        for node_id in removed_ids:
+            label = self.labels.pop(node_id, None)
+            if label is not None and self._label_index.get(label) == node_id:
+                del self._label_index[label]
+        if relabeled:
+            self._apply_relabeling(relabeled)
+
+    # ------------------------------------------------------------------
+    # Structural updates: move
+    # ------------------------------------------------------------------
+
+    def move(self, node: XMLNode, new_parent: XMLNode, index: int) -> XMLNode:
+        """Relocate a subtree (XQuery-Update style move).
+
+        Labelling schemes have no "move" primitive — a moved subtree
+        occupies a new document-order position, so its labels must be
+        newly assigned there (the paper's serialised-subtree treatment
+        of section 3.1.2), while nodes outside the subtree keep their
+        labels under a persistent scheme.  Implemented as detach +
+        re-insert of the same tree nodes, so node identity (ids, text,
+        attributes) survives; only labels change.
+        """
+        if node.parent is None:
+            raise UpdateError("the root element cannot be moved")
+        if node is new_parent or node.is_ancestor_of(new_parent):
+            raise UpdateError("cannot move a node under itself")
+        old_parent = node.parent
+        moved_ids = [
+            child.node_id for child in node.preorder() if child.kind.is_labeled
+        ]
+        old_parent.remove_child(node)
+        relabeled = self.scheme.on_delete(self.document, self.labels, node.node_id)
+        for node_id in moved_ids:
+            label = self.labels.pop(node_id, None)
+            if label is not None and self._label_index.get(label) == node_id:
+                del self._label_index[label]
+        if relabeled:
+            self._apply_relabeling(relabeled)
+        new_parent.insert_child(index, node)
+        self._label_new_node(node)
+        for child in node.descendants():
+            if child.kind.is_labeled:
+                self._label_new_node(child)
+        return node
+
+    # ------------------------------------------------------------------
+    # Content updates (labels untouched — section 3.1)
+    # ------------------------------------------------------------------
+
+    def set_text(self, element: XMLNode, text: str) -> None:
+        """Replace the text content of an element."""
+        if not element.is_element:
+            raise UpdateError("set_text targets element nodes")
+        element.children = [
+            child for child in element.children if not child.is_text
+        ]
+        if text:
+            element.append_child(self.document.new_text(text))
+        self.log.content_updates += 1
+
+    def set_attribute_value(self, attribute: XMLNode, value: str) -> None:
+        """Replace an attribute's value."""
+        if not attribute.is_attribute:
+            raise UpdateError("set_attribute_value targets attribute nodes")
+        attribute.value = value
+        self.log.content_updates += 1
+
+    def rename(self, node: XMLNode, name: str) -> None:
+        """Rename an element or attribute."""
+        if not node.kind.is_labeled:
+            raise UpdateError("rename targets element or attribute nodes")
+        node.name = name
+        self.log.content_updates += 1
+
+    # ------------------------------------------------------------------
+    # Integrity and accounting
+    # ------------------------------------------------------------------
+
+    def verify_order(self) -> None:
+        """Assert labels sort exactly into document order, without dupes.
+
+        This is Definition 1 as an executable invariant; the property
+        tests run it after every randomised update program.
+        """
+        in_order = self.labels_in_document_order()
+        if len(set(self._hashable(label) for label in in_order)) != len(in_order):
+            raise LabelCollisionError("duplicate labels in document")
+        ordered = sorted(
+            in_order, key=functools.cmp_to_key(self.scheme.compare)
+        )
+        if ordered != in_order:
+            raise UpdateError(
+                f"{self.scheme.metadata.name} labels disagree with document order"
+            )
+
+    def total_label_bits(self) -> int:
+        """Total storage of all labels (the Compact Encoding measure)."""
+        return sum(
+            self.scheme.label_size_bits(label) for label in self.labels.values()
+        )
+
+    def max_label_bits(self) -> int:
+        """The largest single label (skewed-growth experiments)."""
+        return max(
+            (self.scheme.label_size_bits(label) for label in self.labels.values()),
+            default=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _parent_of(self, node: XMLNode) -> XMLNode:
+        if node.parent is None:
+            raise UpdateError("the root element cannot have siblings")
+        return node.parent
+
+    def _label_new_node(self, node: XMLNode) -> None:
+        parent = node.parent
+        # Siblings without labels yet (later nodes of a subtree being
+        # moved or grafted in preorder) are invisible to the insertion:
+        # the new node is positioned among the already-labelled ones.
+        siblings = [
+            child for child in parent.labeled_children()
+            if child.node_id == node.node_id or child.node_id in self.labels
+        ]
+        position = next(
+            index for index, child in enumerate(siblings)
+            if child.node_id == node.node_id
+        )
+        left = siblings[position - 1] if position > 0 else None
+        right = siblings[position + 1] if position + 1 < len(siblings) else None
+        context = SiblingInsertContext(
+            document=self.document,
+            labels=self.labels,
+            parent_id=parent.node_id,
+            left_id=left.node_id if left is not None else None,
+            right_id=right.node_id if right is not None else None,
+            new_id=node.node_id,
+        )
+        outcome = self.scheme.insert_sibling(context)
+        self.log.insertions += 1
+        if outcome.relabeled:
+            self._apply_relabeling(outcome.relabeled)
+        if outcome.overflowed:
+            self.log.overflow_events += 1
+        self._assign(node.node_id, outcome.label)
+
+    def _apply_relabeling(self, relabeled: Dict[int, Any]) -> None:
+        self.log.relabel_events += 1
+        self.log.relabeled_nodes += len(relabeled)
+        for node_id, label in relabeled.items():
+            old = self.labels.get(node_id)
+            if old is not None and self._label_index.get(self._hashable(old)) == node_id:
+                del self._label_index[self._hashable(old)]
+            self.labels[node_id] = label
+        for node_id, label in relabeled.items():
+            self._index(node_id, label)
+
+    def _assign(self, node_id: int, label: Any) -> None:
+        key = self._hashable(label)
+        existing = self._label_index.get(key)
+        if existing is not None and existing != node_id:
+            self.log.collisions += 1
+            if self.on_collision == "raise":
+                self.labels[node_id] = label  # keep state observable
+                raise LabelCollisionError(
+                    f"{self.scheme.metadata.name} assigned duplicate label "
+                    f"{self.scheme.format_label(label)!r} to nodes "
+                    f"{existing} and {node_id}"
+                )
+        self.labels[node_id] = label
+        self._label_index[key] = node_id
+
+    def _index(self, node_id: int, label: Any) -> None:
+        key = self._hashable(label)
+        existing = self._label_index.get(key)
+        if existing is not None and existing != node_id:
+            self.log.collisions += 1
+            if self.on_collision == "raise":
+                raise LabelCollisionError(
+                    f"{self.scheme.metadata.name} relabelled node {node_id} "
+                    f"onto an existing label"
+                )
+        self._label_index[key] = node_id
+
+    def _rebuild_label_index(self) -> None:
+        self._label_index = {}
+        for node_id, label in self.labels.items():
+            self._index(node_id, label)
+
+    @staticmethod
+    def _hashable(label: Any) -> Any:
+        return label

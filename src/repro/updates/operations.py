@@ -1,0 +1,102 @@
+"""Declarative update operations, for tests and reproducible programs.
+
+A list of :class:`Operation` values describes an update program
+abstractly (positions instead of node references), so hypothesis can
+generate programs and the same program can be replayed against every
+scheme — the backbone of the cross-scheme property tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.updates.document import LabeledDocument
+from repro.xmlmodel.parser import parse_fragment
+from repro.xmlmodel.tree import XMLNode
+
+
+class OpKind(enum.Enum):
+    """The update operation kinds a program step can take."""
+
+    INSERT_BEFORE = "insert-before"
+    INSERT_AFTER = "insert-after"
+    APPEND_CHILD = "append-child"
+    PREPEND_CHILD = "prepend-child"
+    DELETE = "delete"
+    SET_TEXT = "set-text"
+    RENAME = "rename"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One abstract update step.
+
+    ``target`` selects the node by its position in the current document
+    order of *element* nodes (modulo the element count, so any integer is
+    valid against any document — convenient for property-based
+    generation).  ``name``/``text`` parameterise the mutation.
+    """
+
+    kind: OpKind
+    target: int
+    name: str = "op"
+    text: str = ""
+
+
+def _element_at(ldoc: LabeledDocument, position: int,
+                exclude_root: bool = False) -> Optional[XMLNode]:
+    elements = [
+        node for node in ldoc.document.all_nodes() if node.is_element
+    ]
+    if exclude_root:
+        elements = [node for node in elements if node.parent is not None]
+    if not elements:
+        return None
+    return elements[position % len(elements)]
+
+
+def apply_operation(ldoc: LabeledDocument, operation: Operation) -> None:
+    """Execute one operation against the document (no-op if untargetable)."""
+    kind = operation.kind
+    if kind in (OpKind.INSERT_BEFORE, OpKind.INSERT_AFTER, OpKind.DELETE):
+        node = _element_at(ldoc, operation.target, exclude_root=True)
+        if node is None:
+            return
+        if kind is OpKind.INSERT_BEFORE:
+            ldoc.insert_before(node, operation.name)
+        elif kind is OpKind.INSERT_AFTER:
+            ldoc.insert_after(node, operation.name)
+        else:
+            ldoc.delete(node)
+        return
+    node = _element_at(ldoc, operation.target)
+    if node is None:
+        return
+    if kind is OpKind.APPEND_CHILD:
+        ldoc.append_child(node, operation.name)
+    elif kind is OpKind.PREPEND_CHILD:
+        ldoc.prepend_child(node, operation.name)
+    elif kind is OpKind.SET_TEXT:
+        ldoc.set_text(node, operation.text)
+    elif kind is OpKind.RENAME:
+        ldoc.rename(node, operation.name)
+
+
+def apply_program(ldoc: LabeledDocument, program: List[Operation]) -> None:
+    """Execute a whole update program in order."""
+    for operation in program:
+        apply_operation(ldoc, operation)
+
+
+def adopt_subtree(ldoc: LabeledDocument, parent: XMLNode, index: int,
+                  xml_fragment: str) -> XMLNode:
+    """Parse an XML fragment and insert it as a subtree at ``index``.
+
+    Convenience wrapper over
+    :meth:`~repro.updates.document.LabeledDocument.insert_subtree` for
+    textual fragments.
+    """
+    fragment = parse_fragment(xml_fragment)
+    return ldoc.insert_subtree(parent, index, fragment)

@@ -1,0 +1,57 @@
+"""XML tree substrate: data model, parser, serializer, builders, generator.
+
+The paper (section 2.1) defines labelling and encoding schemes over the
+tree representation of an XML document, never the text.  This subpackage
+provides that tree representation plus both bridges (text -> tree via the
+parser, tree -> text via the serializer) and programmatic construction
+helpers used throughout the tests and benchmarks.
+"""
+
+from repro.xmlmodel.builder import (
+    attribute,
+    balanced_tree,
+    build_document,
+    chain_tree,
+    comment,
+    element,
+    processing_instruction,
+    shape_of,
+    text,
+    tree_from_shape,
+    wide_tree,
+)
+from repro.xmlmodel.generator import (
+    DocumentGenerator,
+    GeneratorProfile,
+    random_document,
+)
+from repro.xmlmodel.parser import XMLParser, parse, parse_fragment
+from repro.xmlmodel.serializer import XMLSerializer, serialize, serialize_node
+from repro.xmlmodel.tree import Document, NodeKind, XMLNode, walk
+
+__all__ = [
+    "Document",
+    "DocumentGenerator",
+    "GeneratorProfile",
+    "NodeKind",
+    "XMLNode",
+    "XMLParser",
+    "XMLSerializer",
+    "attribute",
+    "balanced_tree",
+    "build_document",
+    "chain_tree",
+    "comment",
+    "element",
+    "parse",
+    "parse_fragment",
+    "processing_instruction",
+    "random_document",
+    "serialize",
+    "serialize_node",
+    "shape_of",
+    "text",
+    "tree_from_shape",
+    "walk",
+    "wide_tree",
+]

@@ -1,0 +1,153 @@
+"""Fluent programmatic construction of XML trees.
+
+Tests, workloads and the figure reproductions need to build specific tree
+shapes (for instance the abstract trees of Figures 3-6, which have no
+element names in the paper) without going through textual XML.  The
+builder provides a compact nested-call API::
+
+    doc = build_document(
+        element("book",
+                attribute("genre", "Fantasy"),
+                element("title", text("Wayfarer"))))
+
+and :func:`tree_from_shape` builds anonymous trees from nested lists, which
+is how the figure benchmarks describe the trees of Figures 3-6::
+
+    # Figure 3 shape: root with children of fan-out 2, 1, 3
+    doc = tree_from_shape([[None, None], [None], [None, None, None]])
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import TreeStructureError
+from repro.xmlmodel.tree import Document, NodeKind, XMLNode
+
+
+class _Spec:
+    """A deferred node description, realised against a Document."""
+
+    def __init__(self, kind: NodeKind, name: Optional[str], value: Optional[str],
+                 children: Sequence["_Spec"] = ()):
+        self.kind = kind
+        self.name = name
+        self.value = value
+        self.children = list(children)
+
+    def realize(self, document: Document) -> XMLNode:
+        node = document.new_node(self.kind, self.name, self.value)
+        for child in self.children:
+            node.append_child(child.realize(document))
+        return node
+
+
+def element(name: str, *children: Union[_Spec, str]) -> _Spec:
+    """Describe an element; string children are shorthand for text nodes."""
+    specs = [
+        child if isinstance(child, _Spec) else text(str(child))
+        for child in children
+    ]
+    return _Spec(NodeKind.ELEMENT, name, None, specs)
+
+
+def attribute(name: str, value: str) -> _Spec:
+    """Describe an attribute node."""
+    return _Spec(NodeKind.ATTRIBUTE, name, value)
+
+
+def text(value: str) -> _Spec:
+    """Describe a text node."""
+    return _Spec(NodeKind.TEXT, None, value)
+
+
+def comment(value: str) -> _Spec:
+    """Describe a comment node."""
+    return _Spec(NodeKind.COMMENT, None, value)
+
+
+def processing_instruction(target: str, data: str = "") -> _Spec:
+    """Describe a processing-instruction node."""
+    return _Spec(NodeKind.PROCESSING_INSTRUCTION, target, data)
+
+
+def build_document(root: _Spec) -> Document:
+    """Realise a spec tree as a fresh :class:`Document`."""
+    if root.kind is not NodeKind.ELEMENT:
+        raise TreeStructureError("the document root must be an element spec")
+    document = Document()
+    document.set_root(root.realize(document))
+    return document
+
+
+Shape = Union[None, Sequence["Shape"]]
+
+
+def tree_from_shape(shape: Shape, name: str = "n") -> Document:
+    """Build an anonymous element tree from a nested-list shape.
+
+    ``None`` is a leaf; a sequence is an internal node whose items are the
+    children.  All elements share the same name (labels, not names, are what
+    the figure reproductions check).  The top-level value describes the
+    *children of the root*, matching how the paper draws Figures 3-6 (a
+    root plus a shaped forest below it).
+    """
+    document = Document()
+    root = document.new_element(name)
+    document.set_root(root)
+
+    def grow(parent: XMLNode, child_shape: Shape) -> None:
+        child = document.new_element(name)
+        parent.append_child(child)
+        if child_shape is not None:
+            for grandchild in child_shape:
+                grow(child, grandchild)
+
+    if shape is not None:
+        for child_shape in shape:
+            grow(root, child_shape)
+    return document
+
+
+def shape_of(document: Document) -> Shape:
+    """Inverse of :func:`tree_from_shape` over element structure."""
+
+    def describe(node: XMLNode) -> Shape:
+        children = node.element_children()
+        if not children:
+            return None
+        return [describe(child) for child in children]
+
+    if document.root is None:
+        return None
+    return describe(document.root)
+
+
+def balanced_tree(depth: int, fanout: int, name: str = "n") -> Document:
+    """A complete ``fanout``-ary element tree of the given depth.
+
+    ``depth=0`` is just a root.  Used by benchmarks for repeatable shapes.
+    """
+    if depth < 0 or fanout < 0:
+        raise TreeStructureError("depth and fanout must be non-negative")
+
+    def shape(levels: int) -> Shape:
+        if levels == 0:
+            return None
+        return [shape(levels - 1) for _ in range(fanout)]
+
+    return tree_from_shape(shape(depth), name=name)
+
+
+def wide_tree(width: int, name: str = "n") -> Document:
+    """A root with ``width`` leaf children (sibling-stress shape)."""
+    return tree_from_shape([None] * width, name=name)
+
+
+def chain_tree(length: int, name: str = "n") -> Document:
+    """A single path of the given length below the root (depth stress)."""
+
+    def shape(remaining: int) -> Shape:
+        return None if remaining == 0 else [shape(remaining - 1)]
+
+    return tree_from_shape([] if length == 0 else [shape(length - 1)], name=name)

@@ -1,0 +1,428 @@
+"""Ordered rooted tree model for XML documents.
+
+This is the substrate every labelling scheme in the package operates on.
+It mirrors the XPath data model the paper describes in section 2.1: an XML
+document is an ordered rooted tree whose internal nodes are elements, whose
+attributes are unordered-in-XML but given a stable document position
+(immediately after their owner element, before its content), and whose
+leaves carry text.
+
+Following the paper, *labelling* applies to element and attribute nodes;
+text, comment and processing-instruction nodes are content that the
+*encoding scheme* (``repro.encoding``) records as node values.  The
+:meth:`Document.labeled_nodes` iterator yields exactly the nodes a labelling
+scheme must label, in document order — for the Figure 1 sample document that
+is the ten nodes of Figure 1(b).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import TreeStructureError
+
+
+class NodeKind(enum.Enum):
+    """The kinds of nodes in the XPath-style tree model."""
+
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+    TEXT = "text"
+    COMMENT = "comment"
+    PROCESSING_INSTRUCTION = "processing-instruction"
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether labelling schemes assign labels to this node kind."""
+        return self in (NodeKind.ELEMENT, NodeKind.ATTRIBUTE)
+
+
+class XMLNode:
+    """A single node of an XML tree.
+
+    Nodes are created through :class:`Document` (or the builder/parser on
+    top of it) so that every node receives a document-unique integer
+    ``node_id``.  The id is the *identity* used throughout the package:
+    labelling schemes map ``node_id -> label`` and never hold node
+    references, which keeps relabelling and persistence accounting honest.
+    """
+
+    __slots__ = ("node_id", "kind", "name", "value", "parent", "children", "document")
+
+    def __init__(
+        self,
+        document: "Document",
+        node_id: int,
+        kind: NodeKind,
+        name: Optional[str] = None,
+        value: Optional[str] = None,
+    ):
+        self.document = document
+        self.node_id = node_id
+        self.kind = kind
+        self.name = name
+        self.value = value
+        self.parent: Optional[XMLNode] = None
+        self.children: List[XMLNode] = []
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_element(self) -> bool:
+        return self.kind is NodeKind.ELEMENT
+
+    @property
+    def is_attribute(self) -> bool:
+        return self.kind is NodeKind.ATTRIBUTE
+
+    @property
+    def is_text(self) -> bool:
+        return self.kind is NodeKind.TEXT
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def depth(self) -> int:
+        """Nesting depth; the root element has depth 0.
+
+        This is the ground truth the Level Encoding probe compares scheme
+        levels against.
+        """
+        depth = 0
+        node = self
+        while node.parent is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def ancestors(self) -> Iterator["XMLNode"]:
+        """Yield ancestors from the parent upward to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def is_ancestor_of(self, other: "XMLNode") -> bool:
+        """Ground-truth ancestor test by pointer chasing (the oracle)."""
+        return any(anc is self for anc in other.ancestors())
+
+    def attributes(self) -> List["XMLNode"]:
+        """The attribute children, in document order."""
+        return [child for child in self.children if child.is_attribute]
+
+    def attribute(self, name: str) -> Optional["XMLNode"]:
+        """Look up an attribute child by name, or ``None``."""
+        for child in self.children:
+            if child.is_attribute and child.name == name:
+                return child
+        return None
+
+    def element_children(self) -> List["XMLNode"]:
+        """The element children, in document order."""
+        return [child for child in self.children if child.is_element]
+
+    def labeled_children(self) -> List["XMLNode"]:
+        """Children that receive labels (attributes first, then elements)."""
+        return [child for child in self.children if child.kind.is_labeled]
+
+    def text_value(self) -> str:
+        """Concatenated text content of direct text children.
+
+        This is the ``Value`` column of the paper's Figure 2 encoding table.
+        """
+        return "".join(child.value or "" for child in self.children if child.is_text)
+
+    def child_index(self, child: "XMLNode") -> int:
+        """Position of ``child`` in this node's child list."""
+        for index, candidate in enumerate(self.children):
+            if candidate is child:
+                return index
+        raise TreeStructureError(
+            f"node {child.node_id} is not a child of node {self.node_id}"
+        )
+
+    def following_siblings(self) -> Iterator["XMLNode"]:
+        """Siblings after this node, in document order."""
+        if self.parent is None:
+            return
+        index = self.parent.child_index(self)
+        yield from self.parent.children[index + 1 :]
+
+    def preceding_siblings(self) -> Iterator["XMLNode"]:
+        """Siblings before this node, in reverse document order."""
+        if self.parent is None:
+            return
+        index = self.parent.child_index(self)
+        yield from reversed(self.parent.children[:index])
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def preorder(self) -> Iterator["XMLNode"]:
+        """Preorder traversal of the subtree rooted here (document order)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def postorder(self) -> Iterator["XMLNode"]:
+        """Postorder traversal of the subtree rooted here."""
+        for child in self.children:
+            yield from child.postorder()
+        yield self
+
+    def descendants(self) -> Iterator["XMLNode"]:
+        """All descendants in document order (excludes self)."""
+        nodes = self.preorder()
+        next(nodes)
+        yield from nodes
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (including self)."""
+        return sum(1 for _ in self.preorder())
+
+    # ------------------------------------------------------------------
+    # Mutation (used by the parser, builder and updates layer)
+    # ------------------------------------------------------------------
+
+    def append_child(self, child: "XMLNode") -> "XMLNode":
+        """Append ``child`` as the last child of this node."""
+        return self.insert_child(len(self.children), child)
+
+    def insert_child(self, index: int, child: "XMLNode") -> "XMLNode":
+        """Insert ``child`` at ``index`` in this node's child list."""
+        self._validate_new_child(child)
+        if index < 0 or index > len(self.children):
+            raise TreeStructureError(
+                f"child index {index} out of range 0..{len(self.children)}"
+            )
+        child.parent = self
+        self.children.insert(index, child)
+        self._check_attribute_ordering(child, index)
+        return child
+
+    def remove_child(self, child: "XMLNode") -> "XMLNode":
+        """Detach ``child`` (and its subtree) from this node."""
+        index = self.child_index(child)
+        del self.children[index]
+        child.parent = None
+        return child
+
+    def _validate_new_child(self, child: "XMLNode") -> None:
+        if child.document is not self.document:
+            raise TreeStructureError("cannot adopt a node from another document")
+        if child.parent is not None:
+            raise TreeStructureError(
+                f"node {child.node_id} already has a parent; detach it first"
+            )
+        if child is self or child.is_ancestor_of(self):
+            raise TreeStructureError("inserting a node under itself creates a cycle")
+        if not self.is_element:
+            raise TreeStructureError(f"{self.kind.value} nodes cannot have children")
+
+    def _check_attribute_ordering(self, child: "XMLNode", index: int) -> None:
+        """Attributes must precede all content children (Figure 1(b) order)."""
+        if child.is_attribute:
+            bad = any(not sibling.is_attribute for sibling in self.children[:index])
+        else:
+            bad = any(sibling.is_attribute for sibling in self.children[index + 1 :])
+        if bad:
+            del self.children[index]
+            child.parent = None
+            raise TreeStructureError(
+                "attribute children must precede content children"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        descriptor = self.name if self.name is not None else (self.value or "")[:20]
+        return f"<XMLNode #{self.node_id} {self.kind.value} {descriptor!r}>"
+
+
+class Document:
+    """An XML document: a node factory plus the root element.
+
+    The document is the unit labelling schemes and encodings attach to.  It
+    owns the ``node_id`` counter and offers whole-document traversals and
+    the ground-truth order/relationship oracles that tests and probes use to
+    validate scheme answers.
+    """
+
+    def __init__(self):
+        self._next_id = itertools.count()
+        self.root: Optional[XMLNode] = None
+
+    # ------------------------------------------------------------------
+    # Node factory
+    # ------------------------------------------------------------------
+
+    def new_node(
+        self,
+        kind: NodeKind,
+        name: Optional[str] = None,
+        value: Optional[str] = None,
+    ) -> XMLNode:
+        """Create a detached node owned by this document."""
+        if kind in (NodeKind.ELEMENT, NodeKind.ATTRIBUTE) and not name:
+            raise TreeStructureError(f"{kind.value} nodes require a name")
+        return XMLNode(self, next(self._next_id), kind, name, value)
+
+    def new_element(self, name: str) -> XMLNode:
+        return self.new_node(NodeKind.ELEMENT, name=name)
+
+    def new_attribute(self, name: str, value: str) -> XMLNode:
+        return self.new_node(NodeKind.ATTRIBUTE, name=name, value=value)
+
+    def new_text(self, value: str) -> XMLNode:
+        return self.new_node(NodeKind.TEXT, value=value)
+
+    def new_comment(self, value: str) -> XMLNode:
+        return self.new_node(NodeKind.COMMENT, value=value)
+
+    def new_processing_instruction(self, target: str, value: str) -> XMLNode:
+        return self.new_node(NodeKind.PROCESSING_INSTRUCTION, name=target, value=value)
+
+    def set_root(self, root: XMLNode) -> XMLNode:
+        if self.root is not None:
+            raise TreeStructureError("document already has a root element")
+        if not root.is_element:
+            raise TreeStructureError("the document root must be an element")
+        self.root = root
+        return root
+
+    # ------------------------------------------------------------------
+    # Whole-document traversal
+    # ------------------------------------------------------------------
+
+    def all_nodes(self) -> Iterator[XMLNode]:
+        """Every node in document order (including text/comment/PI)."""
+        if self.root is None:
+            return
+        yield from self.root.preorder()
+
+    def labeled_nodes(self) -> Iterator[XMLNode]:
+        """The nodes a labelling scheme labels, in document order.
+
+        Elements and attributes only — the paper's section 2.2: "Leaf nodes
+        will always contain content values and not structural information
+        and are thus considered by the XML encoding scheme and not the
+        labelling scheme."
+        """
+        for node in self.all_nodes():
+            if node.kind.is_labeled:
+                yield node
+
+    def node_by_id(self, node_id: int) -> XMLNode:
+        """Linear-scan lookup by id (tests and probes only)."""
+        for node in self.all_nodes():
+            if node.node_id == node_id:
+                return node
+        raise TreeStructureError(f"no node with id {node_id} in document")
+
+    def size(self) -> int:
+        """Total number of nodes (all kinds)."""
+        return sum(1 for _ in self.all_nodes())
+
+    def labeled_size(self) -> int:
+        """Number of labelled (element + attribute) nodes."""
+        return sum(1 for _ in self.labeled_nodes())
+
+    # ------------------------------------------------------------------
+    # Ground-truth oracles
+    # ------------------------------------------------------------------
+
+    def document_order_index(self) -> Dict[int, int]:
+        """Map node_id -> position in document order over labelled nodes.
+
+        This is the oracle the tests compare scheme ``compare`` answers
+        against.
+        """
+        return {
+            node.node_id: position
+            for position, node in enumerate(self.labeled_nodes())
+        }
+
+    def preorder_postorder_ranks(self) -> Dict[int, tuple]:
+        """Map node_id -> (pre, post) ranks over labelled nodes.
+
+        Computes the ranks exactly as section 3.1.1 describes: ``pre`` is
+        assigned when a node is first visited, ``post`` after all its
+        children have been traversed.  For the Figure 1 sample document the
+        result reproduces the labels of Figure 1(b).
+        """
+        pre_counter = itertools.count()
+        post_counter = itertools.count()
+        ranks: Dict[int, list] = {}
+
+        def visit(node: XMLNode) -> None:
+            if node.kind.is_labeled:
+                ranks[node.node_id] = [next(pre_counter), None]
+            for child in node.children:
+                visit(child)
+            if node.kind.is_labeled:
+                ranks[node.node_id][1] = next(post_counter)
+
+        if self.root is not None:
+            visit(self.root)
+        return {node_id: (pre, post) for node_id, (pre, post) in ranks.items()}
+
+    def validate(self) -> None:
+        """Check structural invariants; raises TreeStructureError on breakage.
+
+        Verifies parent/child pointer symmetry, unique node ids and that
+        attributes precede content children.
+        """
+        seen_ids = set()
+        for node in self.all_nodes():
+            if node.node_id in seen_ids:
+                raise TreeStructureError(f"duplicate node id {node.node_id}")
+            seen_ids.add(node.node_id)
+            content_seen = False
+            for child in node.children:
+                if child.parent is not node:
+                    raise TreeStructureError(
+                        f"child {child.node_id} has wrong parent pointer"
+                    )
+                if child.is_attribute:
+                    if content_seen:
+                        raise TreeStructureError(
+                            f"attribute {child.node_id} follows content children"
+                        )
+                else:
+                    content_seen = True
+
+    def clone(self) -> "Document":
+        """Deep copy preserving node ids (for before/after comparisons)."""
+        copy = Document()
+        copy._next_id = itertools.count(max(
+            (node.node_id for node in self.all_nodes()), default=-1
+        ) + 1)
+
+        def clone_node(node: XMLNode) -> XMLNode:
+            duplicate = XMLNode(copy, node.node_id, node.kind, node.name, node.value)
+            for child in node.children:
+                child_copy = clone_node(child)
+                child_copy.parent = duplicate
+                duplicate.children.append(child_copy)
+            return duplicate
+
+        if self.root is not None:
+            copy.root = clone_node(self.root)
+        return copy
+
+
+def walk(node: XMLNode, visitor: Callable[[XMLNode, int], None], depth: int = 0) -> None:
+    """Call ``visitor(node, depth)`` over the subtree in document order."""
+    visitor(node, depth)
+    for child in node.children:
+        walk(child, visitor, depth + 1)

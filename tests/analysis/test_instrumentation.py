@@ -1,0 +1,80 @@
+"""Operation counters used by the Division/Recursion probes."""
+
+from repro.analysis.instrumentation import Instrumentation
+
+
+class TestArithmetic:
+    def test_divide_counts_and_computes(self):
+        counters = Instrumentation()
+        assert counters.divide(7, 2) == 3
+        assert counters.divisions == 1
+
+    def test_divide_float(self):
+        counters = Instrumentation()
+        assert counters.divide_float(1.0, 4.0) == 0.25
+        assert counters.divisions == 1
+
+    def test_multiply_and_add(self):
+        counters = Instrumentation()
+        assert counters.multiply(3, 4) == 12
+        assert counters.add(3, 4) == 7
+        assert counters.multiplications == 1
+        assert counters.additions == 1
+
+    def test_comparison_counter(self):
+        counters = Instrumentation()
+        counters.note_comparison()
+        counters.note_comparison()
+        assert counters.comparisons == 2
+
+
+class TestRecursionTracking:
+    def test_depth_tracking(self):
+        counters = Instrumentation()
+
+        def recurse(depth):
+            with counters.recursive_call():
+                if depth:
+                    recurse(depth - 1)
+
+        recurse(4)
+        assert counters.recursions == 5
+        assert counters.max_recursion_depth == 5
+        assert counters.used_recursion
+
+    def test_depth_unwinds(self):
+        counters = Instrumentation()
+        with counters.recursive_call():
+            pass
+        with counters.recursive_call():
+            pass
+        assert counters.max_recursion_depth == 1
+
+    def test_depth_unwinds_on_exception(self):
+        counters = Instrumentation()
+        try:
+            with counters.recursive_call():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert counters._recursion_depth == 0
+
+
+class TestReset:
+    def test_reset_zeroes_everything(self):
+        counters = Instrumentation()
+        counters.divide(4, 2)
+        counters.multiply(2, 2)
+        with counters.recursive_call():
+            pass
+        counters.reset()
+        assert counters.snapshot() == {
+            "divisions": 0,
+            "multiplications": 0,
+            "additions": 0,
+            "comparisons": 0,
+            "recursions": 0,
+            "max_recursion_depth": 0,
+        }
+        assert not counters.used_division
+        assert not counters.used_recursion

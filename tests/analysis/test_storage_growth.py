@@ -1,0 +1,75 @@
+"""Storage summaries and growth experiments."""
+
+from conftest import fresh_random_document, labeled
+from repro.analysis.growth import (
+    growth_table,
+    linearity_ratio,
+    render_growth_table,
+    skewed_growth_series,
+)
+from repro.analysis.storage import (
+    compare_schemes,
+    render_comparison,
+    summarize,
+)
+from repro.data.sample import sample_document
+
+
+class TestStorageSummary:
+    def test_summarize(self):
+        summary = summarize(labeled(sample_document(), "qed"))
+        assert summary.scheme == "qed"
+        assert summary.labeled_nodes == 10
+        assert summary.total_bits > 0
+        assert summary.bits_per_label == summary.total_bits / 10
+        assert summary.total_bytes == summary.total_bits / 8
+
+    def test_compare_schemes_builds_fresh_documents(self):
+        results = compare_schemes(
+            lambda: fresh_random_document(60, seed=51),
+            ["qed", "cdqs", "prepost"],
+        )
+        assert set(results) == {"qed", "cdqs", "prepost"}
+        assert all(r.labeled_nodes == results["qed"].labeled_nodes
+                   for r in results.values())
+
+    def test_compare_with_workload(self):
+        from repro.updates.workloads import skewed_insertions
+
+        results = compare_schemes(
+            sample_document,
+            ["qed", "vector"],
+            workload=lambda ldoc: skewed_insertions(ldoc, 30),
+        )
+        assert results["qed"].labeled_nodes == 40
+
+    def test_render_comparison(self):
+        results = compare_schemes(sample_document, ["qed"])
+        rendered = render_comparison(results)
+        assert "Bits/Label" in rendered
+        assert "qed" in rendered
+
+
+class TestGrowthSeries:
+    def test_series_samples_at_steps(self):
+        series = skewed_growth_series("qed", 60, step=20)
+        assert [point.inserts for point in series] == [20, 40, 60]
+
+    def test_vector_sublinear_qed_linear(self):
+        # The section 5 claim, as a measured ordering.
+        qed = linearity_ratio(skewed_growth_series("qed", 160, step=40))
+        vector = linearity_ratio(skewed_growth_series("vector", 160, step=40))
+        assert qed >= 0.5
+        assert vector <= 0.2
+        assert vector < qed
+
+    def test_growth_table_render(self):
+        table = growth_table(["qed", "vector"], 40, step=20)
+        rendered = render_growth_table(table)
+        assert "inserts" in rendered
+        assert "qed" in rendered
+        assert render_growth_table({}) == ""
+
+    def test_relabeling_tracked_in_series(self):
+        series = skewed_growth_series("dewey", 40, step=20)
+        assert series[-1].relabeled_nodes > 0

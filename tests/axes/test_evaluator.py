@@ -1,0 +1,113 @@
+"""Axis evaluation versus the tree-walk oracle."""
+
+import pytest
+
+from conftest import fresh_random_document, labeled
+from repro.axes.evaluator import AXES, AxisEvaluator
+from repro.data.sample import sample_document
+from repro.errors import UnsupportedRelationshipError
+
+
+def tree_axis_oracle(ldoc, axis, node):
+    """Ground-truth axis evaluation by tree walking."""
+    order = list(ldoc.document.labeled_nodes())
+    position = {n.node_id: i for i, n in enumerate(order)}
+    descendants = {d.node_id for d in node.descendants() if d.kind.is_labeled}
+    ancestors = {a.node_id for a in node.ancestors()}
+
+    def in_doc_order(nodes):
+        return sorted(nodes, key=lambda n: position[n.node_id])
+
+    if axis == "self":
+        return [node]
+    if axis == "child":
+        return node.labeled_children()
+    if axis == "parent":
+        return [node.parent] if node.parent is not None else []
+    if axis == "ancestor":
+        return in_doc_order([n for n in order if n.node_id in ancestors])
+    if axis == "ancestor-or-self":
+        return in_doc_order(
+            [n for n in order if n.node_id in ancestors or n is node]
+        )
+    if axis == "descendant":
+        return in_doc_order([n for n in order if n.node_id in descendants])
+    if axis == "descendant-or-self":
+        return in_doc_order(
+            [n for n in order if n.node_id in descendants or n is node]
+        )
+    if axis == "following":
+        return [
+            n for n in order[position[node.node_id] + 1 :]
+            if n.node_id not in descendants
+        ]
+    if axis == "preceding":
+        return [
+            n for n in order[: position[node.node_id]]
+            if n.node_id not in ancestors
+        ]
+    if axis == "following-sibling":
+        return [s for s in node.following_siblings() if s.kind.is_labeled]
+    if axis == "preceding-sibling":
+        return in_doc_order(
+            [s for s in node.preceding_siblings() if s.kind.is_labeled]
+        )
+    if axis == "attribute":
+        return node.attributes()
+    raise AssertionError(axis)
+
+
+@pytest.mark.parametrize("scheme_name", ["dewey", "qed", "ordpath", "cdqs"])
+@pytest.mark.parametrize("axis", AXES)
+def test_label_only_axes_match_oracle(scheme_name, axis):
+    """Full-XPath schemes answer every axis from labels alone."""
+    ldoc = labeled(sample_document(), scheme_name)
+    evaluator = AxisEvaluator(ldoc, allow_fallback=False)
+    for node in ldoc.document.labeled_nodes():
+        result = evaluator.evaluate(axis, node)
+        expected = tree_axis_oracle(ldoc, axis, node)
+        assert [n.node_id for n in result] == [n.node_id for n in expected]
+    assert evaluator.fallbacks == 0
+
+
+@pytest.mark.parametrize("axis", AXES)
+def test_axes_on_random_document(axis):
+    ldoc = labeled(fresh_random_document(50, seed=44), "qed")
+    evaluator = AxisEvaluator(ldoc, allow_fallback=False)
+    for node in list(ldoc.document.labeled_nodes())[:15]:
+        result = evaluator.evaluate(axis, node)
+        expected = tree_axis_oracle(ldoc, axis, node)
+        assert [n.node_id for n in result] == [n.node_id for n in expected]
+
+
+class TestPartialSchemes:
+    def test_vector_sibling_axis_requires_fallback(self):
+        ldoc = labeled(sample_document(), "vector")
+        strict = AxisEvaluator(ldoc, allow_fallback=False)
+        node = ldoc.document.root.element_children()[0]
+        with pytest.raises(UnsupportedRelationshipError):
+            strict.evaluate("following-sibling", node)
+
+    def test_vector_fallback_gives_correct_answers(self):
+        ldoc = labeled(sample_document(), "vector")
+        evaluator = AxisEvaluator(ldoc, allow_fallback=True)
+        for axis in AXES:
+            for node in ldoc.document.labeled_nodes():
+                result = evaluator.evaluate(axis, node)
+                expected = tree_axis_oracle(ldoc, axis, node)
+                assert [n.node_id for n in result] == [
+                    n.node_id for n in expected
+                ]
+        assert evaluator.fallbacks > 0
+
+    def test_vector_descendant_axis_is_label_only(self):
+        # Ancestor-descendant is the one relationship vector labels decide.
+        ldoc = labeled(sample_document(), "vector")
+        evaluator = AxisEvaluator(ldoc, allow_fallback=False)
+        result = evaluator.evaluate("descendant", ldoc.document.root)
+        assert len(result) == 9
+
+    def test_unknown_axis_rejected(self):
+        ldoc = labeled(sample_document(), "qed")
+        with pytest.raises(UnsupportedRelationshipError):
+            AxisEvaluator(ldoc).evaluate("sideways", ldoc.document.root)

@@ -1,0 +1,75 @@
+"""Relationship probes: which labels decide what (section 2.2 evidence)."""
+
+import pytest
+
+from repro.axes.relationships import (
+    Relationship,
+    decide,
+    level_supported,
+    oracle,
+    supported_relationships,
+)
+from repro.data.sample import sample_document
+from repro.schemes.registry import make_scheme
+
+#: Expected label-decidable relationships, straight from Figure 7's
+#: XPath Evaluations column (F = all three, P rows list what works).
+EXPECTED = {
+    "prepost": {Relationship.ANCESTOR_DESCENDANT, Relationship.PARENT_CHILD},
+    "xrel": {Relationship.ANCESTOR_DESCENDANT, Relationship.PARENT_CHILD},
+    "sector": {Relationship.ANCESTOR_DESCENDANT},
+    "qrs": {Relationship.ANCESTOR_DESCENDANT},
+    "dewey": set(Relationship),
+    "ordpath": set(Relationship),
+    "dln": set(Relationship),
+    "lsdx": set(Relationship),
+    "improved-binary": set(Relationship),
+    "qed": set(Relationship),
+    "cdqs": set(Relationship),
+    "vector": {Relationship.ANCESTOR_DESCENDANT},
+}
+
+#: Expected Level Encoding support (Figure 7's Level Enc. column).
+EXPECTED_LEVEL = {
+    "prepost": True, "xrel": True, "sector": False, "qrs": False,
+    "dewey": True, "ordpath": True, "dln": True, "lsdx": True,
+    "improved-binary": True, "qed": True, "cdqs": True, "vector": False,
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(EXPECTED.items()))
+def test_supported_relationships_match_figure7(name, expected):
+    assert supported_relationships(make_scheme(name), sample_document()) == (
+        expected
+    )
+
+
+@pytest.mark.parametrize("name,expected", sorted(EXPECTED_LEVEL.items()))
+def test_level_support_matches_figure7(name, expected):
+    assert level_supported(make_scheme(name), sample_document()) is expected
+
+
+class TestOracle:
+    def test_oracle_matches_tree_pointers(self):
+        document = sample_document()
+        nodes = {n.name: n for n in document.labeled_nodes()}
+        assert oracle(
+            Relationship.ANCESTOR_DESCENDANT, nodes["book"], nodes["name"]
+        )
+        assert oracle(Relationship.PARENT_CHILD, nodes["editor"], nodes["name"])
+        assert oracle(Relationship.SIBLING, nodes["name"], nodes["address"])
+        assert not oracle(Relationship.SIBLING, nodes["name"], nodes["name"])
+
+
+class TestDecide:
+    def test_decide_routes_to_scheme(self):
+        scheme = make_scheme("dewey")
+        document = sample_document()
+        labels = scheme.label_tree(document)
+        nodes = {n.name: n for n in document.labeled_nodes()}
+        assert decide(
+            scheme,
+            Relationship.PARENT_CHILD,
+            labels[nodes["editor"].node_id],
+            labels[nodes["name"].node_id],
+        )

@@ -1,0 +1,161 @@
+"""Mini XPath evaluator tests over the sample document."""
+
+import pytest
+
+from conftest import labeled
+from repro.axes.xpath import parse_path, xpath
+from repro.data.sample import sample_document
+from repro.errors import XPathError
+
+
+@pytest.fixture
+def ldoc():
+    return labeled(sample_document(), "qed")
+
+
+def names(nodes):
+    return [node.name for node in nodes]
+
+
+class TestParsing:
+    def test_absolute_path(self):
+        absolute, steps = parse_path("/book/title")
+        assert absolute
+        assert [step.name_test for step in steps] == ["book", "title"]
+
+    def test_double_slash_merges_to_descendant(self):
+        _, steps = parse_path("//name")
+        assert len(steps) == 1
+        assert steps[0].axis == "descendant"
+        assert steps[0].name_test == "name"
+
+    def test_double_slash_before_explicit_axis_keeps_expansion(self):
+        _, steps = parse_path("//ancestor::x")
+        assert steps[0].axis == "descendant-or-self"
+        assert steps[1].axis == "ancestor"
+
+    def test_axis_syntax(self):
+        _, steps = parse_path("ancestor::*")
+        assert steps[0].axis == "ancestor"
+        assert steps[0].name_test == "*"
+
+    def test_attribute_abbreviation(self):
+        _, steps = parse_path("@genre")
+        assert steps[0].axis == "attribute"
+
+    def test_dot_and_dotdot(self):
+        _, steps = parse_path("../.")
+        assert steps[0].axis == "parent"
+        assert steps[1].axis == "self"
+
+    def test_predicates_parsed(self):
+        _, steps = parse_path("item[2][@id='x']")
+        assert steps[0].predicates == ["2", "@id='x'"]
+
+    @pytest.mark.parametrize("bad", ["", "   ", "child::", "?bad", "a[unclosed"])
+    def test_bad_paths_rejected(self, bad):
+        with pytest.raises((XPathError, ValueError)):
+            parse_path(bad)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(XPathError):
+            parse_path("sideways::a")
+
+
+class TestEvaluation:
+    def test_absolute_root_match(self, ldoc):
+        assert names(xpath(ldoc, "/book")) == ["book"]
+
+    def test_absolute_root_mismatch(self, ldoc):
+        assert xpath(ldoc, "/magazine") == []
+
+    def test_child_chain(self, ldoc):
+        assert names(xpath(ldoc, "/book/publisher/editor/name")) == ["name"]
+
+    def test_descendant_search(self, ldoc):
+        assert names(xpath(ldoc, "//name")) == ["name"]
+
+    def test_absolute_descendant_includes_root(self, ldoc):
+        # //book must select the root element itself (the abbreviation
+        # expands from the virtual document node, not the root).
+        assert names(xpath(ldoc, "//book")) == ["book"]
+        assert names(xpath(ldoc, "//book//name")) == ["name"]
+
+    def test_wildcard(self, ldoc):
+        assert names(xpath(ldoc, "//editor/*")) == ["name", "address"]
+
+    def test_attribute_selection(self, ldoc):
+        result = xpath(ldoc, "//title/@genre")
+        assert [node.value for node in result] == ["Fantasy"]
+
+    def test_attribute_wildcard(self, ldoc):
+        result = xpath(ldoc, "//edition/@*")
+        assert [node.name for node in result] == ["year"]
+
+    def test_positional_predicate(self, ldoc):
+        assert names(xpath(ldoc, "/book/*[2]")) == ["author"]
+
+    def test_attribute_equality_predicate(self, ldoc):
+        assert names(xpath(ldoc, "//edition[@year='2004']")) == ["edition"]
+        assert xpath(ldoc, "//edition[@year='1999']") == []
+
+    def test_child_text_predicate(self, ldoc):
+        assert names(xpath(ldoc, "//editor[name='Destiny Image']")) == [
+            "editor"
+        ]
+
+    def test_existence_predicate(self, ldoc):
+        assert names(xpath(ldoc, "//*[@year]")) == ["edition"]
+
+    def test_ancestor_axis(self, ldoc):
+        assert names(xpath(ldoc, "//name/ancestor::*")) == [
+            "book", "publisher", "editor",
+        ]
+
+    def test_parent_axis(self, ldoc):
+        assert names(xpath(ldoc, "//name/..")) == ["editor"]
+
+    def test_sibling_axes(self, ldoc):
+        assert names(xpath(ldoc, "//address/preceding-sibling::*")) == ["name"]
+        assert names(xpath(ldoc, "//name/following-sibling::*")) == ["address"]
+
+    def test_following_axis(self, ldoc):
+        assert names(xpath(ldoc, "//author/following::*")) == [
+            "publisher", "editor", "name", "address", "edition",
+        ]
+
+    def test_results_deduplicated_in_document_order(self, ldoc):
+        # Two steps that both reach the same nodes must not duplicate.
+        result = xpath(ldoc, "//editor/*/ancestor::*")
+        assert names(result) == ["book", "publisher", "editor"]
+
+    def test_relative_path_with_context(self, ldoc):
+        editor = xpath(ldoc, "//editor")[0]
+        assert names(xpath(ldoc, "name", context=editor)) == ["name"]
+
+    def test_union(self, ldoc):
+        result = xpath(ldoc, "//name | //address")
+        assert names(result) == ["name", "address"]
+
+    def test_union_deduplicates_in_document_order(self, ldoc):
+        result = xpath(ldoc, "//address | //editor/* | //name")
+        assert names(result) == ["name", "address"]
+
+    def test_union_with_predicates(self, ldoc):
+        result = xpath(ldoc, "//edition[@year='2004'] | //title")
+        assert names(result) == ["title", "edition"]
+
+    def test_queries_after_updates(self, ldoc):
+        root = ldoc.document.root
+        ldoc.append_child(root, "index")
+        assert names(xpath(ldoc, "/book/index")) == ["index"]
+
+
+@pytest.mark.parametrize("scheme_name", ["prepost", "vector", "dewey"])
+def test_same_answers_across_schemes(scheme_name):
+    """XPath results are scheme-independent (fallback where needed)."""
+    ldoc = labeled(sample_document(), scheme_name)
+    assert names(xpath(ldoc, "//editor/*")) == ["name", "address"]
+    assert names(xpath(ldoc, "//name/ancestor::*")) == [
+        "book", "publisher", "editor",
+    ]

@@ -1,0 +1,98 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.data.sample import figure3_tree, figure_tree, sample_document
+from repro.schemes.registry import (
+    FIGURE7_ORDER,
+    available_schemes,
+    make_scheme,
+)
+from repro.updates.document import LabeledDocument
+from repro.xmlmodel.generator import random_document
+
+#: Schemes whose labels stay put on insertion (Figure 7 Persistent = F).
+PERSISTENT_SCHEMES = ["ordpath", "improved-binary", "qed", "cdqs", "vector"]
+
+#: Schemes with full label-only XPath relationships (XPath Eval. = F).
+FULL_XPATH_SCHEMES = [
+    "dewey", "ordpath", "dln", "lsdx", "improved-binary", "qed", "cdqs",
+]
+
+#: LSDX-family schemes that may produce duplicate labels (section 3.1.2).
+COLLIDING_SCHEMES = ["lsdx", "comd"]
+
+
+@pytest.fixture
+def sample():
+    """The Figure 1(a) sample document, freshly parsed."""
+    return sample_document()
+
+
+@pytest.fixture
+def fig_tree():
+    """The shared Figures 4-5 abstract tree."""
+    return figure_tree()
+
+
+@pytest.fixture
+def fig3_tree():
+    """The Figure 3 abstract tree."""
+    return figure3_tree()
+
+
+def labeled(document, scheme_name, **kwargs):
+    """A LabeledDocument with collision recording for LSDX-family tests."""
+    on_collision = (
+        "record" if scheme_name in COLLIDING_SCHEMES else "raise"
+    )
+    return LabeledDocument(
+        document, make_scheme(scheme_name, **kwargs), on_collision=on_collision
+    )
+
+
+def all_scheme_names():
+    return available_schemes()
+
+
+def figure7_names():
+    return list(FIGURE7_ORDER)
+
+
+def assert_labels_match_document_order(ldoc):
+    """The Definition 1 invariant, as a test assertion."""
+    ldoc.verify_order()
+
+
+def label_sequence(ldoc):
+    """Formatted labels in document order (for figure comparisons)."""
+    return [
+        ldoc.format_label(node) for node in ldoc.document.labeled_nodes()
+    ]
+
+
+def document_pairs(document):
+    """All ordered pairs of distinct labelled nodes."""
+    nodes = list(document.labeled_nodes())
+    for first in nodes:
+        for second in nodes:
+            if first is not second:
+                yield first, second
+
+
+@functools.lru_cache(maxsize=8)
+def cached_random_document_xml(nodes: int, seed: int) -> str:
+    from repro.xmlmodel.serializer import serialize
+
+    return serialize(random_document(nodes, seed=seed))
+
+
+def fresh_random_document(nodes: int = 80, seed: int = 42):
+    """A deterministic random document, rebuilt per call."""
+    from repro.xmlmodel.parser import parse
+
+    return parse(cached_random_document_xml(nodes, seed))

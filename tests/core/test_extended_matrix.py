@@ -1,0 +1,75 @@
+"""Extension rows: the framework applied to the section 6 future work."""
+
+import pytest
+
+from repro.core.matrix import EvaluationFramework
+from repro.core.properties import Compliance, Property
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return EvaluationFramework()
+
+
+class TestDDERow:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return EvaluationFramework().evaluate("dde")
+
+    def test_fully_dynamic(self, row):
+        assert row.grades[Property.PERSISTENT_LABELS] is Compliance.FULL
+        assert row.grades[Property.OVERFLOW_FREEDOM] is Compliance.FULL
+
+    def test_keeps_dewey_relationships(self, row):
+        assert row.grades[Property.XPATH_EVALUATION] is Compliance.FULL
+        assert row.grades[Property.LEVEL_ENCODING] is Compliance.FULL
+
+    def test_mediant_arithmetic_never_divides(self, row):
+        assert row.grades[Property.DIVISION_FREEDOM] is Compliance.FULL
+
+    def test_marked_extension(self, row):
+        assert row.extension
+
+
+class TestCDBSRow:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return EvaluationFramework().evaluate("cdbs")
+
+    def test_persistent_but_overflow_prone(self, row):
+        # "these improvements were made possible through the use of
+        # fixed length bit encoding ... subject to the overflow problem"
+        assert row.grades[Property.PERSISTENT_LABELS] is Compliance.FULL
+        assert row.grades[Property.OVERFLOW_FREEDOM] is Compliance.NONE
+
+    def test_orthogonal_strategy(self, row):
+        assert row.grades[Property.ORTHOGONALITY] is Compliance.FULL
+
+
+class TestPrimeRow:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return EvaluationFramework().evaluate("prime")
+
+    def test_sc_renumbering_costs_persistence(self, row):
+        assert row.grades[Property.PERSISTENT_LABELS] is Compliance.NONE
+
+    def test_divisibility_gives_full_xpath(self, row):
+        assert row.grades[Property.XPATH_EVALUATION] is Compliance.FULL
+
+    def test_no_level_encoding(self, row):
+        assert row.grades[Property.LEVEL_ENCODING] is Compliance.NONE
+
+
+class TestCohenRow:
+    def test_middle_insertions_relabel(self, framework):
+        row = framework.evaluate("cohen")
+        assert row.grades[Property.PERSISTENT_LABELS] is Compliance.NONE
+        assert row.grades[Property.OVERFLOW_FREEDOM] is Compliance.NONE
+
+
+class TestComDRow:
+    def test_inherits_lsdx_grades(self, framework):
+        comd = framework.evaluate("comd")
+        lsdx = framework.evaluate("lsdx")
+        assert comd.grades == lsdx.grades

@@ -1,0 +1,160 @@
+"""Individual probe behaviour, spot-checked per scheme."""
+
+import functools
+
+import pytest
+
+from repro.core.probes import (
+    probe_compactness,
+    probe_division,
+    probe_level,
+    probe_orthogonality,
+    probe_overflow,
+    probe_persistence,
+    probe_recursion,
+    probe_xpath,
+)
+from repro.core.properties import Compliance
+from repro.schemes.registry import make_scheme
+
+
+def factory(name):
+    return functools.partial(make_scheme, name)
+
+
+class TestPersistenceProbe:
+    @pytest.mark.parametrize("name,expected", [
+        ("qed", Compliance.FULL),
+        ("vector", Compliance.FULL),
+        ("ordpath", Compliance.FULL),
+        ("prepost", Compliance.NONE),
+        ("qrs", Compliance.NONE),      # float precision exhaustion
+        ("xrel", Compliance.NONE),     # gap exhaustion
+        ("lsdx", Compliance.NONE),     # reassignment on deletion
+        ("dewey", Compliance.NONE),    # follow-sibling shifting
+    ])
+    def test_grades(self, name, expected):
+        result = probe_persistence(factory(name))
+        assert result.compliance is expected, result.evidence
+
+    def test_evidence_names_scenarios(self):
+        result = probe_persistence(factory("qed"))
+        assert set(result.evidence) == {
+            "skewed_60", "random_30", "prepend_30", "churn_40",
+        }
+
+    def test_lsdx_fails_specifically_on_churn(self):
+        # LSDX insertions do not relabel; only deletion reassignment does.
+        result = probe_persistence(factory("lsdx"))
+        assert result.evidence["skewed_60"] == 0
+        assert result.evidence["churn_40"] > 0
+
+
+class TestXPathAndLevelProbes:
+    @pytest.mark.parametrize("name,expected", [
+        ("dewey", Compliance.FULL),
+        ("qed", Compliance.FULL),
+        ("prepost", Compliance.PARTIAL),
+        ("vector", Compliance.PARTIAL),
+        ("qrs", Compliance.PARTIAL),
+    ])
+    def test_xpath_grades(self, name, expected):
+        assert probe_xpath(factory(name)).compliance is expected
+
+    @pytest.mark.parametrize("name,expected", [
+        ("prepost", Compliance.FULL),
+        ("qed", Compliance.FULL),
+        ("vector", Compliance.NONE),
+        ("sector", Compliance.NONE),
+    ])
+    def test_level_grades(self, name, expected):
+        assert probe_level(factory(name)).compliance is expected
+
+
+class TestOverflowProbe:
+    @pytest.mark.parametrize("name,expected", [
+        ("qed", Compliance.FULL),
+        ("cdqs", Compliance.FULL),
+        ("vector", Compliance.FULL),
+        ("improved-binary", Compliance.NONE),
+        ("ordpath", Compliance.NONE),
+        ("dln", Compliance.NONE),
+        ("cdbs", Compliance.NONE),   # compact but fixed length field
+        ("prepost", Compliance.NONE),
+    ])
+    def test_grades(self, name, expected):
+        result = probe_overflow(name)
+        assert result.compliance is expected, result.evidence
+
+    def test_overflow_evidence_reports_events(self):
+        result = probe_overflow("improved-binary")
+        assert result.evidence["total_overflow_events"] >= 1
+
+
+class TestOrthogonalityProbe:
+    @pytest.mark.parametrize("name,expected", [
+        ("qed", Compliance.FULL),
+        ("cdqs", Compliance.FULL),
+        ("vector", Compliance.FULL),
+        ("dewey", Compliance.NONE),
+        ("prepost", Compliance.NONE),
+        ("improved-binary", Compliance.NONE),
+    ])
+    def test_grades(self, name, expected):
+        result = probe_orthogonality(make_scheme(name))
+        assert result.compliance is expected, result.evidence
+
+    def test_full_grade_requires_both_families(self):
+        result = probe_orthogonality(make_scheme("qed"))
+        assert result.evidence["prefix"] is True
+        assert result.evidence["containment"] is True
+
+
+class TestDivisionAndRecursionProbes:
+    @pytest.mark.parametrize("name,expected", [
+        ("ordpath", Compliance.NONE),
+        ("improved-binary", Compliance.NONE),
+        ("qed", Compliance.NONE),
+        ("cdqs", Compliance.NONE),
+        ("vector", Compliance.FULL),
+        ("dewey", Compliance.FULL),
+        ("qrs", Compliance.FULL),     # midpoints by multiplication
+        ("sector", Compliance.FULL),  # power table by multiplication
+    ])
+    def test_division_grades(self, name, expected):
+        assert probe_division(factory(name)).compliance is expected
+
+    @pytest.mark.parametrize("name,expected", [
+        ("sector", Compliance.NONE),
+        ("improved-binary", Compliance.NONE),
+        ("qed", Compliance.NONE),
+        ("cdqs", Compliance.NONE),
+        ("vector", Compliance.NONE),
+        ("prepost", Compliance.FULL),
+        ("dewey", Compliance.FULL),
+        ("ordpath", Compliance.FULL),
+        ("lsdx", Compliance.FULL),
+    ])
+    def test_recursion_grades(self, name, expected):
+        assert probe_recursion(factory(name)).compliance is expected
+
+
+class TestCompactnessProbe:
+    def test_reports_declared_grade_with_measurements(self):
+        scheme = make_scheme("cdqs")
+        result = probe_compactness(
+            factory("cdqs"), scheme.metadata.declared_compactness
+        )
+        assert result.compliance is Compliance.FULL
+        assert result.evidence["consistent_with_declared"] is True
+        assert result.evidence["bulk_bits_per_label"] > 0
+
+    def test_vector_measurements_consistent(self):
+        result = probe_compactness(factory("vector"), Compliance.FULL)
+        assert result.evidence["consistent_with_declared"] is True
+        # The frontier stays tiny — the section 5 growth claim.
+        assert result.evidence["skewed_frontier_bits_after_240"] <= 96
+
+    def test_qed_frontier_grows_linearly(self):
+        result = probe_compactness(factory("qed"), Compliance.NONE)
+        assert result.evidence["skewed_frontier_bits_after_240"] >= 200

@@ -1,0 +1,81 @@
+"""The property vocabulary and the published Figure 7 data."""
+
+import pytest
+
+from repro.core.properties import (
+    PAPER_FIGURE_7,
+    PAPER_ROW_NAMES,
+    PROPERTY_DEFINITIONS,
+    PROPERTY_ORDER,
+    Compliance,
+    DocumentOrderApproach,
+    EncodingRepresentation,
+    Property,
+)
+
+
+class TestCompliance:
+    def test_letters(self):
+        assert str(Compliance.FULL) == "F"
+        assert str(Compliance.PARTIAL) == "P"
+        assert str(Compliance.NONE) == "N"
+
+    def test_from_letter(self):
+        assert Compliance.from_letter("F") is Compliance.FULL
+        assert Compliance.from_letter("P") is Compliance.PARTIAL
+        assert Compliance.from_letter("N") is Compliance.NONE
+
+    def test_from_letter_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Compliance.from_letter("X")
+
+
+class TestVocabulary:
+    def test_eight_graded_properties(self):
+        assert len(PROPERTY_ORDER) == 8
+        assert len(set(PROPERTY_ORDER)) == 8
+
+    def test_every_property_has_a_definition(self):
+        for prop in Property:
+            assert PROPERTY_DEFINITIONS[prop]
+
+    def test_order_approaches(self):
+        assert {str(a) for a in DocumentOrderApproach} == {
+            "Global", "Local", "Hybrid",
+        }
+        assert {str(e) for e in EncodingRepresentation} == {
+            "Fixed", "Variable",
+        }
+
+
+class TestPaperMatrixData:
+    def test_twelve_rows(self):
+        assert len(PAPER_FIGURE_7) == 12
+        assert set(PAPER_FIGURE_7) == set(PAPER_ROW_NAMES)
+
+    def test_every_row_has_ten_columns(self):
+        for name, row in PAPER_FIGURE_7.items():
+            assert len(row) == 10, name
+            assert row[0] in ("Global", "Local", "Hybrid")
+            assert row[1] in ("Fixed", "Variable")
+            for grade in row[2:]:
+                assert grade in ("F", "P", "N")
+
+    def test_section_5_2_uniqueness_claim_is_an_erratum(self):
+        # Section 5.2 claims "No two labelling schemes share the same
+        # properties", but Figure 7 itself contradicts it: the XPath
+        # Accelerator and XRel rows are identical, as are the DeweyID
+        # and LSDX rows.  We record the erratum (see EXPERIMENTS.md)
+        # rather than the claim.
+        assert PAPER_FIGURE_7["prepost"] == PAPER_FIGURE_7["xrel"]
+        assert PAPER_FIGURE_7["dewey"] == PAPER_FIGURE_7["lsdx"]
+        rows = list(PAPER_FIGURE_7.values())
+        assert len(set(rows)) == len(rows) - 2
+
+    def test_cdqs_has_most_full_grades(self):
+        # Section 5.2's conclusion, verified against the published data.
+        def fulls(row):
+            return sum(1 for grade in row[2:] if grade == "F")
+
+        best = max(PAPER_FIGURE_7, key=lambda name: fulls(PAPER_FIGURE_7[name]))
+        assert best == "cdqs"

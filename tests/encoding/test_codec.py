@@ -1,0 +1,186 @@
+"""Label stream codecs: bit-exact storage layouts and round trips."""
+
+import pytest
+
+from conftest import fresh_random_document, labeled
+from repro.data.sample import sample_document
+from repro.encoding.codec import codec_for, supported_codec_schemes
+from repro.errors import InvalidLabelError
+from repro.schemes.registry import make_scheme
+from repro.updates.workloads import random_insertions, skewed_insertions
+
+CODEC_SCHEMES = supported_codec_schemes()
+
+
+def stream_of(scheme_name, document=None, updates=0):
+    ldoc = labeled(
+        document if document is not None else sample_document(), scheme_name
+    )
+    if updates:
+        random_insertions(ldoc, updates, seed=13)
+        skewed_insertions(ldoc, updates)
+    return ldoc, ldoc.labels_in_document_order()
+
+
+@pytest.mark.parametrize("scheme_name", CODEC_SCHEMES)
+class TestRoundTrips:
+    def test_sample_document_round_trips(self, scheme_name):
+        ldoc, labels = stream_of(scheme_name)
+        codec = codec_for(ldoc.scheme)
+        data, _bits = codec.encode_labels(labels)
+        assert codec.decode_labels(data) == labels
+
+    def test_random_document_round_trips(self, scheme_name):
+        ldoc, labels = stream_of(
+            scheme_name, fresh_random_document(70, seed=61)
+        )
+        codec = codec_for(ldoc.scheme)
+        data, _bits = codec.encode_labels(labels)
+        assert codec.decode_labels(data) == labels
+
+    def test_updated_document_round_trips(self, scheme_name):
+        ldoc, labels = stream_of(scheme_name, updates=15)
+        codec = codec_for(ldoc.scheme)
+        data, _bits = codec.encode_labels(labels)
+        assert codec.decode_labels(data) == labels
+
+    def test_empty_stream(self, scheme_name):
+        scheme = make_scheme(scheme_name)
+        codec = codec_for(scheme)
+        data, bits = codec.encode_labels([])
+        assert codec.decode_labels(data) == []
+        assert bits == 0
+
+
+class TestSizeModelAgreement:
+    @pytest.mark.parametrize("scheme_name", [
+        "prepost", "xrel", "sector", "ordpath", "dewey",
+        "improved-binary", "cdbs", "lsdx",
+    ])
+    def test_stream_bits_equal_size_model(self, scheme_name):
+        """The codec spends exactly the bits the scheme's model claims
+        (plus declared per-label framing where the model has none)."""
+        ldoc, labels = stream_of(scheme_name, updates=8)
+        codec = codec_for(ldoc.scheme)
+        _data, bits = codec.encode_labels(labels)
+        modelled = sum(ldoc.scheme.label_size_bits(v) for v in labels)
+        framing = self._framing_bits(scheme_name, labels)
+        assert bits == modelled + framing
+
+    @staticmethod
+    def _framing_bits(scheme_name, labels):
+        if scheme_name in ("prepost", "xrel", "sector"):
+            return 0  # pure fixed width: no framing at all
+        if scheme_name == "dewey":
+            return 0  # the model already charges the depth field
+        if scheme_name == "ordpath":
+            return 8 * len(labels)  # component-count byte per label
+        # String-path codecs: one depth byte per label; the model charges
+        # the per-component length fields already.
+        return 8 * len(labels)
+
+    def test_qed_labels_self_delimit(self):
+        """The 00-separator stream needs no per-label length data."""
+        ldoc, labels = stream_of("qed", updates=10)
+        codec = codec_for(ldoc.scheme)
+        _data, bits = codec.encode_labels(labels)
+        modelled = sum(ldoc.scheme.label_size_bits(v) for v in labels)
+        # Framing is exactly one extra separator (2 bits) per label.
+        assert bits == modelled + 2 * len(labels)
+
+    def test_vector_stream_matches_varint_bytes(self):
+        ldoc, labels = stream_of("vector", updates=10)
+        codec = codec_for(ldoc.scheme)
+        _data, bits = codec.encode_labels(labels)
+        modelled = sum(ldoc.scheme.label_size_bits(v) for v in labels)
+        assert bits == modelled
+
+
+class TestDeweySizeModel:
+    def test_dewey_model_counts_depth_field(self):
+        scheme = make_scheme("dewey")
+        label = (1, 2, 3)
+        assert scheme.label_size_bits(label) == (
+            scheme.storage.length_field_bits
+            + 3 * scheme.component_bits
+        )
+
+
+class TestErrors:
+    def test_prime_has_no_codec(self):
+        with pytest.raises(InvalidLabelError):
+            codec_for(make_scheme("prime"))
+
+    def test_corrupt_ordpath_bucket_detected(self):
+        ldoc, labels = stream_of("ordpath")
+        codec = codec_for(ldoc.scheme)
+        data, _ = codec.encode_labels(labels[:1])
+        corrupted = bytes([data[0], data[1], data[2], data[3], 0xFF]) + data[5:]
+        with pytest.raises(InvalidLabelError):
+            codec.decode_labels(corrupted)
+
+    def test_truncated_stream_detected(self):
+        ldoc, labels = stream_of("qed")
+        codec = codec_for(ldoc.scheme)
+        data, _ = codec.encode_labels(labels)
+        with pytest.raises(InvalidLabelError):
+            codec.decode_labels(data[: len(data) // 4])
+
+
+class TestPropertyBasedRoundTrips:
+    """Hypothesis: random update programs, then bit-exact round trips."""
+
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    from repro.updates.operations import Operation, OpKind
+
+    programs = st.lists(
+        st.builds(
+            Operation,
+            kind=st.sampled_from([
+                OpKind.INSERT_BEFORE, OpKind.INSERT_AFTER,
+                OpKind.APPEND_CHILD, OpKind.PREPEND_CHILD, OpKind.DELETE,
+            ]),
+            target=st.integers(min_value=0, max_value=30),
+            name=st.sampled_from(["n1", "n2"]),
+        ),
+        max_size=8,
+    )
+
+    @settings(max_examples=10, deadline=None)
+    @given(program=programs,
+           scheme_name=st.sampled_from(["qed", "vector", "ordpath", "dln"]))
+    def test_streams_round_trip_after_any_program(self, program, scheme_name):
+        from repro.updates.operations import apply_program
+
+        ldoc = labeled(sample_document(), scheme_name)
+        apply_program(ldoc, program)
+        labels = ldoc.labels_in_document_order()
+        codec = codec_for(ldoc.scheme)
+        data, _bits = codec.encode_labels(labels)
+        assert codec.decode_labels(data) == labels
+
+
+class TestSeparatorMechanism:
+    def test_no_code_bits_ever_form_a_separator(self):
+        """Scan the raw QED stream: every 2-bit unit inside a code is
+        nonzero, so 00 boundaries are unambiguous — the heart of §4."""
+        ldoc, labels = stream_of("qed", updates=20)
+        codec = codec_for(ldoc.scheme)
+        from repro.labels.bitio import BitReader, BitWriter
+
+        writer = BitWriter()
+        separators = 0
+        digits = 0
+        for label in labels:
+            codec.write_label(writer, label)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        while not reader.exhausted:
+            unit = reader.read_bits(2)
+            if unit == 0:
+                separators += 1
+            else:
+                digits += 1
+        assert separators >= 2 * len(labels) - 1
+        assert digits > 0

@@ -1,0 +1,83 @@
+"""Bit-level I/O used by the label stream codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidLabelError
+from repro.labels.bitio import BitReader, BitWriter
+
+
+class TestWriter:
+    def test_bits_pack_msb_first(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == bytes([0b10100000])
+
+    def test_partial_byte_padded(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        assert writer.getvalue() == bytes([0x80])
+        assert writer.bit_length == 1
+
+    def test_value_must_fit(self):
+        writer = BitWriter()
+        with pytest.raises(InvalidLabelError):
+            writer.write_bits(4, 2)
+        with pytest.raises(InvalidLabelError):
+            writer.write_bits(-1, 4)
+
+    def test_bitstring_and_bytes(self):
+        writer = BitWriter()
+        writer.write_bitstring("1010")
+        writer.write_bytes(b"\xff")
+        assert writer.bit_length == 12
+        with pytest.raises(InvalidLabelError):
+            writer.write_bitstring("12")
+
+
+class TestReader:
+    def test_round_trip_values(self):
+        writer = BitWriter()
+        for value, width in ((5, 3), (0, 1), (255, 8), (1023, 10)):
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        for value, width in ((5, 3), (0, 1), (255, 8), (1023, 10)):
+            assert reader.read_bits(width) == value
+        assert reader.exhausted
+
+    def test_exhaustion_raises(self):
+        reader = BitReader(b"\x00", bit_length=3)
+        reader.read_bits(3)
+        with pytest.raises(InvalidLabelError):
+            reader.read_bit()
+
+    def test_peek_does_not_consume(self):
+        writer = BitWriter()
+        writer.write_bits(0b1101, 4)
+        reader = BitReader(writer.getvalue())
+        assert reader.peek_bits(4) == 0b1101
+        assert reader.position == 0
+        assert reader.read_bits(4) == 0b1101
+
+    def test_bitstring_read(self):
+        writer = BitWriter()
+        writer.write_bitstring("0110")
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bitstring(4) == "0110"
+
+    def test_bit_length_validated(self):
+        with pytest.raises(InvalidLabelError):
+            BitReader(b"\x00", bit_length=9)
+
+
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=2**16 - 1),
+    st.integers(min_value=16, max_value=20),
+), max_size=20))
+def test_arbitrary_sequences_round_trip(pairs):
+    writer = BitWriter()
+    for value, width in pairs:
+        writer.write_bits(value, width)
+    reader = BitReader(writer.getvalue(), writer.bit_length)
+    for value, width in pairs:
+        assert reader.read_bits(width) == value

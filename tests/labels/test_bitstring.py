@@ -1,0 +1,144 @@
+"""Unit and property tests for the ImprovedBinary/CDBS binary-string algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidLabelError
+from repro.labels.bitstring import (
+    after_last_code,
+    before_first_code,
+    code_size_bits,
+    code_to_fraction,
+    compact_code_between,
+    compact_initial_codes,
+    initial_codes,
+    middle_code,
+    validate_code,
+)
+
+#: Valid ImprovedBinary codes: bits ending in 1.
+codes = st.text(alphabet="01", min_size=0, max_size=10).map(lambda s: s + "1")
+
+
+class TestValidation:
+    def test_valid_codes_pass(self):
+        for code in ("1", "01", "0101", "011"):
+            validate_code(code)
+
+    @pytest.mark.parametrize("bad", ["", "0", "10", "012", "abc"])
+    def test_invalid_codes_rejected(self, bad):
+        with pytest.raises(InvalidLabelError):
+            validate_code(bad)
+
+
+class TestPublishedRules:
+    def test_figure6_middles(self):
+        assert middle_code("01", "011") == "0101"
+        assert middle_code("01", "0101") == "01001"
+        assert middle_code("0101", "011") == "01011"
+
+    def test_figure6_before_first(self):
+        assert before_first_code("01") == "001"
+
+    def test_figure6_after_last(self):
+        assert after_last_code("01") == "011"
+
+    def test_middle_requires_order(self):
+        with pytest.raises(InvalidLabelError):
+            middle_code("011", "01")
+
+    @given(left=codes, right=codes)
+    def test_middle_is_strictly_between(self, left, right):
+        if left == right:
+            return
+        low, high = sorted([left, right])
+        middle = middle_code(low, high)
+        assert low < middle < high
+        validate_code(middle)
+
+    @given(code=codes)
+    def test_before_first_strictly_smaller(self, code):
+        before = before_first_code(code)
+        assert before < code
+        validate_code(before)
+
+    @given(code=codes)
+    def test_after_last_strictly_greater(self, code):
+        after = after_last_code(code)
+        assert after > code
+        validate_code(after)
+
+
+class TestFractionOrderIsomorphism:
+    @given(left=codes, right=codes)
+    def test_lexicographic_equals_fraction_order(self, left, right):
+        string_order = (left > right) - (left < right)
+        left_value, right_value = code_to_fraction(left), code_to_fraction(right)
+        value_order = (left_value > right_value) - (left_value < right_value)
+        assert string_order == value_order
+
+    def test_known_values(self):
+        from fractions import Fraction
+
+        assert code_to_fraction("1") == Fraction(1, 2)
+        assert code_to_fraction("01") == Fraction(1, 4)
+        assert code_to_fraction("011") == Fraction(3, 8)
+
+
+class TestBulkAssignment:
+    @pytest.mark.parametrize("count", [0, 1, 2, 3, 4, 7, 16, 33])
+    def test_initial_codes_sorted_unique_valid(self, count):
+        result = initial_codes(count)
+        assert len(result) == count
+        assert result == sorted(result)
+        assert len(set(result)) == count
+        for code in result:
+            validate_code(code)
+
+    def test_initial_codes_figure6(self):
+        assert initial_codes(3) == ["01", "0101", "011"]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            initial_codes(-1)
+
+    @pytest.mark.parametrize("count", [0, 1, 2, 5, 12, 40])
+    def test_compact_initial_codes_sorted_unique_valid(self, count):
+        result = compact_initial_codes(count)
+        assert len(result) == count
+        assert result == sorted(result)
+        assert len(set(result)) == count
+        for code in result:
+            validate_code(code)
+
+    def test_compact_codes_shorter_than_improved_binary(self):
+        dense = compact_initial_codes(64)
+        sparse = initial_codes(64)
+        assert sum(map(len, dense)) < sum(map(len, sparse))
+
+
+class TestCompactBetween:
+    @given(left=codes, right=codes)
+    def test_compact_between_is_shortest(self, left, right):
+        if left == right:
+            return
+        low, high = sorted([left, right])
+        shortest = compact_code_between(low, high)
+        assert low < shortest < high
+        validate_code(shortest)
+        # No valid shorter code exists in the interval.
+        fallback = middle_code(low, high)
+        assert len(shortest) <= len(fallback)
+
+    def test_open_ends(self):
+        assert compact_code_between("", "1") < "1"
+        assert compact_code_between("1", None) > "1"
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            compact_code_between("01", "01")
+
+
+class TestSize:
+    def test_one_bit_per_symbol(self):
+        assert code_size_bits("0101") == 4

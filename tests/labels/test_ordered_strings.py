@@ -1,0 +1,102 @@
+"""Property tests for the generic ordered-string machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidLabelError
+from repro.labels.ordered_strings import (
+    compare_strings,
+    evenly_spaced_codes,
+    shortest_string_between,
+    validate_alphabet_string,
+)
+
+binary = st.text(alphabet="01", min_size=0, max_size=9).map(lambda s: s + "1")
+quaternary = st.tuples(
+    st.text(alphabet="123", min_size=0, max_size=7),
+    st.sampled_from(["2", "3"]),
+).map(lambda pair: pair[0] + pair[1])
+
+
+class TestCompare:
+    def test_three_way_convention(self):
+        assert compare_strings("a", "b") == -1
+        assert compare_strings("b", "a") == 1
+        assert compare_strings("a", "a") == 0
+
+    def test_prefix_is_smaller(self):
+        assert compare_strings("01", "011") == -1
+
+
+class TestValidateAlphabet:
+    def test_accepts_valid(self):
+        validate_alphabet_string("0101", ("0", "1"), "code")
+
+    def test_rejects_foreign_characters(self):
+        with pytest.raises(InvalidLabelError):
+            validate_alphabet_string("012", ("0", "1"), "code")
+
+
+class TestShortestBetween:
+    @given(left=binary, right=binary)
+    def test_binary_interval(self, left, right):
+        if left == right:
+            return
+        low, high = sorted([left, right])
+        result = shortest_string_between(low, high, "01", valid_last="1")
+        assert low < result < high
+        assert result.endswith("1")
+
+    @given(left=quaternary, right=quaternary)
+    def test_quaternary_interval(self, left, right):
+        if left == right:
+            return
+        low, high = sorted([left, right])
+        result = shortest_string_between(low, high, "123", valid_last="23")
+        assert low < result < high
+        assert result[-1] in "23"
+
+    @given(code=binary)
+    def test_open_lower_end(self, code):
+        result = shortest_string_between("", code, "01", valid_last="1")
+        assert result < code
+
+    @given(code=binary)
+    def test_open_upper_end(self, code):
+        result = shortest_string_between(code, None, "01", valid_last="1")
+        assert result > code
+
+    def test_minimality(self):
+        # Between 01 and 1 the single-symbol codes 0 and 1 are out of
+        # range or invalid, so the shortest valid answer has two symbols.
+        result = shortest_string_between("01", "1", "01", valid_last="1")
+        assert result == "011"
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            shortest_string_between("1", "1", "01", valid_last="1")
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            shortest_string_between("1", "01", "01", valid_last="1")
+
+
+class TestEvenlySpaced:
+    @pytest.mark.parametrize("count", [0, 1, 2, 3, 10, 50])
+    def test_sorted_unique_valid(self, count):
+        result = evenly_spaced_codes(count, "123", valid_last="23")
+        assert len(result) == count
+        assert result == sorted(result)
+        assert len(set(result)) == count
+        for code in result:
+            assert code[-1] in "23"
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            evenly_spaced_codes(-1, "01")
+
+    def test_codes_are_the_shortest_available(self):
+        # Binary codes ending in 1: one of length 1, two of length 2,
+        # four of length 3 — ten codes need lengths 1+2+4+3x4.
+        result = evenly_spaced_codes(10, "01", valid_last="1")
+        assert sorted(map(len, result)) == [1, 2, 2, 3, 3, 3, 3, 4, 4, 4]

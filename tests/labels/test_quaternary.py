@@ -1,0 +1,150 @@
+"""Unit and property tests for the QED/CDQS quaternary-code algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidLabelError
+from repro.labels.quaternary import (
+    after_last_code,
+    before_first_code,
+    between_or_end,
+    code_between,
+    code_size_bits,
+    code_to_fraction,
+    compact_code_between,
+    compact_initial_codes,
+    initial_codes,
+    validate_code,
+)
+
+#: Valid QED codes: digits 1-3 ending in 2 or 3.
+qed_codes = st.tuples(
+    st.text(alphabet="123", min_size=0, max_size=8),
+    st.sampled_from(["2", "3"]),
+).map(lambda pair: pair[0] + pair[1])
+
+
+class TestValidation:
+    def test_valid_codes(self):
+        for code in ("2", "3", "12", "322", "1113"):
+            validate_code(code)
+
+    @pytest.mark.parametrize("bad", ["", "1", "21", "0", "402", "2a"])
+    def test_invalid_codes_rejected(self, bad):
+        with pytest.raises(InvalidLabelError):
+            validate_code(bad)
+
+    def test_codes_never_contain_separator_digit(self):
+        # The digit 0 is the reserved separator (section 4); no code may
+        # contain it, which is what makes separator storage sound.
+        for count in (1, 5, 20, 60):
+            for code in initial_codes(count) + compact_initial_codes(count):
+                assert "0" not in code
+
+
+class TestInsertionRules:
+    @given(left=qed_codes, right=qed_codes)
+    def test_between_is_strictly_between_and_valid(self, left, right):
+        if left == right:
+            return
+        low, high = sorted([left, right])
+        middle = code_between(low, high)
+        assert low < middle < high
+        validate_code(middle)
+
+    @given(code=qed_codes)
+    def test_before_first(self, code):
+        before = before_first_code(code)
+        assert before < code
+        validate_code(before)
+
+    @given(code=qed_codes)
+    def test_after_last(self, code):
+        after = after_last_code(code)
+        assert after > code
+        validate_code(after)
+
+    def test_between_requires_order(self):
+        with pytest.raises(InvalidLabelError):
+            code_between("3", "2")
+
+    def test_published_cases(self):
+        # len(left) >= len(right), trailing 2 -> 3.
+        assert code_between("12", "2") == "13"
+        # len(left) >= len(right), trailing 3 -> append 2.
+        assert code_between("13", "2") == "132"
+        # len(left) < len(right), right trailing 3 -> 2.
+        assert code_between("2", "23") == "22"
+        # len(left) < len(right), right trailing 2 -> 12 suffix.
+        assert code_between("2", "212") == "2112"
+
+    def test_tight_gap_falls_back_to_search(self):
+        middle = code_between("2", "3")
+        assert "2" < middle < "3"
+
+    def test_between_or_end_handles_open_ends(self):
+        assert between_or_end("", "") == "2"
+        assert between_or_end("", "2") < "2"
+        assert between_or_end("3", "") > "3"
+        assert "2" < between_or_end("2", "3") < "3"
+
+    def test_repeated_right_insertion_never_relabels(self):
+        # QED's core promise: an infinite insertion sequence exists.
+        code = "2"
+        seen = {code}
+        for _ in range(100):
+            code = after_last_code(code)
+            validate_code(code)
+            assert code not in seen
+            seen.add(code)
+        assert sorted(seen) == sorted(seen, key=code_to_fraction)
+
+
+class TestFractionOrderIsomorphism:
+    @given(left=qed_codes, right=qed_codes)
+    def test_lexicographic_equals_fraction_order(self, left, right):
+        string_order = (left > right) - (left < right)
+        left_value, right_value = code_to_fraction(left), code_to_fraction(right)
+        value_order = (left_value > right_value) - (left_value < right_value)
+        assert string_order == value_order
+
+
+class TestBulkAssignment:
+    @pytest.mark.parametrize("count", [0, 1, 2, 3, 5, 9, 27, 64])
+    def test_initial_codes_sorted_unique_valid(self, count):
+        result = initial_codes(count)
+        assert len(result) == count
+        assert result == sorted(result)
+        assert len(set(result)) == count
+        for code in result:
+            validate_code(code)
+
+    @pytest.mark.parametrize("count", [0, 1, 2, 6, 18, 55])
+    def test_compact_initial_codes_sorted_unique_valid(self, count):
+        result = compact_initial_codes(count)
+        assert len(result) == count
+        assert result == sorted(result)
+        for code in result:
+            validate_code(code)
+
+    def test_compact_is_no_longer_than_qed(self):
+        dense = compact_initial_codes(100)
+        sparse = initial_codes(100)
+        assert sum(map(len, dense)) <= sum(map(len, sparse))
+
+
+class TestCompactBetween:
+    @given(left=qed_codes, right=qed_codes)
+    def test_compact_between_minimal(self, left, right):
+        if left == right:
+            return
+        low, high = sorted([left, right])
+        shortest = compact_code_between(low, high)
+        assert low < shortest < high
+        validate_code(shortest)
+        assert len(shortest) <= len(code_between(low, high))
+
+
+class TestSize:
+    def test_two_bits_per_digit(self):
+        assert code_size_bits("213") == 6

@@ -1,0 +1,87 @@
+"""Unit and property tests for the UTF-8-style varint codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidLabelError
+from repro.labels.varint import (
+    decode,
+    encode,
+    encoded_size_bits,
+    encoded_size_bytes,
+    single_unit_limit,
+)
+
+
+class TestSizeLadder:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 1), (127, 1),
+        (128, 2), (2047, 2),
+        (2048, 3), (65535, 3),
+        (65536, 4), ((1 << 21) - 1, 4),
+        (1 << 21, 9), ((1 << 42) - 1, 9),
+        (1 << 42, 13),
+    ])
+    def test_utf8_ladder_and_extension(self, value, expected):
+        assert encoded_size_bytes(value) == expected
+        assert len(encode(value)) == expected
+
+    def test_bits_are_eight_times_bytes(self):
+        assert encoded_size_bits(500) == 8 * encoded_size_bytes(500)
+
+    def test_single_unit_limit_is_two_to_21(self):
+        # The bound the survey quotes when questioning the vector
+        # scheme's delimiter handling (section 4).
+        assert single_unit_limit() == 1 << 21
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            encoded_size_bytes(-1)
+        with pytest.raises(InvalidLabelError):
+            encode(-1)
+
+
+class TestRoundTrip:
+    @given(value=st.integers(min_value=0, max_value=(1 << 60)))
+    def test_decode_inverts_encode(self, value):
+        decoded, consumed = decode(encode(value))
+        assert decoded == value
+        assert consumed == encoded_size_bytes(value)
+
+    @pytest.mark.parametrize("value", [
+        0, 1, 127, 128, 2047, 2048, 65535, 65536,
+        (1 << 20), (1 << 21) - 1, (1 << 21), (1 << 40), (1 << 60),
+    ])
+    def test_boundary_values(self, value):
+        assert decode(encode(value))[0] == value
+
+    def test_decode_from_stream_prefix(self):
+        data = encode(300) + encode(7)
+        first, used = decode(data)
+        assert first == 300
+        second, _ = decode(data[used:])
+        assert second == 7
+
+
+class TestMalformedInput:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            decode(b"")
+
+    def test_truncated_multibyte_rejected(self):
+        data = encode(2048)[:1]
+        with pytest.raises(InvalidLabelError):
+            decode(data)
+
+    def test_bad_continuation_rejected(self):
+        data = bytes([0xC2, 0x00])
+        with pytest.raises(InvalidLabelError):
+            decode(data)
+
+    def test_bad_lead_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            decode(bytes([0x80]))
+
+    def test_zero_unit_chain_rejected(self):
+        with pytest.raises(InvalidLabelError):
+            decode(bytes([0xF8]))

@@ -1,0 +1,40 @@
+"""Property tests for Com-D's run-length label compression."""
+
+from hypothesis import given, strategies as st
+
+from repro.schemes.prefix.comd import compress, decompress
+
+positions = st.text(alphabet="abcdefz", min_size=0, max_size=24)
+
+
+@given(position=positions)
+def test_decompress_inverts_compress(position):
+    assert decompress(compress(position)) == position
+
+
+@given(position=positions)
+def test_compression_never_loses_letters(position):
+    compressed = compress(position)
+    letters_in = sorted(position)
+    letters_out = sorted(decompress(compressed))
+    assert letters_in == letters_out
+
+
+@given(letter=st.sampled_from("abz"), count=st.integers(min_value=3, max_value=40))
+def test_long_runs_compress_to_counted_form(letter, count):
+    compressed = compress(letter * count)
+    assert compressed == f"{count}{letter}"
+    assert len(compressed) < count
+
+
+@given(group=st.sampled_from(["ab", "bc", "xyz"]),
+       count=st.integers(min_value=2, max_value=12))
+def test_group_runs_never_expand(group, count):
+    compressed = compress(group * count)
+    assert decompress(compressed) == group * count
+    assert len(compressed) <= len(group) * count
+
+
+@given(position=positions)
+def test_compression_never_expands(position):
+    assert len(compress(position)) <= len(position)

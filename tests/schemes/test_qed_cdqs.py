@@ -1,0 +1,101 @@
+"""QED and CDQS tests: overflow freedom, separators, compactness."""
+
+from conftest import labeled
+from repro.data.sample import sample_document
+from repro.schemes.prefix.cdqs import CDQSScheme
+from repro.schemes.prefix.qed import QEDScheme
+from repro.updates.workloads import (
+    append_insertions,
+    prepend_insertions,
+    skewed_insertions,
+)
+
+
+class TestOverflowFreedom:
+    def test_qed_never_relabels_under_pressure(self):
+        ldoc = labeled(sample_document(), "qed")
+        skewed_insertions(ldoc, 150)
+        prepend_insertions(ldoc, 100)
+        append_insertions(ldoc, 100)
+        assert ldoc.log.relabeled_nodes == 0
+        assert ldoc.log.overflow_events == 0
+        ldoc.verify_order()
+
+    def test_cdqs_never_relabels_under_pressure(self):
+        ldoc = labeled(sample_document(), "cdqs")
+        skewed_insertions(ldoc, 150)
+        prepend_insertions(ldoc, 100)
+        append_insertions(ldoc, 100)
+        assert ldoc.log.relabeled_nodes == 0
+        assert ldoc.log.overflow_events == 0
+        ldoc.verify_order()
+
+
+class TestSeparatorInvariant:
+    def test_no_code_ever_contains_zero(self):
+        # The two-bit 00 unit is reserved as the separator (section 4);
+        # a 0 digit inside a code would corrupt label boundaries.
+        for name in ("qed", "cdqs"):
+            ldoc = labeled(sample_document(), name)
+            skewed_insertions(ldoc, 80)
+            for label in ldoc.labels.values():
+                for code in label:
+                    assert "0" not in code
+                    assert code[-1] in "23"
+
+    def test_size_includes_separator_per_component(self):
+        scheme = QEDScheme()
+        # "32" costs 2 digits x 2 bits + one 2-bit separator.
+        assert scheme.component_size_bits("32") == 6
+        assert scheme.label_size_bits(("32", "2")) == 6 + 4
+
+
+class TestPublishedAlgorithms:
+    def test_qed_bulk_uses_thirds_recursion_and_division(self):
+        scheme = QEDScheme()
+        scheme.instruments.reset()
+        scheme.initial_child_components(9)
+        assert scheme.instruments.recursions > 0
+        assert scheme.instruments.divisions > 0
+
+    def test_qed_bulk_matches_reference(self):
+        from repro.labels.quaternary import initial_codes
+
+        scheme = QEDScheme()
+        for count in (1, 2, 3, 5, 9, 20):
+            assert scheme.initial_child_components(count) == initial_codes(count)
+
+    def test_cdqs_bulk_is_compact(self):
+        qed = QEDScheme()
+        cdqs = CDQSScheme()
+        qed_total = sum(map(len, qed.initial_child_components(100)))
+        cdqs_total = sum(map(len, cdqs.initial_child_components(100)))
+        assert cdqs_total <= qed_total
+
+    def test_cdqs_insertion_codes_are_minimal(self):
+        from repro.labels.quaternary import code_between, compact_code_between
+
+        for low, high in (("2", "3"), ("12", "32"), ("222", "223")):
+            assert len(compact_code_between(low, high)) <= len(
+                code_between(low, high)
+            )
+
+
+class TestLevelAndPaths:
+    def test_level_equals_depth(self):
+        for name in ("qed", "cdqs"):
+            ldoc = labeled(sample_document(), name)
+            for node in ldoc.document.labeled_nodes():
+                assert ldoc.scheme.level(ldoc.label_of(node)) == node.depth()
+
+    def test_prefix_gives_full_relationships(self):
+        ldoc = labeled(sample_document(), "qed")
+        nodes = {n.name: n for n in ldoc.document.labeled_nodes()}
+        editor = ldoc.label_of(nodes["editor"])
+        name = ldoc.label_of(nodes["name"])
+        address = ldoc.label_of(nodes["address"])
+        assert ldoc.scheme.is_parent(editor, name)
+        assert ldoc.scheme.is_sibling(name, address)
+        assert ldoc.scheme.is_ancestor(
+            ldoc.label_of(nodes["book"]), address
+        )

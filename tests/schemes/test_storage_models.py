@@ -1,0 +1,76 @@
+"""Storage models: the section 4 overflow surfaces, unit-tested."""
+
+import pytest
+
+from repro.errors import OverflowEvent
+from repro.schemes.storage import (
+    FixedWidthStorage,
+    LengthFieldStorage,
+    SeparatorStorage,
+)
+
+
+class TestFixedWidth:
+    def test_capacity_unsigned(self):
+        storage = FixedWidthStorage(width_bits=8)
+        assert storage.capacity() == 255
+        assert storage.check(255) == 255
+
+    def test_capacity_signed(self):
+        storage = FixedWidthStorage(width_bits=8, signed=True)
+        assert storage.capacity() == 127
+        assert storage.check(-127) == -127
+
+    def test_overflow_raises(self):
+        storage = FixedWidthStorage(width_bits=8)
+        with pytest.raises(OverflowEvent):
+            storage.check(256)
+
+    def test_negative_needs_signed(self):
+        with pytest.raises(OverflowEvent):
+            FixedWidthStorage(width_bits=8).check(-1)
+        FixedWidthStorage(width_bits=8, signed=True).check(-1)
+
+    def test_not_overflow_free(self):
+        assert not FixedWidthStorage().overflow_free
+
+    def test_value_bits_constant(self):
+        storage = FixedWidthStorage(width_bits=32)
+        assert storage.value_bits(0) == 32
+        assert storage.value_bits(10**6) == 32
+
+
+class TestLengthField:
+    def test_max_units(self):
+        storage = LengthFieldStorage(length_field_bits=4)
+        assert storage.max_units() == 15
+        assert storage.check_length(15) == 15
+
+    def test_length_overflow_raises(self):
+        # "at some point the original fixed length of bits assigned to
+        # store the size of the code will be too small" (section 4).
+        storage = LengthFieldStorage(length_field_bits=4)
+        with pytest.raises(OverflowEvent):
+            storage.check_length(16)
+
+    def test_stored_bits_includes_field(self):
+        storage = LengthFieldStorage(length_field_bits=8, unit_bits=2)
+        assert storage.stored_bits(5) == 8 + 10
+
+    def test_not_overflow_free(self):
+        assert not LengthFieldStorage().overflow_free
+
+
+class TestSeparator:
+    def test_overflow_free(self):
+        assert SeparatorStorage().overflow_free
+
+    def test_stored_bits_adds_one_separator(self):
+        assert SeparatorStorage(separator_bits=2).stored_bits(10) == 12
+
+    def test_no_capacity_surface(self):
+        # The whole point: there is nothing to check and nothing to
+        # overflow — QED's section 4 contribution.
+        storage = SeparatorStorage()
+        assert not hasattr(storage, "check_length")
+        assert not hasattr(storage, "check")

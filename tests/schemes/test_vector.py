@@ -1,0 +1,111 @@
+"""Vector scheme tests: gradient order, mediants, persistence, storage."""
+
+import pytest
+
+from conftest import labeled
+from repro.data.sample import sample_document
+from repro.errors import UnsupportedRelationshipError
+from repro.strategies.vector_keys import (
+    HIGH_BOUND,
+    LOW_BOUND,
+    gradient_compare,
+    key_size_bits,
+    mediant,
+    validate_key,
+)
+from repro.updates.workloads import skewed_insertions
+
+
+class TestGradientOrder:
+    def test_cross_multiplication_identity(self):
+        # "G(A) > G(B) iff y1x2 > x1y2"
+        assert gradient_compare((1, 2), (1, 3)) == -1
+        assert gradient_compare((1, 3), (1, 2)) == 1
+        assert gradient_compare((2, 4), (1, 2)) == 0
+
+    def test_bounds(self):
+        assert gradient_compare(LOW_BOUND, HIGH_BOUND) == -1
+        assert gradient_compare(LOW_BOUND, (1, 1)) == -1
+        assert gradient_compare((1, 1), HIGH_BOUND) == -1
+
+    def test_mediant_strictly_between(self):
+        left, right = (3, 1), (2, 5)
+        low, high = sorted([left, right], key=lambda v: (v[1], v[0]))
+        mid = mediant(left, right)
+        assert gradient_compare(left, mid) == -1 or gradient_compare(mid, left) == -1
+        # Order left by gradient explicitly:
+        first, second = (
+            (left, right)
+            if gradient_compare(left, right) < 0
+            else (right, left)
+        )
+        mid = mediant(first, second)
+        assert gradient_compare(first, mid) < 0 < gradient_compare(second, mid)
+
+    def test_mediant_chain_is_monotone(self):
+        current = (1, 1)
+        previous = LOW_BOUND
+        for _ in range(50):
+            new = mediant(previous, current)
+            assert gradient_compare(previous, new) < 0
+            assert gradient_compare(new, current) < 0
+            current = new
+
+    def test_validate_key(self):
+        validate_key((3, 2))
+        with pytest.raises(Exception):
+            validate_key((0, 0))
+        with pytest.raises(Exception):
+            validate_key((-1, 2))
+
+
+class TestVectorScheme:
+    def test_order_and_ancestorship(self, sample):
+        ldoc = labeled(sample, "vector")
+        ldoc.verify_order()
+        nodes = {n.name: n for n in sample.labeled_nodes()}
+        assert ldoc.scheme.is_ancestor(
+            ldoc.label_of(nodes["book"]), ldoc.label_of(nodes["name"])
+        )
+        assert not ldoc.scheme.is_ancestor(
+            ldoc.label_of(nodes["name"]), ldoc.label_of(nodes["book"])
+        )
+
+    def test_level_and_parent_unsupported(self, sample):
+        # Figure 7: Level Enc. N and XPath Eval. P for the vector scheme.
+        ldoc = labeled(sample, "vector")
+        label = ldoc.label_of(sample.root)
+        with pytest.raises(UnsupportedRelationshipError):
+            ldoc.scheme.level(label)
+        with pytest.raises(UnsupportedRelationshipError):
+            ldoc.scheme.is_parent(label, label)
+
+    def test_persistent_under_heavy_skew(self, sample):
+        ldoc = labeled(sample, "vector")
+        skewed_insertions(ldoc, 300)
+        assert ldoc.log.relabeled_nodes == 0
+        assert ldoc.log.overflow_events == 0
+        ldoc.verify_order()
+
+    def test_no_divisions_ever(self, sample):
+        ldoc = labeled(sample, "vector")
+        skewed_insertions(ldoc, 50)
+        ldoc.verify_order()  # comparisons cross-multiply
+        assert ldoc.scheme.instruments.divisions == 0
+        assert ldoc.scheme.instruments.multiplications > 0
+
+    def test_bulk_is_recursive(self, sample):
+        ldoc = labeled(sample, "vector")
+        assert ldoc.scheme.instruments.recursions > 0
+
+    def test_skewed_growth_is_sublinear(self, sample):
+        # The section 5 claim: vector grows "much slower" under skew.
+        ldoc = labeled(sample, "vector")
+        result = skewed_insertions(ldoc, 256)
+        # 256 insertions; component values ~256 fit in two varint bytes.
+        assert result.final_insert_bits <= 96
+
+    def test_storage_uses_varints(self):
+        assert key_size_bits((5, 10)) == 16
+        assert key_size_bits((500, 1)) == 24
+        assert key_size_bits((1 << 22, 1)) == 80

@@ -1,0 +1,177 @@
+"""The XML repository: management, queries, snapshots, scheme advice."""
+
+import pytest
+
+from repro.data.sample import SAMPLE_XML
+from repro.errors import UpdateError
+from repro.store.repository import Snapshot, XMLRepository, suggest_scheme
+
+LIBRARY = (
+    "<library><shelf><book><title>Dune</title></book>"
+    "<book><title>Neuromancer</title></book></shelf></library>"
+)
+
+
+@pytest.fixture
+def repo():
+    repository = XMLRepository()
+    repository.add("sample", SAMPLE_XML, scheme="qed")
+    repository.add("library", LIBRARY)  # default scheme (cdqs)
+    return repository
+
+
+class TestManagement:
+    def test_add_and_get(self, repo):
+        assert repo.get("sample").ldoc.scheme.metadata.name == "qed"
+        assert repo.get("library").ldoc.scheme.metadata.name == "cdqs"
+
+    def test_names_and_len(self, repo):
+        assert repo.names() == ["library", "sample"]
+        assert len(repo) == 2
+        assert "sample" in repo
+
+    def test_duplicate_name_rejected(self, repo):
+        with pytest.raises(UpdateError):
+            repo.add("sample", "<x/>")
+
+    def test_unknown_name_rejected(self, repo):
+        with pytest.raises(UpdateError):
+            repo.get("missing")
+
+    def test_remove(self, repo):
+        repo.remove("library")
+        assert "library" not in repo
+
+    def test_add_existing_tree(self):
+        from repro.data.sample import sample_document
+
+        repository = XMLRepository()
+        stored = repository.add("doc", sample_document(), scheme="vector")
+        assert stored.ldoc.scheme.metadata.name == "vector"
+
+    def test_scheme_config_passes_through(self):
+        repository = XMLRepository()
+        stored = repository.add("doc", "<a/>", scheme="xrel", gap=32)
+        assert stored.ldoc.scheme.gap == 32
+
+
+class TestQueries:
+    def test_find_by_name(self, repo):
+        assert [n.name for n in repo.get("library").find("title")] == [
+            "title", "title",
+        ]
+
+    def test_find_by_value(self, repo):
+        found = repo.get("library").find_value("Dune")
+        assert [n.name for n in found] == ["title"]
+
+    def test_descendant_path(self, repo):
+        titles = repo.get("library").descendant_path(
+            ["library", "book", "title"]
+        )
+        assert [n.text_value() for n in titles] == ["Dune", "Neuromancer"]
+
+    def test_descendant_path_misses(self, repo):
+        assert repo.get("library").descendant_path(["book", "isbn"]) == []
+
+    def test_xpath_passthrough(self, repo):
+        result = repo.get("sample").xpath("//editor/name")
+        assert [n.name for n in result] == ["name"]
+
+    def test_indexes_refresh_after_update(self, repo):
+        stored = repo.get("library")
+        shelf = stored.find("shelf")[0]
+        stored.ldoc.append_child(shelf, "magazine")
+        assert [n.name for n in stored.find("magazine")] == ["magazine"]
+
+    def test_index_refresh_after_content_update(self, repo):
+        stored = repo.get("library")
+        title = stored.find("title")[0]
+        stored.ldoc.set_text(title, "Dune Messiah")
+        assert stored.find_value("Dune") == []
+        assert [n.text_value() for n in stored.find_value("Dune Messiah")] == [
+            "Dune Messiah"
+        ]
+
+
+class TestSnapshots:
+    def test_snapshot_restore_round_trip(self, repo):
+        snapshot = repo.snapshot("sample")
+        assert isinstance(snapshot, Snapshot)
+        restored = repo.restore(snapshot, name="sample-v2")
+        original = repo.get("sample")
+        assert restored.ldoc.labels_in_document_order() == (
+            original.ldoc.labels_in_document_order()
+        )
+        restored.ldoc.verify_order()
+
+    def test_snapshot_survives_later_edits(self, repo):
+        stored = repo.get("sample")
+        before = stored.ldoc.labels_in_document_order()
+        snapshot = repo.snapshot("sample")
+        # Mutate the live document after the snapshot.
+        stored.ldoc.append_child(stored.ldoc.document.root, "late")
+        restored = repo.restore(snapshot, name="frozen")
+        assert restored.ldoc.labels_in_document_order() == before
+
+    def test_restore_rejects_name_clash(self, repo):
+        snapshot = repo.snapshot("sample")
+        with pytest.raises(UpdateError):
+            repo.restore(snapshot)
+
+    def test_restore_detects_mismatched_stream(self, repo):
+        snapshot = repo.snapshot("sample")
+        broken = Snapshot(
+            name="broken",
+            scheme_name=snapshot.scheme_name,
+            xml="<tiny/>",
+            label_stream=snapshot.label_stream,
+        )
+        with pytest.raises(UpdateError):
+            repo.restore(broken)
+
+    @pytest.mark.parametrize("scheme_name", [
+        "qed", "cdqs", "vector", "ordpath", "prepost", "dewey",
+    ])
+    def test_round_trip_per_scheme(self, scheme_name):
+        repository = XMLRepository()
+        repository.add("doc", SAMPLE_XML, scheme=scheme_name)
+        snapshot = repository.snapshot("doc")
+        restored = repository.restore(snapshot, name="copy")
+        assert restored.ldoc.labels_in_document_order() == (
+            repository.get("doc").ldoc.labels_in_document_order()
+        )
+
+
+class TestStorageReport:
+    def test_report_rows(self, repo):
+        report = repo.storage_report()
+        assert len(report) == 2
+        for name, scheme, nodes, bits in report:
+            assert nodes > 0
+            assert bits > 0
+
+
+class TestSuggestScheme:
+    def test_version_control_requirement(self):
+        # Section 5.2: version control needs persistent labels.
+        suggested = suggest_scheme(["version-control"])
+        assert suggested == [
+            "ordpath", "improved-binary", "qed", "cdqs", "vector",
+        ]
+
+    def test_large_documents_requirement(self):
+        # Section 5.2: very large documents want overflow freedom.
+        assert suggest_scheme(["large-documents"]) == ["qed", "cdqs", "vector"]
+
+    def test_combined_requirements(self):
+        assert suggest_scheme(
+            ["version-control", "large-documents", "xpath", "compact"]
+        ) == ["cdqs"]  # the survey's "most generic" conclusion again
+
+    def test_unsatisfiable_combination(self):
+        assert suggest_scheme(["no-division", "large-documents"]) == ["vector"]
+
+    def test_unknown_requirement_rejected(self):
+        with pytest.raises(UpdateError):
+            suggest_scheme(["teleportation"])

@@ -1,0 +1,118 @@
+"""Ordered-key strategies and the orthogonality skeletons."""
+
+import pytest
+
+from conftest import fresh_random_document
+from repro.errors import FrameworkError
+from repro.strategies import (
+    StrategyContainmentScheme,
+    StrategyPrefixScheme,
+    available_strategies,
+    strategy_by_name,
+)
+from repro.updates.document import LabeledDocument
+from repro.updates.workloads import random_insertions, skewed_insertions
+
+ALL_STRATEGIES = available_strategies()
+
+
+class TestRegistry:
+    def test_expected_strategies_registered(self):
+        assert set(ALL_STRATEGIES) >= {"qed", "cdqs", "cdbs", "vector"}
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(FrameworkError):
+            strategy_by_name("nope")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.strategies.base import OrderedKeyStrategy, register_strategy
+
+        with pytest.raises(FrameworkError):
+            @register_strategy
+            class Duplicate(strategy_by_name("qed").__class__):  # noqa: F811
+                name = "qed"
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGIES)
+class TestStrategyContract:
+    def test_initial_keys_sorted_unique(self, name):
+        strategy = strategy_by_name(name)
+        for count in (0, 1, 2, 7, 30):
+            keys = strategy.initial(count)
+            assert len(keys) == count
+            for left, right in zip(keys, keys[1:]):
+                assert strategy.compare(left, right) < 0
+
+    def test_before_after_between(self, name):
+        strategy = strategy_by_name(name)
+        first, last = strategy.initial(2)
+        assert strategy.compare(strategy.before(first), first) < 0
+        assert strategy.compare(last, strategy.after(last)) < 0
+        middle = strategy.between(first, last)
+        assert strategy.compare(first, middle) < 0 < strategy.compare(
+            last, middle
+        )
+
+    def test_unbounded_between_chain(self, name):
+        strategy = strategy_by_name(name)
+        low, high = strategy.initial(2)
+        for _ in range(40):
+            new = strategy.between(low, high)
+            assert strategy.compare(low, new) < 0 < strategy.compare(high, new)
+            low = new
+
+    def test_key_sizes_positive(self, name):
+        strategy = strategy_by_name(name)
+        for key in strategy.initial(10):
+            assert strategy.key_size_bits(key) > 0
+            assert isinstance(strategy.format_key(key), str)
+
+    def test_overflow_declaration(self, name):
+        strategy = strategy_by_name(name)
+        expected = name != "cdbs"  # CDBS went back to fixed-length fields
+        assert strategy.overflow_free is expected
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGIES)
+@pytest.mark.parametrize(
+    "skeleton_class", [StrategyPrefixScheme, StrategyContainmentScheme]
+)
+class TestSkeletons:
+    def test_orthogonality_both_families(self, name, skeleton_class):
+        """Any strategy works in both families — the section 4 claim."""
+        skeleton = skeleton_class(strategy_by_name(name))
+        ldoc = LabeledDocument(fresh_random_document(60, seed=31), skeleton)
+        ldoc.verify_order()
+        skewed_insertions(ldoc, 15)
+        random_insertions(ldoc, 10, seed=1)
+        ldoc.verify_order()
+        assert ldoc.log.relabeled_nodes == 0
+
+    def test_ancestors_match_oracle(self, name, skeleton_class):
+        skeleton = skeleton_class(strategy_by_name(name))
+        document = fresh_random_document(40, seed=32)
+        ldoc = LabeledDocument(document, skeleton)
+        nodes = list(document.labeled_nodes())
+        for first in nodes[:12]:
+            for second in nodes[:12]:
+                if first is second:
+                    continue
+                assert skeleton.is_ancestor(
+                    ldoc.label_of(first), ldoc.label_of(second)
+                ) == first.is_ancestor_of(second)
+
+
+class TestSkeletonMetadata:
+    def test_names_derived_from_strategy(self):
+        prefix = StrategyPrefixScheme(strategy_by_name("qed"))
+        containment = StrategyContainmentScheme(strategy_by_name("qed"))
+        assert prefix.metadata.name == "qed-prefix"
+        assert containment.metadata.name == "qed-containment"
+        assert prefix.metadata.orthogonal_strategy == "qed"
+
+    def test_prefix_skeleton_has_levels(self):
+        prefix = StrategyPrefixScheme(strategy_by_name("vector"))
+        document = fresh_random_document(30, seed=33)
+        ldoc = LabeledDocument(document, prefix)
+        for node in document.labeled_nodes():
+            assert prefix.level(ldoc.label_of(node)) == node.depth()

@@ -1,0 +1,129 @@
+"""Command-line interface tests (invoked in-process via main())."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.sample import SAMPLE_XML
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = tmp_path / "sample.xml"
+    path.write_text(SAMPLE_XML, encoding="utf-8")
+    return str(path)
+
+
+class TestSchemes:
+    def test_lists_all_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("prepost", "qed", "cdqs", "vector", "prime"):
+            assert name in out
+        assert "extension scheme" in out
+
+
+class TestLabel:
+    def test_labels_a_file(self, sample_file, capsys):
+        assert main(["label", sample_file, "--scheme", "qed"]) == 0
+        out = capsys.readouterr().out
+        assert "<>book" in out
+        assert "@genre" in out
+        assert "bits/label" in out
+
+    def test_dewey_rendering(self, sample_file, capsys):
+        assert main(["label", sample_file, "--scheme", "dewey"]) == 0
+        assert "1.1.1" in capsys.readouterr().out
+
+    def test_missing_file_fails(self, capsys):
+        assert main(["label", "/nonexistent.xml"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_xml_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b></a>", encoding="utf-8")
+        assert main(["label", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTable:
+    def test_prints_figure2_style_table(self, sample_file, capsys):
+        assert main(["table", sample_file]) == 0
+        out = capsys.readouterr().out
+        assert "Node Type" in out
+        assert "Wayfarer" in out
+
+
+class TestQuery:
+    def test_query_elements(self, sample_file, capsys):
+        assert main(["query", sample_file, "//editor/name"]) == 0
+        out = capsys.readouterr().out
+        assert "<name>" in out
+        assert "1 node(s)" in out
+
+    def test_query_attributes(self, sample_file, capsys):
+        assert main(["query", sample_file, "//title/@genre"]) == 0
+        assert "@genre='Fantasy'" in capsys.readouterr().out
+
+    def test_bad_path_fails(self, sample_file, capsys):
+        assert main(["query", sample_file, "?what"]) == 1
+
+
+class TestMatrix:
+    def test_matrix_reproduces(self, capsys):
+        assert main(["matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "All 120 cells agree" in out
+        assert "most generic scheme (section 5.2): cdqs" in out
+
+
+class TestFigure:
+    @pytest.mark.parametrize("number", ["1", "3", "4", "5", "6"])
+    def test_figures_print_and_match(self, number, capsys):
+        assert main(["figure", number]) == 0
+        assert "matches paper: True" in capsys.readouterr().out
+
+    def test_figure2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "matches paper: True" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_figure_reports_only(self, capsys):
+        assert main(["report", "figure"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_figure7_matrix" in out
+        assert "All 120 cells agree" in out
+        assert "bench_claim_overflow" not in out
+
+    def test_unknown_kind_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["report", "everything"])
+
+
+class TestGrowth:
+    def test_growth_series(self, capsys):
+        assert main([
+            "growth", "--schemes", "qed,vector", "--inserts", "80",
+            "--step", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "inserts" in out
+        assert "bits/insert" in out
+
+
+class TestSuggest:
+    def test_lists_requirements_when_empty(self, capsys):
+        assert main(["suggest"]) == 0
+        assert "version-control" in capsys.readouterr().out
+
+    def test_suggests_cdqs_for_the_works(self, capsys):
+        assert main([
+            "suggest", "version-control", "large-documents", "compact",
+        ]) == 0
+        assert "cdqs" in capsys.readouterr().out
+
+    def test_unsatisfiable(self, capsys):
+        # No Figure 7 row has F for everything.
+        assert main([
+            "suggest", "no-division", "no-recursion", "large-documents",
+        ]) == 1

@@ -1,0 +1,80 @@
+"""Public API hygiene: exports exist, are documented, and stay stable."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.axes",
+    "repro.core",
+    "repro.encoding",
+    "repro.labels",
+    "repro.schemes",
+    "repro.store",
+    "repro.strategies",
+    "repro.updates",
+    "repro.xmlmodel",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip()
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert getattr(module, name, None) is not None, (
+            f"{module_name}.{name} is exported but missing"
+        )
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_callables_are_documented(module_name):
+    """Every class and function named in __all__ carries a docstring."""
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        member = getattr(module, name)
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if not (member.__doc__ and member.__doc__.strip()):
+                undocumented.append(name)
+    assert undocumented == []
+
+
+def test_top_level_quickstart_names():
+    import repro
+
+    for name in (
+        "parse", "serialize", "make_scheme", "LabeledDocument",
+        "XMLRepository", "VersionedDocument", "figure7_schemes",
+        "suggest_scheme",
+    ):
+        assert name in repro.__all__
+
+
+def test_every_scheme_class_is_documented():
+    from repro.schemes.registry import available_schemes, scheme_class
+
+    for name in available_schemes():
+        cls = scheme_class(name)
+        assert cls.__doc__ and cls.__doc__.strip(), name
+        assert cls.metadata.display_name
+        assert cls.metadata.reference
+
+
+def test_scheme_public_methods_documented():
+    from repro.schemes.base import LabelingScheme
+
+    for name, member in inspect.getmembers(
+        LabelingScheme, predicate=inspect.isfunction
+    ):
+        if name.startswith("_"):
+            continue
+        assert member.__doc__ and member.__doc__.strip(), name

@@ -1,0 +1,71 @@
+"""Declarative update operations and program replay."""
+
+from conftest import labeled
+from repro.data.sample import sample_document
+from repro.updates.operations import (
+    Operation,
+    OpKind,
+    apply_operation,
+    apply_program,
+)
+
+
+class TestSingleOperations:
+    def test_append_child(self):
+        ldoc = labeled(sample_document(), "qed")
+        apply_operation(ldoc, Operation(OpKind.APPEND_CHILD, 0, name="tail"))
+        assert any(
+            n.name == "tail" for n in ldoc.document.labeled_nodes()
+        )
+
+    def test_target_wraps_modulo(self):
+        ldoc = labeled(sample_document(), "qed")
+        big_target = Operation(OpKind.APPEND_CHILD, 1000, name="wrapped")
+        apply_operation(ldoc, big_target)
+        assert any(
+            n.name == "wrapped" for n in ldoc.document.labeled_nodes()
+        )
+
+    def test_delete_never_targets_root(self):
+        ldoc = labeled(sample_document(), "qed")
+        for target in range(12):
+            apply_operation(ldoc, Operation(OpKind.DELETE, target))
+        assert ldoc.document.root is not None
+        assert ldoc.document.root.name == "book"
+
+    def test_set_text_and_rename(self):
+        ldoc = labeled(sample_document(), "qed")
+        apply_operation(ldoc, Operation(OpKind.SET_TEXT, 1, text="changed"))
+        apply_operation(ldoc, Operation(OpKind.RENAME, 1, name="renamed"))
+        assert ldoc.log.content_updates == 2
+
+
+class TestPrograms:
+    PROGRAM = [
+        Operation(OpKind.PREPEND_CHILD, 0, name="intro"),
+        Operation(OpKind.INSERT_AFTER, 3, name="aside"),
+        Operation(OpKind.DELETE, 5),
+        Operation(OpKind.APPEND_CHILD, 2, name="tail"),
+        Operation(OpKind.INSERT_BEFORE, 1, name="wedge"),
+    ]
+
+    def test_same_program_same_tree_across_schemes(self):
+        """Programs are scheme-independent tree transformations."""
+        shapes = []
+        for name in ("qed", "dewey", "prepost", "vector", "ordpath"):
+            ldoc = labeled(sample_document(), name)
+            apply_program(ldoc, self.PROGRAM)
+            ldoc.verify_order()
+            shapes.append([
+                (n.name, n.depth()) for n in ldoc.document.labeled_nodes()
+            ])
+        assert all(shape == shapes[0] for shape in shapes)
+
+    def test_program_is_reproducible(self):
+        first = labeled(sample_document(), "cdqs")
+        second = labeled(sample_document(), "cdqs")
+        apply_program(first, self.PROGRAM)
+        apply_program(second, self.PROGRAM)
+        assert first.labels_in_document_order() == (
+            second.labels_in_document_order()
+        )

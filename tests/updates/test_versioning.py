@@ -1,0 +1,115 @@
+"""Versioned documents: commits, checkouts, annotations, diffs."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.updates.versioning import VersionedDocument
+
+DOCUMENT = "<doc><a/><b><c>text</c></b><d/></doc>"
+
+
+@pytest.fixture
+def versioned():
+    return VersionedDocument.from_xml(DOCUMENT, scheme="qed")
+
+
+class TestCommits:
+    def test_initial_commit_exists(self, versioned):
+        assert len(versioned.revisions) == 1
+        assert versioned.head.message == "initial import"
+
+    def test_commit_captures_state(self, versioned):
+        root = versioned.ldoc.document.root
+        versioned.ldoc.append_child(root, "e")
+        revision = versioned.commit("add e")
+        assert revision.number == 1
+        assert "<e/>" in revision.xml
+        assert len(revision.label_owners) == 6
+
+    def test_history_lines(self, versioned):
+        versioned.ldoc.append_child(versioned.ldoc.document.root, "e")
+        versioned.commit("add e")
+        lines = versioned.history()
+        assert lines[0].startswith("r0: initial import")
+        assert lines[1].startswith("r1: add e")
+
+    def test_unknown_revision(self, versioned):
+        with pytest.raises(UpdateError):
+            versioned.revision(9)
+
+
+class TestCheckout:
+    def test_checkout_restores_labels(self, versioned):
+        before = versioned.ldoc.labels_in_document_order()
+        root = versioned.ldoc.document.root
+        versioned.ldoc.append_child(root, "later")
+        versioned.commit("add later")
+        past = versioned.checkout(0)
+        assert past.labels_in_document_order() == before
+        past.verify_order()
+
+    def test_checkout_is_independent(self, versioned):
+        past = versioned.checkout(0)
+        past.append_child(past.document.root, "scratch")
+        # The live document is untouched.
+        assert all(
+            node.name != "scratch"
+            for node in versioned.ldoc.document.labeled_nodes()
+        )
+
+
+class TestAnnotations:
+    def test_annotation_survives_edits_under_persistent_scheme(self, versioned):
+        target = versioned.ldoc.document.root.element_children()[1]  # <b>
+        versioned.annotate(target, "review this")
+        for _ in range(5):
+            versioned.ldoc.prepend_child(
+                versioned.ldoc.document.root, "noise"
+            )
+        versioned.commit("heavy editing")
+        intact, broken = versioned.annotation_integrity()
+        assert (intact, broken) == (1, 0)
+        resolved = versioned.resolve_annotation(versioned.annotations[0])
+        assert resolved is target
+
+    def test_annotation_breaks_under_shifting_scheme(self):
+        versioned = VersionedDocument.from_xml(DOCUMENT, scheme="dewey")
+        target = versioned.ldoc.document.root.element_children()[1]
+        versioned.annotate(target, "review this")
+        versioned.ldoc.prepend_child(versioned.ldoc.document.root, "noise")
+        intact, broken = versioned.annotation_integrity()
+        assert broken == 1
+
+    def test_annotation_lost_after_delete(self, versioned):
+        target = versioned.ldoc.document.root.element_children()[0]
+        versioned.annotate(target, "gone soon")
+        versioned.ldoc.delete(target)
+        intact, broken = versioned.annotation_integrity()
+        assert (intact, broken) == (0, 1)
+
+
+class TestDiffs:
+    def test_added_and_removed_labels(self, versioned):
+        root = versioned.ldoc.document.root
+        first = root.element_children()[0]
+        versioned.ldoc.delete(first)
+        added_node = versioned.ldoc.append_child(root, "fresh")
+        versioned.commit("churn")
+        diff = versioned.diff(0, 1)
+        assert versioned.ldoc.format_label(added_node) in diff.added
+        assert len(diff.removed) == 1
+        assert diff.stable  # QED: surviving labels never move
+
+    def test_stability_counts_reassignments(self):
+        versioned = VersionedDocument.from_xml(DOCUMENT, scheme="dewey")
+        versioned.ldoc.prepend_child(versioned.ldoc.document.root, "front")
+        versioned.commit("shift everything")
+        # DeweyID shifted the existing children onto new owners.
+        assert versioned.label_stability(0, 1) > 0
+
+    def test_persistent_scheme_is_stable_across_many_commits(self, versioned):
+        root = versioned.ldoc.document.root
+        for index in range(4):
+            versioned.ldoc.prepend_child(root, f"gen{index}")
+            versioned.commit(f"edit {index}")
+        assert versioned.label_stability(0, versioned.head.number) == 0

@@ -1,0 +1,103 @@
+"""Workload generators: the section 5.1 update scenarios."""
+
+import pytest
+
+from conftest import labeled
+from repro.data.sample import sample_document
+from repro.updates.workloads import (
+    append_insertions,
+    churn,
+    prepend_insertions,
+    random_insertions,
+    skewed_insertions,
+    uniform_insertions,
+)
+
+
+class TestSkewed:
+    def test_inserts_land_before_fixed_anchor(self):
+        ldoc = labeled(sample_document(), "qed")
+        anchor = ldoc.document.root.element_children()[-1]
+        result = skewed_insertions(ldoc, 10, anchor=anchor)
+        assert result.operations == 10
+        children = ldoc.document.root.element_children()
+        assert children[-1] is anchor
+        assert sum(1 for c in children if c.name == "skew") == 10
+
+    def test_result_reports_growth(self):
+        ldoc = labeled(sample_document(), "qed")
+        result = skewed_insertions(ldoc, 25)
+        assert len(result.inserted_label_bits) == 25
+        assert result.final_insert_bits >= result.inserted_label_bits[0]
+        assert result.total_bits_after > result.total_bits_before
+
+    def test_requires_a_root_child(self):
+        from repro.xmlmodel.builder import tree_from_shape
+
+        ldoc = labeled(tree_from_shape([]), "qed")
+        with pytest.raises(ValueError):
+            skewed_insertions(ldoc, 1)
+
+
+class TestOneSided:
+    def test_prepend_inserts_go_first(self):
+        ldoc = labeled(sample_document(), "qed")
+        prepend_insertions(ldoc, 5)
+        first = ldoc.document.root.element_children()[0]
+        assert first.name == "front"
+
+    def test_append_inserts_go_last(self):
+        ldoc = labeled(sample_document(), "qed")
+        append_insertions(ldoc, 5)
+        last = ldoc.document.root.element_children()[-1]
+        assert last.name == "back"
+
+
+class TestRandomAndUniform:
+    def test_random_is_deterministic_per_seed(self):
+        first = labeled(sample_document(), "qed")
+        second = labeled(sample_document(), "qed")
+        random_insertions(first, 20, seed=9)
+        random_insertions(second, 20, seed=9)
+        assert [n.name for n in first.document.labeled_nodes()] == [
+            n.name for n in second.document.labeled_nodes()
+        ]
+
+    def test_random_keeps_order(self):
+        ldoc = labeled(sample_document(), "cdqs")
+        random_insertions(ldoc, 30, seed=11)
+        ldoc.verify_order()
+
+    def test_uniform_spreads_across_elements(self):
+        ldoc = labeled(sample_document(), "qed")
+        uniform_insertions(ldoc, 14)
+        parents = {
+            node.parent.name
+            for node in ldoc.document.labeled_nodes()
+            if node.name == "uni"
+        }
+        assert len(parents) >= 5
+
+
+class TestChurn:
+    def test_mixed_inserts_and_deletes(self):
+        ldoc = labeled(sample_document(), "qed")
+        before = ldoc.document.labeled_size()
+        result = churn(ldoc, 40, seed=3, delete_ratio=0.4)
+        assert result.operations == 40
+        assert ldoc.log.deletions > 0
+        assert ldoc.log.insertions > 0
+        ldoc.verify_order()
+
+    def test_churn_on_relabeling_scheme(self):
+        ldoc = labeled(sample_document(), "dewey")
+        churn(ldoc, 30, seed=7)
+        ldoc.verify_order()
+
+
+class TestWorkloadResult:
+    def test_bits_per_insert_empty(self):
+        ldoc = labeled(sample_document(), "qed")
+        result = skewed_insertions(ldoc, 0)
+        assert result.bits_per_insert == 0.0
+        assert result.final_insert_bits == 0

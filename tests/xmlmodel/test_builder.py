@@ -1,0 +1,84 @@
+"""Unit tests for the programmatic tree builders."""
+
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.xmlmodel.builder import (
+    attribute,
+    balanced_tree,
+    build_document,
+    chain_tree,
+    comment,
+    element,
+    processing_instruction,
+    shape_of,
+    text,
+    tree_from_shape,
+    wide_tree,
+)
+from repro.xmlmodel.serializer import serialize
+
+
+class TestSpecBuilder:
+    def test_nested_document(self):
+        doc = build_document(
+            element("book",
+                    attribute("genre", "Fantasy"),
+                    element("title", text("Wayfarer")))
+        )
+        assert serialize(doc) == (
+            '<book genre="Fantasy"><title>Wayfarer</title></book>'
+        )
+
+    def test_string_children_become_text(self):
+        doc = build_document(element("a", "hello"))
+        assert doc.root.text_value() == "hello"
+
+    def test_comment_and_pi_specs(self):
+        doc = build_document(element("a", comment("c"), processing_instruction("t", "d")))
+        assert serialize(doc) == "<a><!--c--><?t d?></a>"
+
+    def test_non_element_root_rejected(self):
+        with pytest.raises(TreeStructureError):
+            build_document(text("nope"))
+
+
+class TestShapes:
+    def test_tree_from_shape_counts(self):
+        doc = tree_from_shape([[None, None], [None], [None, None]])
+        assert doc.labeled_size() == 9
+
+    def test_shape_of_inverts_tree_from_shape(self):
+        shape = [[None, [None]], None, [None, None, None]]
+        assert shape_of(tree_from_shape(shape)) == shape
+
+    def test_empty_shape_is_just_root(self):
+        doc = tree_from_shape([])
+        assert doc.labeled_size() == 1
+
+    def test_balanced_tree_size(self):
+        doc = balanced_tree(depth=3, fanout=2)
+        assert doc.labeled_size() == 1 + 2 + 4 + 8
+
+    def test_balanced_tree_zero_depth(self):
+        assert balanced_tree(0, 5).labeled_size() == 1
+
+    def test_balanced_tree_rejects_negative(self):
+        with pytest.raises(TreeStructureError):
+            balanced_tree(-1, 2)
+
+    def test_wide_tree(self):
+        doc = wide_tree(17)
+        assert len(doc.root.element_children()) == 17
+
+    def test_chain_tree_depth(self):
+        doc = chain_tree(6)
+        node = doc.root
+        depth = 0
+        while node.element_children():
+            node = node.element_children()[0]
+            depth += 1
+        assert depth == 6
+
+    def test_chain_tree_zero(self):
+        assert chain_tree(0).labeled_size() == 1

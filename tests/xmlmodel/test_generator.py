@@ -1,0 +1,58 @@
+"""Unit tests for the synthetic document generator."""
+
+from repro.xmlmodel.generator import (
+    DocumentGenerator,
+    GeneratorProfile,
+    random_document,
+)
+from repro.xmlmodel.serializer import serialize
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        assert serialize(random_document(100, seed=5)) == serialize(
+            random_document(100, seed=5)
+        )
+
+    def test_different_seeds_differ(self):
+        assert serialize(random_document(100, seed=1)) != serialize(
+            random_document(100, seed=2)
+        )
+
+
+class TestShapeControls:
+    def test_size_roughly_honoured(self):
+        doc = random_document(200, seed=3)
+        assert 50 <= doc.labeled_size() <= 260
+
+    def test_small_budget(self):
+        doc = random_document(1, seed=0)
+        assert doc.labeled_size() >= 1
+
+    def test_deep_profile_goes_deeper_than_wide(self):
+        deep = DocumentGenerator(seed=4, profile=GeneratorProfile.deep()).generate(150)
+        wide = DocumentGenerator(seed=4, profile=GeneratorProfile.wide()).generate(150)
+
+        def max_depth(document):
+            return max(node.depth() for node in document.labeled_nodes())
+
+        assert max_depth(deep) > max_depth(wide)
+
+    def test_wide_profile_has_wide_fanout(self):
+        wide = DocumentGenerator(seed=9, profile=GeneratorProfile.wide()).generate(150)
+        widest = max(
+            len(node.element_children()) for node in wide.labeled_nodes()
+            if node.is_element
+        )
+        assert widest > 5
+
+    def test_bibliography_profile_has_attributes(self):
+        doc = DocumentGenerator(
+            seed=2, profile=GeneratorProfile.bibliography()
+        ).generate(150)
+        attributes = [n for n in doc.labeled_nodes() if n.is_attribute]
+        assert attributes
+
+    def test_generated_documents_validate(self):
+        for seed in range(4):
+            random_document(80, seed=seed).validate()

@@ -1,0 +1,148 @@
+"""Unit tests for the XML parser."""
+
+import pytest
+
+from repro.data.sample import SAMPLE_XML
+from repro.errors import XMLSyntaxError
+from repro.xmlmodel.parser import parse, parse_fragment
+from repro.xmlmodel.tree import NodeKind
+
+
+class TestBasicParsing:
+    def test_sample_document_shape(self):
+        doc = parse(SAMPLE_XML)
+        names = [n.name for n in doc.labeled_nodes()]
+        assert names == [
+            "book", "title", "genre", "author", "publisher",
+            "editor", "name", "address", "edition", "year",
+        ]
+
+    def test_simple_element(self):
+        doc = parse("<a/>")
+        assert doc.root.name == "a"
+        assert doc.root.is_leaf
+
+    def test_nested_elements(self):
+        doc = parse("<a><b><c/></b></a>")
+        assert doc.root.children[0].children[0].name == "c"
+
+    def test_text_content(self):
+        doc = parse("<a>hello</a>")
+        assert doc.root.text_value() == "hello"
+
+    def test_attributes_in_order(self):
+        doc = parse('<a x="1" y="2"/>')
+        assert [(attr.name, attr.value) for attr in doc.root.attributes()] == [
+            ("x", "1"), ("y", "2"),
+        ]
+
+    def test_single_quoted_attribute(self):
+        doc = parse("<a x='v'/>")
+        assert doc.root.attribute("x").value == "v"
+
+    def test_whitespace_only_text_dropped_by_default(self):
+        doc = parse("<a>\n  <b/>\n</a>")
+        assert all(not child.is_text for child in doc.root.children)
+
+    def test_keep_whitespace(self):
+        doc = parse("<a>\n  <b/>\n</a>", keep_whitespace=True)
+        assert any(child.is_text for child in doc.root.children)
+
+    def test_xml_declaration_skipped(self):
+        doc = parse('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert doc.root.name == "a"
+
+    def test_doctype_skipped(self):
+        doc = parse("<!DOCTYPE a SYSTEM 'x'><a/>")
+        assert doc.root.name == "a"
+
+    def test_leading_comment_skipped(self):
+        doc = parse("<!-- preamble --><a/>")
+        assert doc.root.name == "a"
+
+
+class TestContentKinds:
+    def test_comment_node(self):
+        doc = parse("<a><!-- note --></a>")
+        comment = doc.root.children[0]
+        assert comment.kind is NodeKind.COMMENT
+        assert comment.value == " note "
+
+    def test_processing_instruction(self):
+        doc = parse("<a><?target data here?></a>")
+        pi = doc.root.children[0]
+        assert pi.kind is NodeKind.PROCESSING_INSTRUCTION
+        assert pi.name == "target"
+        assert pi.value == "data here"
+
+    def test_cdata_becomes_text(self):
+        doc = parse("<a><![CDATA[<raw> & stuff]]></a>")
+        assert doc.root.text_value() == "<raw> & stuff"
+
+    def test_mixed_content_order(self):
+        doc = parse("<a>one<b/>two</a>")
+        kinds = [child.kind for child in doc.root.children]
+        assert kinds == [NodeKind.TEXT, NodeKind.ELEMENT, NodeKind.TEXT]
+
+
+class TestEntities:
+    @pytest.mark.parametrize("entity,expected", [
+        ("&amp;", "&"), ("&lt;", "<"), ("&gt;", ">"),
+        ("&apos;", "'"), ("&quot;", '"'),
+    ])
+    def test_builtin_entities(self, entity, expected):
+        assert parse(f"<a>{entity}</a>").root.text_value() == expected
+
+    def test_decimal_character_reference(self):
+        assert parse("<a>&#65;</a>").root.text_value() == "A"
+
+    def test_hex_character_reference(self):
+        assert parse("<a>&#x41;</a>").root.text_value() == "A"
+
+    def test_entity_in_attribute(self):
+        doc = parse('<a x="a&amp;b"/>')
+        assert doc.root.attribute("x").value == "a&b"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a>&nope;</a>")
+
+    def test_bad_character_reference_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a>&#xzz;</a>")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "just text",
+        "<a>",
+        "<a></b>",
+        "<a><b></a></b>",
+        "<a x=1/>",
+        '<a x="1" x="2"/>',
+        "<a/><b/>",
+        "<a><!-- unterminated </a>",
+        "<a>&unterminated</a>",
+        '<a x="<"/>',
+        "<1bad/>",
+    ])
+    def test_malformed_inputs_raise(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            parse(bad)
+
+    def test_error_carries_location(self):
+        try:
+            parse("<a>\n<b></c>\n</a>")
+        except XMLSyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")
+
+
+class TestFragment:
+    def test_parse_fragment_returns_root(self):
+        node = parse_fragment("<x><y/></x>")
+        assert node.name == "x"
+        assert node.children[0].name == "y"

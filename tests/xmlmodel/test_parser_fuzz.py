@@ -1,0 +1,45 @@
+"""Parser robustness: arbitrary input either parses or raises cleanly."""
+
+from hypothesis import given, strategies as st
+
+from repro.errors import XMLSyntaxError
+from repro.xmlmodel.parser import parse
+
+#: Arbitrary printable soup, biased toward markup characters.
+soup = st.text(
+    alphabet=st.sampled_from(list("<>/=&;'\"abcx123 \n\t![]-?")),
+    max_size=60,
+)
+
+
+@given(text=soup)
+def test_parser_never_crashes(text):
+    """Any input yields a Document or an XMLSyntaxError — nothing else."""
+    try:
+        document = parse(text)
+    except XMLSyntaxError:
+        return
+    # If it parsed, the result must be a valid tree.
+    document.validate()
+    assert document.root is not None
+
+
+@given(text=soup)
+def test_parse_errors_have_locations(text):
+    try:
+        parse(text)
+    except XMLSyntaxError as error:
+        assert error.line >= 0
+        assert error.column >= 0
+
+
+@given(inner=st.text(
+    alphabet=st.sampled_from(list("<>&'\" abc\n")), max_size=30,
+))
+def test_escaped_content_always_survives(inner):
+    """Any text, escaped properly, parses back to itself."""
+    from repro.xmlmodel.serializer import escape_text
+
+    document = parse(f"<a>{escape_text(inner)}</a>")
+    if inner.strip():
+        assert document.root.text_value() == inner

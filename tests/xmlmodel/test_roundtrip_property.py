@@ -1,0 +1,83 @@
+"""Property-based fuzzing of the parse/serialize pipeline."""
+
+from hypothesis import given, strategies as st
+
+from repro.xmlmodel.builder import attribute, build_document, element, text
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.serializer import serialize
+
+names = st.sampled_from(
+    ["a", "b", "item", "x1", "long-name", "ns:tag", "_private"]
+)
+#: Text content without leading/trailing whitespace ambiguity: the
+#: parser drops whitespace-only nodes and the builder keeps text as-is,
+#: so fuzzed text is kept printable and non-marginal.
+texts = st.text(
+    alphabet=st.characters(
+        min_codepoint=33, max_codepoint=126,
+        blacklist_characters="<>&\"'",
+    ),
+    min_size=1,
+    max_size=12,
+)
+attr_values = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                           blacklist_characters="<"),
+    max_size=12,
+)
+
+
+@st.composite
+def element_specs(draw, depth=0):
+    """Random element spec trees of bounded depth and width."""
+    name = draw(names)
+    children = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        children.append(attribute(draw(names) + str(len(children)),
+                                  draw(attr_values)))
+    if depth < 3:
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            if draw(st.booleans()):
+                children.append(draw(element_specs(depth=depth + 1)))
+            else:
+                children.append(text(draw(texts)))
+    return element(name, *children)
+
+
+@given(spec=element_specs())
+def test_serialize_parse_preserves_structure(spec):
+    document = build_document(spec)
+    document.validate()
+    reparsed = parse(serialize(document))
+    reparsed.validate()
+    original_shape = [
+        (node.name, node.kind.value, node.depth(),
+         node.value if node.is_attribute else None)
+        for node in document.labeled_nodes()
+    ]
+    reparsed_shape = [
+        (node.name, node.kind.value, node.depth(),
+         node.value if node.is_attribute else None)
+        for node in reparsed.labeled_nodes()
+    ]
+    assert reparsed_shape == original_shape
+
+
+@given(spec=element_specs())
+def test_serialization_is_a_fixpoint_after_one_round(spec):
+    document = build_document(spec)
+    once = serialize(parse(serialize(document)))
+    twice = serialize(parse(once))
+    assert once == twice
+
+
+@given(value=texts)
+def test_text_escaping_round_trips(value):
+    document = build_document(element("t", text(value)))
+    assert parse(serialize(document)).root.text_value() == value
+
+
+@given(value=attr_values)
+def test_attribute_escaping_round_trips(value):
+    document = build_document(element("t", attribute("a", value)))
+    assert parse(serialize(document)).root.attribute("a").value == value

@@ -1,0 +1,98 @@
+"""Unit tests for the serializer, including parse/serialize round trips."""
+
+import pytest
+
+from repro.data.sample import SAMPLE_XML
+from repro.errors import TreeStructureError
+from repro.xmlmodel.builder import attribute, build_document, element, text
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.serializer import (
+    XMLSerializer,
+    escape_attribute,
+    escape_text,
+    serialize,
+    serialize_node,
+)
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('say "hi" & <go>') == (
+            "say &quot;hi&quot; &amp; &lt;go&gt;"
+        )
+
+
+class TestSerialization:
+    def test_empty_element_self_closes(self):
+        assert serialize(parse("<a/>")) == "<a/>"
+
+    def test_attributes_rendered(self):
+        assert serialize(parse('<a x="1" y="2"/>')) == '<a x="1" y="2"/>'
+
+    def test_text_content(self):
+        assert serialize(parse("<a>hi</a>")) == "<a>hi</a>"
+
+    def test_comment_and_pi(self):
+        xml = "<a><!--c--><?t d?></a>"
+        assert serialize(parse(xml)) == xml
+
+    def test_escapes_round_trip(self):
+        xml = "<a>&lt;tag&gt; &amp; text</a>"
+        assert serialize(parse(xml)) == xml
+
+    def test_attribute_node_cannot_serialize_alone(self):
+        doc = build_document(element("a", attribute("x", "1")))
+        with pytest.raises(TreeStructureError):
+            serialize_node(doc.root.attributes()[0])
+
+    def test_document_without_root_rejected(self):
+        from repro.xmlmodel.tree import Document
+
+        with pytest.raises(TreeStructureError):
+            serialize(Document())
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("xml", [
+        "<a/>",
+        "<a><b/><c/></a>",
+        '<a id="1"><b>text</b><c x="y"/>tail</a>',
+        "<root><child>one</child><child>two</child></root>",
+        "<a>pre<b>mid</b>post</a>",
+    ])
+    def test_parse_serialize_fixpoint(self, xml):
+        assert serialize(parse(xml)) == xml
+
+    def test_double_round_trip_sample(self):
+        once = serialize(parse(SAMPLE_XML))
+        twice = serialize(parse(once))
+        assert once == twice
+
+    def test_random_documents_round_trip(self):
+        from repro.xmlmodel.generator import random_document
+
+        for seed in range(5):
+            doc = random_document(60, seed=seed)
+            rendered = serialize(doc)
+            assert serialize(parse(rendered)) == rendered
+
+
+class TestPrettyPrinting:
+    def test_indented_output(self):
+        doc = parse("<a><b><c/></b></a>")
+        pretty = XMLSerializer(indent=2).serialize(doc)
+        assert pretty == "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n"
+
+    def test_text_elements_not_broken(self):
+        doc = parse("<a><b>keep me inline</b></a>")
+        pretty = XMLSerializer(indent=2).serialize(doc)
+        assert "<b>keep me inline</b>" in pretty
+
+    def test_pretty_output_reparses_equivalently(self):
+        doc = parse(SAMPLE_XML)
+        pretty = XMLSerializer(indent=4).serialize(doc)
+        names = [n.name for n in parse(pretty).labeled_nodes()]
+        assert names == [n.name for n in doc.labeled_nodes()]

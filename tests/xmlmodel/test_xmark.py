@@ -1,0 +1,86 @@
+"""The XMark-style generator and its bidding update stream."""
+
+import pytest
+
+from conftest import labeled
+from repro.axes.xpath import xpath
+from repro.xmlmodel.serializer import serialize
+from repro.xmlmodel.xmark import XMarkGenerator, bidding_stream, xmark_document
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        assert serialize(xmark_document(scale=0.5, seed=3)) == serialize(
+            xmark_document(scale=0.5, seed=3)
+        )
+
+    def test_scale_grows_linearly_ish(self):
+        small = xmark_document(scale=0.5).labeled_size()
+        large = xmark_document(scale=2.0).labeled_size()
+        assert large > 2 * small
+
+    def test_site_shape(self):
+        document = xmark_document(scale=0.5)
+        top_level = [n.name for n in document.root.element_children()]
+        assert top_level == [
+            "regions", "categories", "people", "open_auctions",
+            "closed_auctions",
+        ]
+
+    def test_items_have_descriptions(self):
+        ldoc = labeled(xmark_document(scale=0.5), "qed")
+        items = xpath(ldoc, "//item")
+        assert items
+        with_description = xpath(ldoc, "//item/description/parlist/listitem")
+        assert with_description
+
+    def test_people_queryable(self):
+        ldoc = labeled(xmark_document(scale=0.5), "qed")
+        people = xpath(ldoc, "//person[@id='person0']/name")
+        assert len(people) == 1
+
+    def test_documents_validate(self):
+        xmark_document(scale=1.5, seed=9).validate()
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            XMarkGenerator(scale=0)
+
+
+class TestBiddingStream:
+    def test_bids_append_to_auctions(self):
+        ldoc = labeled(xmark_document(scale=0.5), "cdqs")
+        before = len(xpath(ldoc, "//bidder"))
+        result = bidding_stream(ldoc, 30, seed=1)
+        assert result.operations == 30
+        assert len(xpath(ldoc, "//bidder")) == before + 30
+        ldoc.verify_order()
+
+    def test_hot_auction_concentrates_bids(self):
+        ldoc = labeled(xmark_document(scale=0.5), "cdqs")
+        bidding_stream(ldoc, 20, hot_auction=0)
+        auctions = xpath(ldoc, "//open_auction")
+        hot_bidders = [
+            c for c in auctions[0].element_children() if c.name == "bidder"
+        ]
+        assert len(hot_bidders) >= 20
+
+    def test_persistent_scheme_absorbs_bids(self):
+        ldoc = labeled(xmark_document(scale=0.5), "qed")
+        result = bidding_stream(ldoc, 40, hot_auction=0)
+        assert result.relabeled_nodes == 0
+        assert result.overflow_events == 0
+
+    def test_global_scheme_relabels_per_bid(self):
+        ldoc = labeled(xmark_document(scale=0.5), "prepost")
+        result = bidding_stream(ldoc, 10, hot_auction=0)
+        assert result.relabel_events >= 10
+
+    def test_stream_is_deterministic(self):
+        first = labeled(xmark_document(scale=0.5), "cdqs")
+        second = labeled(xmark_document(scale=0.5), "cdqs")
+        bidding_stream(first, 15, seed=7)
+        bidding_stream(second, 15, seed=7)
+        assert first.labels_in_document_order() == (
+            second.labels_in_document_order()
+        )
