@@ -26,27 +26,44 @@ from repro.schemes import (
     figure7_schemes,
     make_scheme,
 )
+from repro.observability import MetricsRegistry, get_registry, render_metrics
 from repro.store import XMLRepository, suggest_scheme
-from repro.updates import LabeledDocument, VersionedDocument
+from repro.updates import (
+    BatchResult,
+    LabeledDocument,
+    UpdateBatch,
+    UpdateResult,
+    VersionedDocument,
+    apply_batch,
+    warn_on_legacy_results,
+)
 from repro.xmlmodel import Document, NodeKind, XMLNode, parse, serialize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchResult",
     "Document",
     "FIGURE7_ORDER",
     "LabeledDocument",
     "LabelingScheme",
+    "MetricsRegistry",
     "NodeKind",
     "SchemeMetadata",
+    "UpdateBatch",
+    "UpdateResult",
     "VersionedDocument",
     "XMLNode",
     "XMLRepository",
+    "apply_batch",
     "available_schemes",
+    "get_registry",
+    "render_metrics",
     "suggest_scheme",
     "extension_schemes",
     "figure7_schemes",
     "make_scheme",
     "parse",
     "serialize",
+    "warn_on_legacy_results",
 ]

@@ -28,10 +28,19 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.observability.metrics import get_registry
+
 
 @dataclass
 class Instrumentation:
-    """Mutable operation counters attached to a labelling scheme."""
+    """Mutable operation counters attached to a labelling scheme.
+
+    Every increment is mirrored into the process-wide metrics registry
+    (``scheme.divisions``, ``scheme.comparisons``, ...) so whole-workload
+    totals are observable without summing per-scheme instances; the
+    per-instance fields stay authoritative for the Figure 7 probes and
+    are the only ones :meth:`reset` touches.
+    """
 
     divisions: int = 0
     multiplications: int = 0
@@ -40,6 +49,16 @@ class Instrumentation:
     recursions: int = 0
     max_recursion_depth: int = 0
     _recursion_depth: int = field(default=0, repr=False)
+
+    def __post_init__(self):
+        registry = get_registry()
+        self._metric_divisions = registry.counter("scheme.divisions")
+        self._metric_multiplications = registry.counter(
+            "scheme.multiplications"
+        )
+        self._metric_additions = registry.counter("scheme.additions")
+        self._metric_comparisons = registry.counter("scheme.comparisons")
+        self._metric_recursions = registry.counter("scheme.recursions")
 
     def reset(self) -> None:
         """Zero every counter (probes call this between scenarios)."""
@@ -58,26 +77,31 @@ class Instrumentation:
     def divide(self, numerator, denominator):
         """Perform and count an integer division on algorithm values."""
         self.divisions += 1
+        self._metric_divisions.value += 1
         return numerator // denominator
 
     def divide_float(self, numerator: float, denominator: float) -> float:
         """Perform and count a floating-point division."""
         self.divisions += 1
+        self._metric_divisions.value += 1
         return numerator / denominator
 
     def multiply(self, left, right):
         """Perform and count a multiplication."""
         self.multiplications += 1
+        self._metric_multiplications.value += 1
         return left * right
 
     def add(self, left, right):
         """Perform and count an addition."""
         self.additions += 1
+        self._metric_additions.value += 1
         return left + right
 
     def note_comparison(self) -> None:
         """Record one label comparison (query-cost accounting)."""
         self.comparisons += 1
+        self._metric_comparisons.value += 1
 
     # ------------------------------------------------------------------
     # Recursion accounting
@@ -95,6 +119,7 @@ class Instrumentation:
                     self._label_range(sub, new_left, new_right)
         """
         self.recursions += 1
+        self._metric_recursions.value += 1
         self._recursion_depth += 1
         self.max_recursion_depth = max(
             self.max_recursion_depth, self._recursion_depth

@@ -166,6 +166,51 @@ def _cmd_growth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run an update workload and dump the observability registry."""
+    import random
+
+    from repro.observability.metrics import get_registry, render_metrics
+    from repro.schemes.registry import make_scheme
+    from repro.updates.document import LabeledDocument
+    from repro.xmlmodel.parser import parse
+
+    if args.file:
+        with open(args.file, encoding="utf-8") as handle:
+            document = parse(handle.read())
+    else:
+        document = parse(
+            "<library><shelf><book/><book/></shelf><shelf><book/></shelf>"
+            "</library>"
+        )
+    registry = get_registry()
+    registry.reset()
+    ldoc = LabeledDocument(document, make_scheme(args.scheme))
+    rng = random.Random(args.seed)
+    targets = [
+        node for node in document.all_nodes()
+        if node.is_element and node.parent is not None
+    ]
+    if args.batch:
+        with ldoc.batch() as batch:
+            for index in range(args.ops):
+                batch.insert_after(rng.choice(targets), f"n{index}")
+        ldoc.verify_order()
+        result = ldoc.last_batch_result
+        print(f"batch: {result.operations} ops, "
+              f"{result.relabel_passes} relabel pass(es), "
+              f"{result.relabels_avoided} relabels avoided")
+    else:
+        for index in range(args.ops):
+            ldoc.updates.insert_after(rng.choice(targets), f"n{index}")
+        ldoc.verify_order()
+        print(f"per-op: {args.ops} ops, "
+              f"{ldoc.log.relabel_events} relabel event(s)")
+    print()
+    print(render_metrics(registry, prefix=args.prefix))
+    return 0
+
+
 def _cmd_suggest(args: argparse.Namespace) -> int:
     from repro.store.repository import REQUIREMENT_PROPERTIES, suggest_scheme
 
@@ -229,6 +274,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     suggest.add_argument("requirements", nargs="*")
 
+    metrics = commands.add_parser(
+        "metrics", help="run an update workload and dump metrics"
+    )
+    metrics.add_argument("file", nargs="?", default=None,
+                         help="XML file (default: a built-in sample)")
+    metrics.add_argument("--scheme", default="dewey")
+    metrics.add_argument("--ops", type=int, default=200)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--batch", action="store_true",
+                         help="apply the workload through an UpdateBatch")
+    metrics.add_argument("--prefix", default="",
+                         help="only show metrics whose name starts with this")
+
     return parser
 
 
@@ -242,6 +300,7 @@ _HANDLERS = {
     "growth": _cmd_growth,
     "report": _cmd_report,
     "suggest": _cmd_suggest,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -77,3 +77,26 @@ class XPathError(ReproError):
 
 class FrameworkError(ReproError):
     """Raised by the evaluation framework for misconfigured probes."""
+
+
+class SchemeConfigurationError(FrameworkError):
+    """A scheme could not be instantiated as requested.
+
+    Raised uniformly by :func:`repro.schemes.registry.make_scheme` for
+    both failure modes — an unknown registry name and constructor kwargs
+    the scheme rejects — so callers handle misconfiguration in one place.
+    Carries the sorted list of valid registry names in ``known_schemes``.
+    """
+
+    def __init__(self, message: str, known_schemes=()):
+        super().__init__(message)
+        self.known_schemes = list(known_schemes)
+
+
+class BatchError(UpdateError):
+    """A bulk update batch was used incorrectly.
+
+    Raised when operations are added to an already-applied batch, or when
+    a document is queried while a batch still has unlabelled nodes
+    pending.
+    """

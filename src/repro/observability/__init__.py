@@ -1,0 +1,29 @@
+"""Observability: the metrics registry behind the package's cost accounting.
+
+The survey's whole argument is that update mechanisms must be *measured*,
+not assumed — overflow events, relabel passes and comparison counts are
+its currency.  This package turns those measurements into a uniform,
+process-wide metrics layer: counters, timers and histograms collected in
+a :class:`~repro.observability.metrics.MetricsRegistry`, fed by the
+scheme instrumentation, the update log, the batch engine, the structural
+joins and the comparison cache, and rendered by ``python -m repro
+metrics``.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    render_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "get_registry",
+    "render_metrics",
+]

@@ -1,0 +1,269 @@
+"""A lightweight in-process metrics registry: counters, timers, histograms.
+
+The evaluation framework already counts divisions, recursions and
+comparisons inside each scheme (:mod:`repro.analysis.instrumentation`);
+this module generalises that idea into one process-wide registry that any
+layer can publish into — the update log, the batch engine, the structural
+joins, the comparison cache, the repository.  The design goals are the
+ones a hot path dictates:
+
+* recording must be cheap — a counter increment is one attribute add on a
+  long-lived object callers cache themselves;
+* reading must be consistent — :meth:`MetricsRegistry.snapshot` returns a
+  plain dict that renders, diffs and serialises without touching the live
+  objects again;
+* scoping must be easy — :meth:`MetricsRegistry.scoped` diffs two
+  snapshots so a benchmark can report exactly what one phase cost.
+
+Nothing here is thread-safe by design: the package is single-process,
+single-thread (like the experiments in the survey), and lock-free
+increments keep the instrumented paths honest about their own cost.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing count (events, nodes, cache hits)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    inc = increment  # short alias for hot call sites
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Timer:
+    """Accumulated wall-clock time over any number of timed sections."""
+
+    __slots__ = ("name", "total_seconds", "count")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total_seconds = 0.0
+        self.count = 0
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager measuring one section::
+
+            with registry.timer("batch.apply").time():
+                batch.apply()
+        """
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.total_seconds += time.perf_counter() - started
+            self.count += 1
+
+    def record(self, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.total_seconds += seconds
+        self.count += 1
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean duration per timed section (0.0 when never used)."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Zero the accumulated time and count."""
+        self.total_seconds = 0.0
+        self.count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timer {self.name} {self.total_seconds:.6f}s/{self.count}>"
+
+
+class Histogram:
+    """Distribution summary of observed values (label sizes, batch sizes).
+
+    Keeps count/sum/min/max plus a fixed set of power-of-two bucket
+    upper bounds — enough for the skewed-growth analyses without storing
+    every observation.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
+
+    #: Upper bounds of the power-of-two buckets (the last is open-ended).
+    BOUNDS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                               1024, 4096, 16384, 65536)
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.buckets: List[int] = [0] * (len(self.BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        for index, bound in enumerate(self.BOUNDS):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Forget every observation."""
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+        self.buckets = [0] * (len(self.BOUNDS) + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.2f}>"
+
+
+class MetricsRegistry:
+    """Named counters, timers and histograms under one roof.
+
+    Instruments are created on first access and live for the registry's
+    lifetime, so hot paths fetch them once and increment a cached
+    reference.  Names are dotted paths by convention
+    (``"updates.insertions"``, ``"compare_cache.hits"``).
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def timer(self, name: str) -> Timer:
+        """The timer called ``name``, created on first use."""
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = Timer(name)
+        return timer
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    # -- reading ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat name -> value dict of every instrument.
+
+        Counters contribute their value, timers their total seconds
+        (plus a ``.count`` entry), histograms their count, sum and mean.
+        """
+        values: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            values[name] = counter.value
+        for name, timer in self._timers.items():
+            values[name + ".seconds"] = timer.total_seconds
+            values[name + ".count"] = timer.count
+        for name, histogram in self._histograms.items():
+            values[name + ".count"] = histogram.count
+            values[name + ".sum"] = histogram.total
+            values[name + ".mean"] = histogram.mean
+        return values
+
+    @contextmanager
+    def scoped(self) -> Iterator[Dict[str, float]]:
+        """Context manager yielding the metric *deltas* of its body::
+
+            with registry.scoped() as delta:
+                run_workload()
+            print(delta["scheme.comparisons"])
+
+        The yielded dict is filled in when the block exits.
+        """
+        before = self.snapshot()
+        delta: Dict[str, float] = {}
+        try:
+            yield delta
+        finally:
+            after = self.snapshot()
+            for name, value in after.items():
+                change = value - before.get(name, 0)
+                if change:
+                    delta[name] = change
+
+    def reset(self) -> None:
+        """Zero every instrument (benchmarks call this between phases)."""
+        for counter in self._counters.values():
+            counter.reset()
+        for timer in self._timers.values():
+            timer.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._timers) + len(self._histograms)
+
+
+#: The process-wide registry every built-in instrumented path publishes to.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` singleton."""
+    return _GLOBAL_REGISTRY
+
+
+def render_metrics(registry: Optional[MetricsRegistry] = None,
+                   prefix: str = "") -> str:
+    """Plain-text table of a registry's instruments (the CLI's output).
+
+    ``prefix`` restricts the listing to names starting with it.
+    """
+    if registry is None:
+        registry = _GLOBAL_REGISTRY
+    values = registry.snapshot()
+    names = sorted(name for name in values if name.startswith(prefix))
+    if not names:
+        return "(no metrics recorded)"
+    width = max(len(name) for name in names)
+    lines = []
+    for name in names:
+        value = values[name]
+        rendered = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(
+            value, float
+        ) else str(value)
+        lines.append(f"{name:{width}s}  {rendered}")
+    return "\n".join(lines)

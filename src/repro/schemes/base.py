@@ -183,6 +183,28 @@ class LabelingScheme(abc.ABC):
     def insert_sibling(self, context: SiblingInsertContext) -> InsertOutcome:
         """Label a newly inserted node (and report any relabelling)."""
 
+    def plan_insert(self, context: SiblingInsertContext
+                    ) -> Optional[InsertOutcome]:
+        """Label one insertion *only if* no existing label must change.
+
+        The bulk-update engine's fast path: returns an
+        :class:`InsertOutcome` with an empty relabel map when the scheme
+        can absorb the insertion in place, or ``None`` when it cannot —
+        signalling the engine to defer to one consolidated relabelling
+        pass instead of paying a relabel per operation.  The default asks
+        :meth:`insert_sibling` and discards any outcome that relabels or
+        overflows (including a raised :class:`OverflowEvent`); schemes
+        that can answer cheaper (or that always relabel) override this
+        to skip the wasted work.
+        """
+        try:
+            outcome = self.insert_sibling(context)
+        except OverflowEvent:
+            return None
+        if outcome.relabeled or outcome.overflowed:
+            return None
+        return outcome
+
     def on_delete(self, document: Document, labels: Dict[int, Any],
                   node_id: int) -> Dict[int, Any]:
         """Hook called after a node (and subtree) is removed.
@@ -358,6 +380,31 @@ class PrefixSchemeBase(LabelingScheme):
             self.check_component(component)
         except OverflowEvent:
             return self.full_relabel(context, overflowed=True)
+        return InsertOutcome(label=parent_label + (component,))
+
+    def plan_insert(self, context: SiblingInsertContext
+                    ) -> Optional[InsertOutcome]:
+        """Component algebra directly; ``None`` on overflow, no relabel.
+
+        Unlike the base default, an exhausted component never computes a
+        throwaway full relabel — the overflow surfaces as ``None`` and
+        the bulk engine consolidates.
+        """
+        parent_label = context.parent_label
+        left = context.left_label
+        right = context.right_label
+        try:
+            if left is None and right is None:
+                component = self.component_for_only_child()
+            elif left is None:
+                component = self.component_before(right[-1])
+            elif right is None:
+                component = self.component_after(left[-1])
+            else:
+                component = self.component_between(left[-1], right[-1])
+            self.check_component(component)
+        except OverflowEvent:
+            return None
         return InsertOutcome(label=parent_label + (component,))
 
     def label_size_bits(self, label: Any) -> int:

@@ -1,0 +1,130 @@
+"""Memoizing comparison cache for ``compare()``-heavy query paths.
+
+Every query-side algorithm in the package — :meth:`verify_order`'s sort,
+the stack-tree structural joins, the twig matcher's merge passes,
+repository path queries — is driven by a scheme's ``compare`` and
+``is_ancestor``.  Those are pure functions of the two label *values*
+(prefix schemes compare components, containment schemes compare ranks,
+vector labels compare gradients; none consults mutable scheme state), so
+their results can be memoized safely for as long as the cache fits in
+memory — even across relabelling passes, because relabelled nodes simply
+stop presenting their old label values.
+
+Hits and misses are published to the global metrics registry
+(``compare_cache.hits`` / ``compare_cache.misses`` /
+``compare_cache.uncacheable``), which is how the benchmarks report how
+many label comparisons a workload avoided.
+"""
+
+from __future__ import annotations
+
+import functools
+import weakref
+from typing import Any, Callable, Dict, Tuple
+
+from repro.observability.metrics import get_registry
+from repro.schemes.base import LabelingScheme
+
+#: Entries per table before the cache evicts wholesale (see `_maybe_trim`).
+DEFAULT_MAX_ENTRIES = 1 << 18
+
+
+class ComparisonCache:
+    """Memoized ``compare`` / ``is_ancestor`` views over one scheme.
+
+    Labels must be hashable (every built-in scheme uses tuples or
+    NamedTuples); an unhashable label silently bypasses the cache, so the
+    wrapper is always safe to substitute for the raw scheme methods.
+    """
+
+    def __init__(self, scheme: LabelingScheme,
+                 max_entries: int = DEFAULT_MAX_ENTRIES):
+        self.scheme = scheme
+        self.max_entries = max_entries
+        self._compare: Dict[Tuple[Any, Any], int] = {}
+        self._ancestor: Dict[Tuple[Any, Any], bool] = {}
+        registry = get_registry()
+        self._hits = registry.counter("compare_cache.hits")
+        self._misses = registry.counter("compare_cache.misses")
+        self._uncacheable = registry.counter("compare_cache.uncacheable")
+
+    # -- cached relationship tests ----------------------------------------
+
+    def compare(self, left: Any, right: Any) -> int:
+        """Three-way document-order comparison, memoized by label pair."""
+        try:
+            order = self._compare.get((left, right))
+        except TypeError:
+            self._uncacheable.inc()
+            return self.scheme.compare(left, right)
+        if order is not None:
+            self._hits.inc()
+            return order
+        self._misses.inc()
+        order = self.scheme.compare(left, right)
+        self._maybe_trim(self._compare)
+        self._compare[(left, right)] = order
+        self._compare[(right, left)] = -order
+        return order
+
+    def is_ancestor(self, ancestor: Any, descendant: Any) -> bool:
+        """Label-only ancestor test, memoized by label pair."""
+        try:
+            known = self._ancestor.get((ancestor, descendant))
+        except TypeError:
+            self._uncacheable.inc()
+            return self.scheme.is_ancestor(ancestor, descendant)
+        if known is not None:
+            self._hits.inc()
+            return known
+        self._misses.inc()
+        known = self.scheme.is_ancestor(ancestor, descendant)
+        self._maybe_trim(self._ancestor)
+        self._ancestor[(ancestor, descendant)] = known
+        return known
+
+    def is_parent(self, parent: Any, child: Any) -> bool:
+        """Label-only parent test (uncached: call volumes are low)."""
+        return self.scheme.is_parent(parent, child)
+
+    def sort_key(self) -> Callable[[Any], Any]:
+        """A ``key=`` callable sorting labels into document order.
+
+        Equivalent to ``functools.cmp_to_key(scheme.compare)`` but every
+        pairwise comparison the sort performs goes through the cache.
+        """
+        return functools.cmp_to_key(self.compare)
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every memoized result (tests and memory management)."""
+        self._compare.clear()
+        self._ancestor.clear()
+
+    def _maybe_trim(self, table: Dict) -> None:
+        # Wholesale eviction keeps the hot path to one dict lookup; the
+        # tables refill from the working set within one query.
+        if len(table) >= self.max_entries:
+            table.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ComparisonCache {self.scheme.metadata.name} "
+                f"compare={len(self._compare)} ancestor={len(self._ancestor)}>")
+
+
+_CACHES: "weakref.WeakKeyDictionary[LabelingScheme, ComparisonCache]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def comparison_cache_for(scheme: LabelingScheme) -> ComparisonCache:
+    """The process-wide :class:`ComparisonCache` for ``scheme``.
+
+    One cache per scheme *instance*, held weakly so dropping the scheme
+    drops its cache.
+    """
+    cache = _CACHES.get(scheme)
+    if cache is None:
+        cache = _CACHES[scheme] = ComparisonCache(scheme)
+    return cache

@@ -117,6 +117,14 @@ class PrePostScheme(LabelingScheme):
         """
         return self.full_relabel(context)
 
+    def plan_insert(self, context: SiblingInsertContext) -> None:
+        """Always ``None``: global ranks shift on every insertion.
+
+        Returning ``None`` without computing the throwaway relabel lets
+        the bulk engine fold an entire batch into one rank recomputation.
+        """
+        return None
+
     def label_size_bits(self, label: PrePostLabel) -> int:
         return 3 * self.storage.width_bits
 

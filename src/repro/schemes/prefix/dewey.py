@@ -25,6 +25,7 @@ from repro.core.properties import (
 )
 from repro.schemes.base import (
     InsertOutcome,
+    LabelingScheme,
     PrefixSchemeBase,
     SchemeFamily,
     SchemeMetadata,
@@ -94,6 +95,16 @@ class DeweyScheme(PrefixSchemeBase):
 
     # -- insertion with follow-sibling relabelling ------------------------
 
+    def plan_insert(self, context: SiblingInsertContext):
+        """Generic probe, not component algebra.
+
+        Dense integer components have no "between", so the prefix-base
+        fast path would mint duplicates; instead ask the real
+        :meth:`insert_sibling` and defer whenever it would shift
+        followers.
+        """
+        return LabelingScheme.plan_insert(self, context)
+
     def insert_sibling(self, context: SiblingInsertContext) -> InsertOutcome:
         """Take the slot after the left sibling; shift colliding followers.
 
@@ -144,7 +155,11 @@ class DeweyScheme(PrefixSchemeBase):
                          relabeled: Dict[int, Any]) -> None:
         relabeled[node.node_id] = new_prefix
         for child in node.labeled_children():
-            old_child = context.labels[child.node_id]
+            # Descendants without labels yet (batch-deferred insertions)
+            # are invisible: the consolidated pass will label them.
+            old_child = context.labels.get(child.node_id)
+            if old_child is None:
+                continue
             self._relabel_subtree(
                 child, old_child, new_prefix + (old_child[-1],), context, relabeled
             )

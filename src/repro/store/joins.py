@@ -8,13 +8,22 @@ join and a stack-based merge join in the Stack-Tree-Desc style, driven
 entirely by a scheme's ``compare`` and ``is_ancestor`` — so it runs
 unmodified over containment, prefix and vector labels, which is the
 whole point of label-decidable relationships (section 2.2).
+
+All joins route label comparisons through the scheme's memoized
+:class:`~repro.schemes.cache.ComparisonCache`: join inputs repeat the
+same label pairs heavily (every stack probe re-tests recent ancestors),
+so repeated joins over stable label sets hit the cache instead of
+re-deriving the relationship.  Each join run also increments a
+``store.joins.*`` counter in the global metrics registry.
 """
 
 from __future__ import annotations
 
 from typing import Any, List, Sequence, Tuple
 
+from repro.observability.metrics import get_registry
 from repro.schemes.base import LabelingScheme
+from repro.schemes.cache import comparison_cache_for
 
 #: A labelled item: (label, payload); the join never inspects payloads.
 Item = Tuple[Any, Any]
@@ -23,11 +32,13 @@ Item = Tuple[Any, Any]
 def nested_loop_join(scheme: LabelingScheme, ancestors: Sequence[Item],
                      descendants: Sequence[Item]) -> List[Tuple[Any, Any]]:
     """The O(|A| * |D|) baseline: test every pair."""
+    get_registry().counter("store.joins.nested_loop").increment()
+    cache = comparison_cache_for(scheme)
     return [
         (a_payload, d_payload)
         for a_label, a_payload in ancestors
         for d_label, d_payload in descendants
-        if scheme.is_ancestor(a_label, d_label)
+        if cache.is_ancestor(a_label, d_label)
     ]
 
 
@@ -41,19 +52,21 @@ def stack_tree_join(scheme: LabelingScheme, ancestors: Sequence[Item],
     descendant-list node emits one pair per stack entry.  Runs in
     O(|A| + |D| + output) label operations.
     """
+    get_registry().counter("store.joins.stack_tree").increment()
+    cache = comparison_cache_for(scheme)
     output: List[Tuple[Any, Any]] = []
     stack: List[Item] = []
     a_index = 0
     d_index = 0
 
     def pop_finished(label: Any) -> None:
-        while stack and not scheme.is_ancestor(stack[-1][0], label):
+        while stack and not cache.is_ancestor(stack[-1][0], label):
             stack.pop()
 
     while d_index < len(descendants):
         d_label, d_payload = descendants[d_index]
         if a_index < len(ancestors) and (
-            scheme.compare(ancestors[a_index][0], d_label) < 0
+            cache.compare(ancestors[a_index][0], d_label) < 0
         ):
             a_label, a_payload = ancestors[a_index]
             pop_finished(a_label)
@@ -74,19 +87,21 @@ def semi_join(scheme: LabelingScheme, ancestors: Sequence[Item],
     The building block for path joins: keeps document order, emits each
     descendant at most once.
     """
+    get_registry().counter("store.joins.semi").increment()
+    cache = comparison_cache_for(scheme)
     kept: List[Item] = []
     stack: List[Any] = []
     a_index = 0
     for d_label, d_payload in descendants:
-        while a_index < len(ancestors) and scheme.compare(
+        while a_index < len(ancestors) and cache.compare(
             ancestors[a_index][0], d_label
         ) < 0:
             a_label = ancestors[a_index][0]
-            while stack and not scheme.is_ancestor(stack[-1], a_label):
+            while stack and not cache.is_ancestor(stack[-1], a_label):
                 stack.pop()
             stack.append(a_label)
             a_index += 1
-        while stack and not scheme.is_ancestor(stack[-1], d_label):
+        while stack and not cache.is_ancestor(stack[-1], d_label):
             stack.pop()
         if stack:
             kept.append((d_label, d_payload))
@@ -111,19 +126,21 @@ def path_join(scheme: LabelingScheme,
 def count_join(scheme: LabelingScheme, ancestors: Sequence[Item],
                descendants: Sequence[Item]) -> int:
     """Output cardinality of the structural join without materialising."""
+    get_registry().counter("store.joins.count").increment()
+    cache = comparison_cache_for(scheme)
     total = 0
     stack: List[Any] = []
     a_index = 0
     for d_label, _payload in descendants:
-        while a_index < len(ancestors) and scheme.compare(
+        while a_index < len(ancestors) and cache.compare(
             ancestors[a_index][0], d_label
         ) < 0:
             a_label = ancestors[a_index][0]
-            while stack and not scheme.is_ancestor(stack[-1], a_label):
+            while stack and not cache.is_ancestor(stack[-1], a_label):
                 stack.pop()
             stack.append(a_label)
             a_index += 1
-        while stack and not scheme.is_ancestor(stack[-1], d_label):
+        while stack and not cache.is_ancestor(stack[-1], d_label):
             stack.pop()
         total += len(stack)
     return total

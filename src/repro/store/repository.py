@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.properties import PAPER_FIGURE_7, PROPERTY_ORDER, Property
 from repro.encoding.codec import codec_for
 from repro.errors import UpdateError
+from repro.observability.metrics import get_registry
 from repro.schemes.registry import make_scheme
 from repro.store.indexes import DocumentIndexes
 from repro.store.joins import path_join
@@ -65,6 +66,7 @@ class StoredDocument:
         Index scans feed the stack-based joins of
         :mod:`repro.store.joins`; no tree navigation happens.
         """
+        get_registry().counter("repository.path_queries").increment()
         levels = [self.indexes.by_name(step) for step in names]
         if any(not level for level in levels):
             return []
@@ -106,12 +108,15 @@ class XMLRepository:
         """Ingest a document (XML text or an existing tree)."""
         if name in self._documents:
             raise UpdateError(f"document {name!r} already exists")
+        registry = get_registry()
         document = parse(source) if isinstance(source, str) else source
-        ldoc = LabeledDocument(
-            document, make_scheme(scheme or self.default_scheme,
-                                  **scheme_config)
-        )
-        stored = StoredDocument(name, ldoc)
+        with registry.timer("repository.ingest").time():
+            ldoc = LabeledDocument(
+                document, make_scheme(scheme or self.default_scheme,
+                                      **scheme_config)
+            )
+            stored = StoredDocument(name, ldoc)
+        registry.counter("repository.documents_added").increment()
         self._documents[name] = stored
         return stored
 
@@ -138,6 +143,7 @@ class XMLRepository:
 
     def snapshot(self, name: str) -> Snapshot:
         """Freeze one document's state."""
+        get_registry().counter("repository.snapshots").increment()
         return self.get(name).snapshot()
 
     def restore(self, snapshot: Snapshot,
@@ -148,6 +154,7 @@ class XMLRepository:
         tree in document order; a persistent scheme's labels therefore
         come back bit-identical.
         """
+        get_registry().counter("repository.restores").increment()
         target = name or snapshot.name
         if target in self._documents:
             raise UpdateError(f"document {target!r} already exists")

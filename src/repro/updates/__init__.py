@@ -1,6 +1,12 @@
 """Dynamic updates: the labelled document, operations and workloads."""
 
+from repro.updates.batch import BatchResult, UpdateBatch, apply_batch
 from repro.updates.document import LabeledDocument, UpdateLog
+from repro.updates.results import (
+    UpdateResult,
+    UpdateSurface,
+    warn_on_legacy_results,
+)
 from repro.updates.versioning import (
     Annotation,
     Revision,
@@ -13,6 +19,7 @@ from repro.updates.operations import (
     adopt_subtree,
     apply_operation,
     apply_program,
+    dispatch_operation,
 )
 from repro.updates.workloads import (
     WorkloadResult,
@@ -26,21 +33,28 @@ from repro.updates.workloads import (
 
 __all__ = [
     "Annotation",
+    "BatchResult",
     "LabeledDocument",
     "OpKind",
     "Operation",
     "Revision",
     "RevisionDiff",
+    "UpdateBatch",
     "UpdateLog",
+    "UpdateResult",
+    "UpdateSurface",
     "VersionedDocument",
     "WorkloadResult",
     "adopt_subtree",
     "append_insertions",
+    "apply_batch",
     "apply_operation",
     "apply_program",
     "churn",
+    "dispatch_operation",
     "prepend_insertions",
     "random_insertions",
     "skewed_insertions",
     "uniform_insertions",
+    "warn_on_legacy_results",
 ]

@@ -1,0 +1,417 @@
+"""Bulk updates with deferred relabelling: the batch engine.
+
+Per-operation updates pay the scheme's worst case on every call: a
+single mid-sibling insertion under DeweyID shifts followers, under the
+XPath Accelerator it recomputes the whole pre/post plane.  Applying a
+thousand such operations one at a time therefore performs up to a
+thousand relabelling passes, almost all of which are overwritten by the
+next one — the survey's "significant costs" multiplied by batch size.
+
+:class:`UpdateBatch` removes the multiplication.  Structural mutations
+are applied to the tree eagerly (so later operations in the batch see
+the current shape), but labelling is split:
+
+* the **fast path** asks the scheme's
+  :meth:`~repro.schemes.base.LabelingScheme.plan_insert` to label the
+  node *only if* no existing label must change — persistent schemes
+  (QED, CDQS, vector...) take this path for every operation and a batch
+  degenerates to exactly the per-operation behaviour, label for label;
+* otherwise the node's label is **deferred**: the batch remembers the
+  node and moves on without computing the relabelling the per-operation
+  path would have paid.
+
+On :meth:`~UpdateBatch.apply` all deferred labels are produced by one
+consolidated :meth:`~repro.schemes.base.LabelingScheme.label_tree` pass
+— a single relabel event regardless of how many operations deferred.
+
+Accounting contract (the batch/per-op parity rules):
+
+* ``insertions``, ``deletions`` and ``content_updates`` in the
+  document's :class:`~repro.updates.document.UpdateLog` advance exactly
+  as the per-operation path would — one insertion per labelled node,
+  recorded when the operation runs, even if the node is deleted later
+  in the same batch.
+* ``relabeled_nodes`` / ``relabel_events`` / ``overflow_events`` are
+  *consolidated*: when every operation takes the fast path they equal
+  the per-operation totals (zero); when any operation defers, the batch
+  records one relabel event for the final pass instead of one per
+  deferring operation.  :class:`BatchResult.relabels_avoided` reports
+  the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, List, Optional, Set
+
+from repro.errors import BatchError, UpdateError
+from repro.observability.metrics import get_registry
+from repro.updates.results import UpdateResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.updates.document import LabeledDocument
+    from repro.updates.operations import Operation
+    from repro.xmlmodel.tree import XMLNode
+
+
+@dataclass
+class BatchResult:
+    """Consolidated outcome of one applied :class:`UpdateBatch`.
+
+    ``operations`` counts batch-level calls (an ``insert_subtree`` is
+    one operation); ``labels_assigned`` counts labelled nodes created.
+    ``deferred_labels`` is how many of those waited for the consolidated
+    pass, ``relabel_passes`` how many passes ran (0 or 1), and
+    ``relabels_avoided`` the relabelling events the per-operation path
+    would have performed but the batch did not.  ``results`` holds the
+    per-operation :class:`~repro.updates.results.UpdateResult` objects
+    in execution order, with deferred labels filled in.
+    """
+
+    operations: int = 0
+    labels_assigned: int = 0
+    deferred_labels: int = 0
+    relabel_passes: int = 0
+    relabels_avoided: int = 0
+    relabeled_nodes: int = 0
+    overflow_events: int = 0
+    deletions: int = 0
+    content_updates: int = 0
+    results: List[UpdateResult] = field(default_factory=list)
+
+
+class UpdateBatch:
+    """A group of updates labelled with at most one relabelling pass.
+
+    Usable imperatively (call :meth:`apply` when done) or as a context
+    manager (applied on clean exit, abandoned on exception)::
+
+        with ldoc.batch() as batch:
+            for name in names:
+                batch.append_child(parent, name)
+        ldoc.last_batch_result.relabels_avoided
+
+    While the batch has deferred (pending) labels the document is
+    structurally current but partially unlabelled;
+    :meth:`~repro.updates.document.LabeledDocument.verify_order` refuses
+    to run until the batch applies.
+    """
+
+    def __init__(self, ldoc: "LabeledDocument"):
+        if ldoc._active_batch is not None:
+            raise BatchError("document already has an open batch")
+        self._ldoc = ldoc
+        self._pending: Set[int] = set()
+        self._results: List[UpdateResult] = []
+        self._operations = 0
+        self._deferrals = 0
+        self._deletions = 0
+        self._content_updates = 0
+        self._overflow_events = 0
+        self._applied = False
+        registry = get_registry()
+        self._metric_fast = registry.counter("batch.fast_path_labels")
+        self._metric_deferred = registry.counter("batch.deferred_labels")
+        ldoc._active_batch = self
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """How many nodes currently await a label (0 once applied)."""
+        return len(self._pending)
+
+    @property
+    def applied(self) -> bool:
+        """Whether :meth:`apply` has run."""
+        return self._applied
+
+    @property
+    def results(self) -> List[UpdateResult]:
+        """Per-operation results recorded so far, in execution order."""
+        return list(self._results)
+
+    # ------------------------------------------------------------------
+    # Operations (mirror of the UpdateSurface)
+    # ------------------------------------------------------------------
+
+    def insert_before(self, reference: "XMLNode", name: str) -> UpdateResult:
+        """Insert a new element immediately before ``reference``."""
+        return self._insert_sibling(reference, name, after=False)
+
+    def insert_after(self, reference: "XMLNode", name: str) -> UpdateResult:
+        """Insert a new element immediately after ``reference``."""
+        return self._insert_sibling(reference, name, after=True)
+
+    def append_child(self, parent: "XMLNode", name: str) -> UpdateResult:
+        """Insert a new element as the last child of ``parent``."""
+        self._check_open()
+        element = self._ldoc.document.new_element(name)
+        parent.append_child(element)
+        return self._record(self._label_or_defer(element))
+
+    def prepend_child(self, parent: "XMLNode", name: str) -> UpdateResult:
+        """Insert a new element as the first content child of ``parent``."""
+        self._check_open()
+        element = self._ldoc.document.new_element(name)
+        parent.insert_child(len(parent.attributes()), element)
+        return self._record(self._label_or_defer(element))
+
+    def insert_attribute(self, element: "XMLNode", name: str,
+                         value: str) -> UpdateResult:
+        """Insert a new attribute on ``element``."""
+        self._check_open()
+        attribute = self._ldoc.document.new_attribute(name, value)
+        element.insert_child(len(element.attributes()), attribute)
+        return self._record(self._label_or_defer(attribute))
+
+    def insert_subtree(self, parent: "XMLNode", index: int,
+                       fragment: "XMLNode") -> UpdateResult:
+        """Insert a whole subtree as a serialised node sequence."""
+        self._check_open()
+        ldoc = self._ldoc
+        root_copy = ldoc._copy_shallow(fragment)
+        parent.insert_child(index, root_copy)
+        combined = self._label_or_defer(root_copy)
+        combined.kind = "insert-subtree"
+        self._graft_children(fragment, root_copy, combined)
+        return self._record(combined)
+
+    def delete(self, node: "XMLNode") -> UpdateResult:
+        """Remove ``node`` and its subtree.
+
+        Pending nodes inside the subtree simply stop being pending; a
+        scheme's ``on_delete`` reorganisation (LSDX letter reuse) runs
+        eagerly, exactly as per-operation, and may label previously
+        pending nodes.
+        """
+        self._check_open()
+        ldoc = self._ldoc
+        doomed = [
+            child.node_id for child in node.preorder()
+            if child.node_id in self._pending
+        ]
+        result = ldoc._do_delete(node)
+        self._pending.difference_update(doomed)
+        self._drop_labelled_pending()
+        self._deletions += 1
+        return self._record(result)
+
+    def move(self, node: "XMLNode", new_parent: "XMLNode",
+             index: int) -> UpdateResult:
+        """Relocate a subtree; its nodes are relabelled at the target."""
+        self._check_open()
+        ldoc = self._ldoc
+        if node.parent is None:
+            raise UpdateError("the root element cannot be moved")
+        if node is new_parent or node.is_ancestor_of(new_parent):
+            raise UpdateError("cannot move a node under itself")
+        old_parent = node.parent
+        moved_ids = [
+            child.node_id for child in node.preorder() if child.kind.is_labeled
+        ]
+        old_parent.remove_child(node)
+        relabeled = ldoc.scheme.on_delete(ldoc.document, ldoc.labels, node.node_id)
+        for node_id in moved_ids:
+            label = ldoc.labels.pop(node_id, None)
+            if label is not None and ldoc._label_index.get(label) == node_id:
+                del ldoc._label_index[label]
+        self._pending.difference_update(moved_ids)
+        combined = UpdateResult(kind="move", node=node)
+        if relabeled:
+            ldoc._apply_relabeling(relabeled)
+            combined.relabeled_nodes += len(relabeled)
+            combined.relabel_events += 1
+            self._drop_labelled_pending()
+        new_parent.insert_child(index, node)
+        for child in node.preorder():
+            if child.kind.is_labeled:
+                part = self._label_or_defer(child)
+                combined.labels_assigned += part.labels_assigned
+                combined.deferred = combined.deferred or part.deferred
+        combined.label = ldoc.labels.get(node.node_id)
+        return self._record(combined)
+
+    def set_text(self, element: "XMLNode", text: str) -> UpdateResult:
+        """Replace an element's text content (labels untouched)."""
+        self._check_open()
+        self._content_updates += 1
+        return self._record(self._ldoc._do_set_text(element, text))
+
+    def set_attribute_value(self, attribute: "XMLNode",
+                            value: str) -> UpdateResult:
+        """Replace an attribute's value (labels untouched)."""
+        self._check_open()
+        self._content_updates += 1
+        return self._record(self._ldoc._do_set_attribute_value(attribute, value))
+
+    def rename(self, node: "XMLNode", name: str) -> UpdateResult:
+        """Rename an element or attribute (labels untouched)."""
+        self._check_open()
+        self._content_updates += 1
+        return self._record(self._ldoc._do_rename(node, name))
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def apply(self) -> BatchResult:
+        """Label all deferred nodes in one pass and close the batch.
+
+        If every operation took the fast path this is free: no pass
+        runs, no label changes.  Otherwise one
+        :meth:`~repro.schemes.base.LabelingScheme.label_tree` traversal
+        produces every outstanding label — and, as a full relabelling,
+        replaces fast-path labels assigned earlier in the batch so the
+        final label set is exactly the scheme's canonical labelling of
+        the current tree.
+        """
+        self._check_open()
+        ldoc = self._ldoc
+        passes = 0
+        relabeled_nodes = 0
+        if self._pending:
+            old_labels = ldoc.labels
+            new_labels = ldoc.scheme.label_tree(ldoc.document)
+            relabeled_nodes = sum(
+                1 for node_id, label in new_labels.items()
+                if node_id in old_labels and old_labels[node_id] != label
+            )
+            ldoc.labels = new_labels
+            ldoc._rebuild_label_index()
+            ldoc.log.record("relabel_events")
+            ldoc.log.record("relabeled_nodes", relabeled_nodes)
+            passes = 1
+            self._pending.clear()
+        for result in self._results:
+            if result.node is not None and result.kind != "delete":
+                result.label = ldoc.labels.get(result.node.node_id)
+                result.deferred = False
+        self._applied = True
+        ldoc._active_batch = None
+        batch_result = BatchResult(
+            operations=self._operations,
+            labels_assigned=sum(r.labels_assigned for r in self._results),
+            deferred_labels=self._deferrals,
+            relabel_passes=passes,
+            relabels_avoided=max(0, self._deferrals - passes),
+            relabeled_nodes=relabeled_nodes
+            + sum(r.relabeled_nodes for r in self._results),
+            overflow_events=self._overflow_events,
+            deletions=self._deletions,
+            content_updates=self._content_updates,
+            results=list(self._results),
+        )
+        ldoc.last_batch_result = batch_result
+        return batch_result
+
+    def abandon(self) -> None:
+        """Close the batch without labelling pending nodes.
+
+        Structural mutations already made are *not* rolled back; the
+        document should be considered unlabelled-in-part and relabelled
+        (``scheme.label_tree``) before further use.  Used by the context
+        manager on exception.
+        """
+        self._applied = True
+        self._pending.clear()
+        self._ldoc._active_batch = None
+
+    def __enter__(self) -> "UpdateBatch":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is not None:
+            self.abandon()
+        elif not self._applied:
+            self.apply()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._applied:
+            raise BatchError("batch already applied")
+
+    def _record(self, result: UpdateResult) -> UpdateResult:
+        self._operations += 1
+        self._results.append(result)
+        return result
+
+    def _insert_sibling(self, reference: "XMLNode", name: str,
+                        after: bool) -> UpdateResult:
+        self._check_open()
+        ldoc = self._ldoc
+        parent = ldoc._parent_of(reference)
+        index = parent.child_index(reference) + (1 if after else 0)
+        element = ldoc.document.new_element(name)
+        parent.insert_child(index, element)
+        return self._record(self._label_or_defer(element))
+
+    def _graft_children(self, source: "XMLNode", target: "XMLNode",
+                        combined: UpdateResult) -> None:
+        ldoc = self._ldoc
+        for child in source.children:
+            child_copy = ldoc._copy_shallow(child)
+            target.append_child(child_copy)
+            if child_copy.kind.is_labeled:
+                part = self._label_or_defer(child_copy)
+                combined.labels_assigned += part.labels_assigned
+                combined.deferred = combined.deferred or part.deferred
+            self._graft_children(child, child_copy, combined)
+
+    def _label_or_defer(self, node: "XMLNode") -> UpdateResult:
+        """Fast-path label one new node, or park it for the final pass."""
+        ldoc = self._ldoc
+        ldoc.log.record("insertions")
+        outcome = None
+        # A pending (unlabelled) parent rules out the fast path: the
+        # scheme cannot extend a label that does not exist yet.
+        if node.parent is not None and node.parent.node_id in ldoc.labels:
+            outcome = ldoc.scheme.plan_insert(ldoc._insert_context_for(node))
+        if outcome is None:
+            self._pending.add(node.node_id)
+            self._deferrals += 1
+            self._metric_deferred.value += 1
+            return UpdateResult(kind="insert", node=node, labels_assigned=1,
+                                deferred=True)
+        if outcome.overflowed:
+            ldoc.log.record("overflow_events")
+            self._overflow_events += 1
+        ldoc._assign(node.node_id, outcome.label)
+        self._metric_fast.value += 1
+        return UpdateResult(
+            kind="insert", node=node, label=outcome.label, labels_assigned=1,
+            overflow_events=1 if outcome.overflowed else 0,
+        )
+
+    def _drop_labelled_pending(self) -> None:
+        """Forget pending nodes a relabelling just gave labels to."""
+        if not self._pending:
+            return
+        labelled = [
+            node_id for node_id in self._pending if node_id in self._ldoc.labels
+        ]
+        self._pending.difference_update(labelled)
+
+
+def apply_batch(ldoc: "LabeledDocument",
+                program: List["Operation"]) -> BatchResult:
+    """Run a declarative operation program through one batch.
+
+    The batch counterpart of
+    :func:`~repro.updates.operations.apply_program`: positional targets
+    are resolved against the evolving document through the identical
+    dispatch, so ``apply_batch(ldoc, program)`` visits the same nodes as
+    per-operation application of the same program — the basis of the
+    batch/per-op equivalence property tests.
+    """
+    from repro.updates.operations import dispatch_operation
+
+    with ldoc.batch() as batch:
+        for operation in program:
+            dispatch_operation(batch, ldoc, operation)
+    return ldoc.last_batch_result

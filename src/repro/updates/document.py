@@ -17,18 +17,26 @@ the paper's structural/content distinction from section 3.1.
 
 from __future__ import annotations
 
-import functools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from repro.errors import LabelCollisionError, UpdateError
+from repro.errors import BatchError, LabelCollisionError, UpdateError
+from repro.observability.metrics import get_registry
 from repro.schemes.base import LabelingScheme, SiblingInsertContext
+from repro.updates.results import UpdateResult, UpdateSurface, _maybe_warn_legacy
 from repro.xmlmodel.tree import Document, NodeKind, XMLNode
 
 
 @dataclass
 class UpdateLog:
-    """Running totals of update activity and its labelling cost."""
+    """Running totals of update activity and its labelling cost.
+
+    Every increment is mirrored into the global metrics registry under
+    ``updates.*`` (insertions, relabel_events, ...), so whole-process
+    totals across many documents are observable from one place; the
+    per-document fields stay authoritative for the evaluation framework
+    and are the only state :meth:`reset` touches.
+    """
 
     insertions: int = 0
     deletions: int = 0
@@ -37,6 +45,22 @@ class UpdateLog:
     relabel_events: int = 0
     overflow_events: int = 0
     collisions: int = 0
+
+    def __post_init__(self):
+        registry = get_registry()
+        self._metrics = {
+            name: registry.counter(f"updates.{name}")
+            for name in (
+                "insertions", "deletions", "content_updates",
+                "relabeled_nodes", "relabel_events", "overflow_events",
+                "collisions",
+            )
+        }
+
+    def record(self, counter: str, amount: int = 1) -> None:
+        """Add ``amount`` to one named counter (and its global mirror)."""
+        setattr(self, counter, getattr(self, counter) + amount)
+        self._metrics[counter].value += amount
 
     def reset(self) -> None:
         self.insertions = 0
@@ -67,6 +91,8 @@ class LabeledDocument:
         self.log = UpdateLog()
         self.labels: Dict[int, Any] = scheme.label_tree(document)
         self._label_index: Dict[Any, int] = {}
+        self._active_batch = None
+        self.last_batch_result = None
         self._rebuild_label_index()
 
     @classmethod
@@ -84,8 +110,40 @@ class LabeledDocument:
         instance.log = UpdateLog()
         instance.labels = dict(labels)
         instance._label_index = {}
+        instance._active_batch = None
+        instance.last_batch_result = None
         instance._rebuild_label_index()
         return instance
+
+    # ------------------------------------------------------------------
+    # The unified update surface
+    # ------------------------------------------------------------------
+
+    @property
+    def updates(self) -> UpdateSurface:
+        """The result-returning update API (the canonical surface).
+
+        Every method mirrors a legacy mutator but returns an
+        :class:`~repro.updates.results.UpdateResult` describing the
+        labelling cost of that one operation::
+
+            result = ldoc.updates.insert_after(ref, "name")
+            result.node, result.label, result.relabeled_nodes
+        """
+        return UpdateSurface(self)
+
+    def batch(self) -> "Any":
+        """Open an :class:`~repro.updates.batch.UpdateBatch` on this document.
+
+        Usable directly or as a context manager (applied on exit)::
+
+            with ldoc.batch() as batch:
+                batch.append_child(parent, "entry")
+            ldoc.last_batch_result  # the BatchResult
+        """
+        from repro.updates.batch import UpdateBatch
+
+        return UpdateBatch(self)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -111,44 +169,49 @@ class LabeledDocument:
     # ------------------------------------------------------------------
 
     def insert_before(self, reference: XMLNode, name: str) -> XMLNode:
-        """Insert a new element immediately before ``reference``."""
-        parent = self._parent_of(reference)
-        index = parent.child_index(reference)
-        element = self.document.new_element(name)
-        parent.insert_child(index, element)
-        self._label_new_node(element)
-        return element
+        """Insert a new element immediately before ``reference``.
+
+        Deprecated shim: returns the bare node.  Prefer
+        ``ldoc.updates.insert_before`` for an ``UpdateResult``.
+        """
+        _maybe_warn_legacy("insert_before")
+        return self._do_insert_sibling(reference, name, after=False).node
 
     def insert_after(self, reference: XMLNode, name: str) -> XMLNode:
-        """Insert a new element immediately after ``reference``."""
-        parent = self._parent_of(reference)
-        index = parent.child_index(reference) + 1
-        element = self.document.new_element(name)
-        parent.insert_child(index, element)
-        self._label_new_node(element)
-        return element
+        """Insert a new element immediately after ``reference``.
+
+        Deprecated shim: returns the bare node.  Prefer
+        ``ldoc.updates.insert_after`` for an ``UpdateResult``.
+        """
+        _maybe_warn_legacy("insert_after")
+        return self._do_insert_sibling(reference, name, after=True).node
 
     def append_child(self, parent: XMLNode, name: str) -> XMLNode:
-        """Insert a new element as the last child of ``parent``."""
-        element = self.document.new_element(name)
-        parent.append_child(element)
-        self._label_new_node(element)
-        return element
+        """Insert a new element as the last child of ``parent``.
+
+        Deprecated shim: returns the bare node.  Prefer
+        ``ldoc.updates.append_child`` for an ``UpdateResult``.
+        """
+        _maybe_warn_legacy("append_child")
+        return self._do_append_child(parent, name).node
 
     def prepend_child(self, parent: XMLNode, name: str) -> XMLNode:
-        """Insert a new element as the first content child of ``parent``."""
-        element = self.document.new_element(name)
-        index = len(parent.attributes())
-        parent.insert_child(index, element)
-        self._label_new_node(element)
-        return element
+        """Insert a new element as the first content child of ``parent``.
+
+        Deprecated shim: returns the bare node.  Prefer
+        ``ldoc.updates.prepend_child`` for an ``UpdateResult``.
+        """
+        _maybe_warn_legacy("prepend_child")
+        return self._do_prepend_child(parent, name).node
 
     def insert_attribute(self, element: XMLNode, name: str, value: str) -> XMLNode:
-        """Insert a new attribute (positioned after existing attributes)."""
-        attribute = self.document.new_attribute(name, value)
-        element.insert_child(len(element.attributes()), attribute)
-        self._label_new_node(attribute)
-        return attribute
+        """Insert a new attribute (positioned after existing attributes).
+
+        Deprecated shim: returns the bare node.  Prefer
+        ``ldoc.updates.insert_attribute`` for an ``UpdateResult``.
+        """
+        _maybe_warn_legacy("insert_attribute")
+        return self._do_insert_attribute(element, name, value).node
 
     def insert_subtree(self, parent: XMLNode, index: int,
                        fragment: XMLNode) -> XMLNode:
@@ -159,20 +222,60 @@ class LabeledDocument:
         may come from another document (for example
         :func:`~repro.xmlmodel.parser.parse_fragment`); its nodes are
         re-created in this document.
+
+        Deprecated shim: returns the bare subtree root.  Prefer
+        ``ldoc.updates.insert_subtree`` for an ``UpdateResult``.
         """
+        _maybe_warn_legacy("insert_subtree")
+        return self._do_insert_subtree(parent, index, fragment).node
+
+    # -- result-returning cores (the UpdateSurface implementations) -----
+
+    def _do_insert_sibling(self, reference: XMLNode, name: str,
+                           after: bool) -> UpdateResult:
+        parent = self._parent_of(reference)
+        index = parent.child_index(reference) + (1 if after else 0)
+        element = self.document.new_element(name)
+        parent.insert_child(index, element)
+        return self._label_new_node(element)
+
+    def _do_append_child(self, parent: XMLNode, name: str) -> UpdateResult:
+        element = self.document.new_element(name)
+        parent.append_child(element)
+        return self._label_new_node(element)
+
+    def _do_prepend_child(self, parent: XMLNode, name: str) -> UpdateResult:
+        element = self.document.new_element(name)
+        parent.insert_child(len(parent.attributes()), element)
+        return self._label_new_node(element)
+
+    def _do_insert_attribute(self, element: XMLNode, name: str,
+                             value: str) -> UpdateResult:
+        attribute = self.document.new_attribute(name, value)
+        element.insert_child(len(element.attributes()), attribute)
+        return self._label_new_node(attribute)
+
+    def _do_insert_subtree(self, parent: XMLNode, index: int,
+                           fragment: XMLNode) -> UpdateResult:
         root_copy = self._copy_shallow(fragment)
         parent.insert_child(index, root_copy)
-        self._label_new_node(root_copy)
-        self._insert_children_of(fragment, root_copy)
-        return root_copy
+        combined = self._label_new_node(root_copy)
+        combined.kind = "insert-subtree"
+        self._insert_children_of(fragment, root_copy, combined)
+        return combined
 
-    def _insert_children_of(self, source: XMLNode, target: XMLNode) -> None:
+    def _insert_children_of(self, source: XMLNode, target: XMLNode,
+                            combined: UpdateResult) -> None:
         for child in source.children:
             child_copy = self._copy_shallow(child)
             target.append_child(child_copy)
             if child_copy.kind.is_labeled:
-                self._label_new_node(child_copy)
-            self._insert_children_of(child, child_copy)
+                result = self._label_new_node(child_copy)
+                combined.labels_assigned += result.labels_assigned
+                combined.relabeled_nodes += result.relabeled_nodes
+                combined.relabel_events += result.relabel_events
+                combined.overflow_events += result.overflow_events
+            self._insert_children_of(child, child_copy, combined)
 
     def _copy_shallow(self, node: XMLNode) -> XMLNode:
         return self.document.new_node(node.kind, node.name, node.value)
@@ -182,13 +285,21 @@ class LabeledDocument:
     # ------------------------------------------------------------------
 
     def delete(self, node: XMLNode) -> None:
-        """Remove ``node`` and its subtree; labels of others may react."""
+        """Remove ``node`` and its subtree; labels of others may react.
+
+        Deprecated shim: returns nothing.  Prefer ``ldoc.updates.delete``
+        for an ``UpdateResult``.
+        """
+        _maybe_warn_legacy("delete")
+        self._do_delete(node)
+
+    def _do_delete(self, node: XMLNode) -> UpdateResult:
         parent = self._parent_of(node)
         removed_ids = [
             child.node_id for child in node.preorder() if child.kind.is_labeled
         ]
         parent.remove_child(node)
-        self.log.deletions += 1
+        self.log.record("deletions")
         relabeled = self.scheme.on_delete(
             self.document, self.labels, node.node_id
         )
@@ -196,8 +307,12 @@ class LabeledDocument:
             label = self.labels.pop(node_id, None)
             if label is not None and self._label_index.get(label) == node_id:
                 del self._label_index[label]
+        result = UpdateResult(kind="delete", node=None)
         if relabeled:
             self._apply_relabeling(relabeled)
+            result.relabeled_nodes = len(relabeled)
+            result.relabel_events = 1
+        return result
 
     # ------------------------------------------------------------------
     # Structural updates: move
@@ -213,7 +328,15 @@ class LabeledDocument:
         labels under a persistent scheme.  Implemented as detach +
         re-insert of the same tree nodes, so node identity (ids, text,
         attributes) survives; only labels change.
+
+        Deprecated shim: returns the bare node.  Prefer
+        ``ldoc.updates.move`` for an ``UpdateResult``.
         """
+        _maybe_warn_legacy("move")
+        return self._do_move(node, new_parent, index).node
+
+    def _do_move(self, node: XMLNode, new_parent: XMLNode,
+                 index: int) -> UpdateResult:
         if node.parent is None:
             raise UpdateError("the root element cannot be moved")
         if node is new_parent or node.is_ancestor_of(new_parent):
@@ -228,14 +351,21 @@ class LabeledDocument:
             label = self.labels.pop(node_id, None)
             if label is not None and self._label_index.get(label) == node_id:
                 del self._label_index[label]
+        combined = UpdateResult(kind="move", node=node)
         if relabeled:
             self._apply_relabeling(relabeled)
+            combined.relabeled_nodes += len(relabeled)
+            combined.relabel_events += 1
         new_parent.insert_child(index, node)
-        self._label_new_node(node)
-        for child in node.descendants():
+        for child in node.preorder():
             if child.kind.is_labeled:
-                self._label_new_node(child)
-        return node
+                result = self._label_new_node(child)
+                combined.labels_assigned += result.labels_assigned
+                combined.relabeled_nodes += result.relabeled_nodes
+                combined.relabel_events += result.relabel_events
+                combined.overflow_events += result.overflow_events
+        combined.label = self.labels.get(node.node_id)
+        return combined
 
     # ------------------------------------------------------------------
     # Content updates (labels untouched — section 3.1)
@@ -243,6 +373,9 @@ class LabeledDocument:
 
     def set_text(self, element: XMLNode, text: str) -> None:
         """Replace the text content of an element."""
+        self._do_set_text(element, text)
+
+    def _do_set_text(self, element: XMLNode, text: str) -> UpdateResult:
         if not element.is_element:
             raise UpdateError("set_text targets element nodes")
         element.children = [
@@ -250,21 +383,33 @@ class LabeledDocument:
         ]
         if text:
             element.append_child(self.document.new_text(text))
-        self.log.content_updates += 1
+        self.log.record("content_updates")
+        return UpdateResult(kind="content", node=element)
 
     def set_attribute_value(self, attribute: XMLNode, value: str) -> None:
         """Replace an attribute's value."""
+        self._do_set_attribute_value(attribute, value)
+
+    def _do_set_attribute_value(self, attribute: XMLNode,
+                                value: str) -> UpdateResult:
         if not attribute.is_attribute:
             raise UpdateError("set_attribute_value targets attribute nodes")
         attribute.value = value
-        self.log.content_updates += 1
+        self.log.record("content_updates")
+        return UpdateResult(kind="content", node=attribute,
+                            label=self.labels.get(attribute.node_id))
 
     def rename(self, node: XMLNode, name: str) -> None:
         """Rename an element or attribute."""
+        self._do_rename(node, name)
+
+    def _do_rename(self, node: XMLNode, name: str) -> UpdateResult:
         if not node.kind.is_labeled:
             raise UpdateError("rename targets element or attribute nodes")
         node.name = name
-        self.log.content_updates += 1
+        self.log.record("content_updates")
+        return UpdateResult(kind="content", node=node,
+                            label=self.labels.get(node.node_id))
 
     # ------------------------------------------------------------------
     # Integrity and accounting
@@ -274,13 +419,22 @@ class LabeledDocument:
         """Assert labels sort exactly into document order, without dupes.
 
         This is Definition 1 as an executable invariant; the property
-        tests run it after every randomised update program.
+        tests run it after every randomised update program.  The sort
+        runs through the scheme's memoized comparison cache, so repeated
+        verification of a mostly stable document re-pays only the
+        comparisons whose label pairs are new.
         """
+        from repro.schemes.cache import comparison_cache_for
+
+        if self._active_batch is not None and self._active_batch.pending:
+            raise BatchError(
+                "cannot verify order while a batch has unapplied operations"
+            )
         in_order = self.labels_in_document_order()
         if len(set(self._hashable(label) for label in in_order)) != len(in_order):
             raise LabelCollisionError("duplicate labels in document")
         ordered = sorted(
-            in_order, key=functools.cmp_to_key(self.scheme.compare)
+            in_order, key=comparison_cache_for(self.scheme).sort_key()
         )
         if ordered != in_order:
             raise UpdateError(
@@ -309,11 +463,29 @@ class LabeledDocument:
             raise UpdateError("the root element cannot have siblings")
         return node.parent
 
-    def _label_new_node(self, node: XMLNode) -> None:
+    def _label_new_node(self, node: XMLNode) -> UpdateResult:
+        context = self._insert_context_for(node)
+        outcome = self.scheme.insert_sibling(context)
+        self.log.record("insertions")
+        result = UpdateResult(kind="insert", node=node, labels_assigned=1)
+        if outcome.relabeled:
+            self._apply_relabeling(outcome.relabeled)
+            result.relabeled_nodes = len(outcome.relabeled)
+            result.relabel_events = 1
+        if outcome.overflowed:
+            self.log.record("overflow_events")
+            result.overflow_events = 1
+        self._assign(node.node_id, outcome.label)
+        result.label = outcome.label
+        return result
+
+    def _insert_context_for(self, node: XMLNode) -> SiblingInsertContext:
+        """The scheme-facing context labelling ``node`` where it stands."""
         parent = node.parent
         # Siblings without labels yet (later nodes of a subtree being
-        # moved or grafted in preorder) are invisible to the insertion:
-        # the new node is positioned among the already-labelled ones.
+        # moved or grafted in preorder, or batch-deferred insertions) are
+        # invisible to the insertion: the new node is positioned among
+        # the already-labelled ones.
         siblings = [
             child for child in parent.labeled_children()
             if child.node_id == node.node_id or child.node_id in self.labels
@@ -324,7 +496,7 @@ class LabeledDocument:
         )
         left = siblings[position - 1] if position > 0 else None
         right = siblings[position + 1] if position + 1 < len(siblings) else None
-        context = SiblingInsertContext(
+        return SiblingInsertContext(
             document=self.document,
             labels=self.labels,
             parent_id=parent.node_id,
@@ -332,17 +504,10 @@ class LabeledDocument:
             right_id=right.node_id if right is not None else None,
             new_id=node.node_id,
         )
-        outcome = self.scheme.insert_sibling(context)
-        self.log.insertions += 1
-        if outcome.relabeled:
-            self._apply_relabeling(outcome.relabeled)
-        if outcome.overflowed:
-            self.log.overflow_events += 1
-        self._assign(node.node_id, outcome.label)
 
     def _apply_relabeling(self, relabeled: Dict[int, Any]) -> None:
-        self.log.relabel_events += 1
-        self.log.relabeled_nodes += len(relabeled)
+        self.log.record("relabel_events")
+        self.log.record("relabeled_nodes", len(relabeled))
         for node_id, label in relabeled.items():
             old = self.labels.get(node_id)
             if old is not None and self._label_index.get(self._hashable(old)) == node_id:
@@ -355,7 +520,7 @@ class LabeledDocument:
         key = self._hashable(label)
         existing = self._label_index.get(key)
         if existing is not None and existing != node_id:
-            self.log.collisions += 1
+            self.log.record("collisions")
             if self.on_collision == "raise":
                 self.labels[node_id] = label  # keep state observable
                 raise LabelCollisionError(
@@ -370,7 +535,7 @@ class LabeledDocument:
         key = self._hashable(label)
         existing = self._label_index.get(key)
         if existing is not None and existing != node_id:
-            self.log.collisions += 1
+            self.log.record("collisions")
             if self.on_collision == "raise":
                 raise LabelCollisionError(
                     f"{self.scheme.metadata.name} relabelled node {node_id} "

@@ -57,31 +57,47 @@ def _element_at(ldoc: LabeledDocument, position: int,
     return elements[position % len(elements)]
 
 
-def apply_operation(ldoc: LabeledDocument, operation: Operation) -> None:
-    """Execute one operation against the document (no-op if untargetable)."""
+def dispatch_operation(surface, ldoc: LabeledDocument, operation: Operation):
+    """Resolve one operation's target and run it against ``surface``.
+
+    ``surface`` is anything exposing the unified update method names —
+    ``ldoc.updates`` (immediate) or an open
+    :class:`~repro.updates.batch.UpdateBatch` (deferred).  Both callers
+    share this single resolver, so a program applied per-operation and
+    the same program applied through a batch target the same nodes at
+    every step.  Returns the surface's
+    :class:`~repro.updates.results.UpdateResult`, or ``None`` when the
+    document has no node at the requested position.
+    """
     kind = operation.kind
     if kind in (OpKind.INSERT_BEFORE, OpKind.INSERT_AFTER, OpKind.DELETE):
         node = _element_at(ldoc, operation.target, exclude_root=True)
         if node is None:
-            return
+            return None
         if kind is OpKind.INSERT_BEFORE:
-            ldoc.insert_before(node, operation.name)
-        elif kind is OpKind.INSERT_AFTER:
-            ldoc.insert_after(node, operation.name)
-        else:
-            ldoc.delete(node)
-        return
+            return surface.insert_before(node, operation.name)
+        if kind is OpKind.INSERT_AFTER:
+            return surface.insert_after(node, operation.name)
+        return surface.delete(node)
     node = _element_at(ldoc, operation.target)
     if node is None:
-        return
+        return None
     if kind is OpKind.APPEND_CHILD:
-        ldoc.append_child(node, operation.name)
-    elif kind is OpKind.PREPEND_CHILD:
-        ldoc.prepend_child(node, operation.name)
-    elif kind is OpKind.SET_TEXT:
-        ldoc.set_text(node, operation.text)
-    elif kind is OpKind.RENAME:
-        ldoc.rename(node, operation.name)
+        return surface.append_child(node, operation.name)
+    if kind is OpKind.PREPEND_CHILD:
+        return surface.prepend_child(node, operation.name)
+    if kind is OpKind.SET_TEXT:
+        return surface.set_text(node, operation.text)
+    return surface.rename(node, operation.name)
+
+
+def apply_operation(ldoc: LabeledDocument, operation: Operation):
+    """Execute one operation against the document (no-op if untargetable).
+
+    Returns the :class:`~repro.updates.results.UpdateResult` of the
+    resolved operation (``None`` when untargetable).
+    """
+    return dispatch_operation(ldoc.updates, ldoc, operation)
 
 
 def apply_program(ldoc: LabeledDocument, program: List[Operation]) -> None:
@@ -99,4 +115,4 @@ def adopt_subtree(ldoc: LabeledDocument, parent: XMLNode, index: int,
     textual fragments.
     """
     fragment = parse_fragment(xml_fragment)
-    return ldoc.insert_subtree(parent, index, fragment)
+    return ldoc.updates.insert_subtree(parent, index, fragment).node

@@ -1,0 +1,147 @@
+"""The unified update surface: one result type for every mutation.
+
+Historically the update API was split-brained: ``LabeledDocument``
+mutators returned the new :class:`~repro.xmlmodel.tree.XMLNode` (or
+nothing), while the scheme layer's ``insert_sibling`` returned an
+:class:`~repro.schemes.base.InsertOutcome` — so the labelling cost of an
+individual operation was only visible by diffing ``ldoc.log`` around the
+call.  This module unifies the surface:
+
+* :class:`UpdateResult` is the consistent return type of every update —
+  the node, its label, and exactly what the operation did to the label
+  space (relabels, overflows, deferral).
+* :class:`UpdateSurface` exposes the result-returning API as
+  ``ldoc.updates.insert_after(...)``; the batch engine
+  (:mod:`repro.updates.batch`) returns the same objects.
+* The old node-returning methods on ``LabeledDocument`` remain as
+  deprecation shims; call :func:`warn_on_legacy_results` to have them
+  emit :class:`DeprecationWarning` (off by default so existing programs
+  run quietly).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.updates.document import LabeledDocument
+    from repro.xmlmodel.tree import XMLNode
+
+
+#: Whether the legacy node-returning shims emit DeprecationWarning.
+_WARN_LEGACY = False
+
+
+def warn_on_legacy_results(enable: bool = True) -> None:
+    """Toggle :class:`DeprecationWarning` on the legacy update shims.
+
+    The node-returning ``LabeledDocument`` methods (``insert_after`` and
+    friends) are kept for compatibility; enabling this surfaces every
+    remaining call site so a codebase can migrate to ``ldoc.updates``.
+    """
+    global _WARN_LEGACY
+    _WARN_LEGACY = enable
+
+
+def _maybe_warn_legacy(name: str) -> None:
+    if _WARN_LEGACY:
+        warnings.warn(
+            f"LabeledDocument.{name} returns a bare node; use "
+            f"ldoc.updates.{name} for an UpdateResult",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
+@dataclass
+class UpdateResult:
+    """What one update operation did — node, label and labelling cost.
+
+    ``kind`` is one of ``insert``, ``insert-subtree``, ``delete``,
+    ``move`` or ``content``.  ``node`` is the affected node (the new node
+    for inserts, the moved node for moves, ``None`` for deletes).
+    ``label`` is the node's label — ``None`` while ``deferred`` is true,
+    i.e. inside an unapplied :class:`~repro.updates.batch.UpdateBatch`,
+    where labels arrive in the deferred pass; the batch fills the field
+    in when it applies.  The counter fields mirror
+    :class:`~repro.updates.document.UpdateLog` semantics per operation.
+    """
+
+    kind: str
+    node: Optional["XMLNode"]
+    label: Any = None
+    labels_assigned: int = 0
+    relabeled_nodes: int = 0
+    relabel_events: int = 0
+    overflow_events: int = 0
+    deferred: bool = False
+
+
+class UpdateSurface:
+    """Result-returning view of one document's update operations.
+
+    Obtained as ``ldoc.updates``; every method performs the same
+    mutation as the like-named legacy method but returns an
+    :class:`UpdateResult` instead of a bare node.
+    """
+
+    __slots__ = ("_ldoc",)
+
+    def __init__(self, ldoc: "LabeledDocument"):
+        self._ldoc = ldoc
+
+    # -- insertions -------------------------------------------------------
+
+    def insert_before(self, reference: "XMLNode", name: str) -> UpdateResult:
+        """Insert a new element immediately before ``reference``."""
+        return self._ldoc._do_insert_sibling(reference, name, after=False)
+
+    def insert_after(self, reference: "XMLNode", name: str) -> UpdateResult:
+        """Insert a new element immediately after ``reference``."""
+        return self._ldoc._do_insert_sibling(reference, name, after=True)
+
+    def append_child(self, parent: "XMLNode", name: str) -> UpdateResult:
+        """Insert a new element as the last child of ``parent``."""
+        return self._ldoc._do_append_child(parent, name)
+
+    def prepend_child(self, parent: "XMLNode", name: str) -> UpdateResult:
+        """Insert a new element as the first content child of ``parent``."""
+        return self._ldoc._do_prepend_child(parent, name)
+
+    def insert_attribute(self, element: "XMLNode", name: str,
+                         value: str) -> UpdateResult:
+        """Insert a new attribute on ``element``."""
+        return self._ldoc._do_insert_attribute(element, name, value)
+
+    def insert_subtree(self, parent: "XMLNode", index: int,
+                       fragment: "XMLNode") -> UpdateResult:
+        """Insert a whole subtree as a serialised node sequence."""
+        return self._ldoc._do_insert_subtree(parent, index, fragment)
+
+    # -- deletion and movement --------------------------------------------
+
+    def delete(self, node: "XMLNode") -> UpdateResult:
+        """Remove ``node`` and its subtree."""
+        return self._ldoc._do_delete(node)
+
+    def move(self, node: "XMLNode", new_parent: "XMLNode",
+             index: int) -> UpdateResult:
+        """Relocate a subtree (detach + relabel at the target)."""
+        return self._ldoc._do_move(node, new_parent, index)
+
+    # -- content updates --------------------------------------------------
+
+    def set_text(self, element: "XMLNode", text: str) -> UpdateResult:
+        """Replace an element's text content (labels untouched)."""
+        return self._ldoc._do_set_text(element, text)
+
+    def set_attribute_value(self, attribute: "XMLNode",
+                            value: str) -> UpdateResult:
+        """Replace an attribute's value (labels untouched)."""
+        return self._ldoc._do_set_attribute_value(attribute, value)
+
+    def rename(self, node: "XMLNode", name: str) -> UpdateResult:
+        """Rename an element or attribute (labels untouched)."""
+        return self._ldoc._do_rename(node, name)

@@ -1,0 +1,149 @@
+"""Metrics registry: counters, timers, histograms, scoped deltas."""
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    render_metrics,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_increment_and_reset(self, registry):
+        counter = registry.counter("a.b")
+        counter.increment()
+        counter.increment(5)
+        counter.inc()
+        assert counter.value == 7
+        counter.reset()
+        assert counter.value == 0
+
+    def test_same_name_same_object(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_distinct_names_distinct_objects(self, registry):
+        assert registry.counter("x") is not registry.counter("y")
+
+
+class TestTimer:
+    def test_time_context_accumulates(self, registry):
+        timer = registry.timer("t")
+        with timer.time():
+            pass
+        with timer.time():
+            pass
+        assert timer.count == 2
+        assert timer.total_seconds >= 0.0
+        assert timer.mean_seconds == timer.total_seconds / 2
+
+    def test_record_external_duration(self, registry):
+        timer = registry.timer("t")
+        timer.record(1.5)
+        timer.record(0.5)
+        assert timer.total_seconds == 2.0
+        assert timer.mean_seconds == 1.0
+
+    def test_mean_of_unused_timer(self):
+        assert Timer("t").mean_seconds == 0.0
+
+
+class TestHistogram:
+    def test_observations(self, registry):
+        histogram = registry.histogram("h")
+        for value in (1, 2, 4, 100):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.minimum == 1
+        assert histogram.maximum == 100
+        assert histogram.mean == pytest.approx(26.75)
+
+    def test_open_ended_bucket(self):
+        histogram = Histogram("h")
+        histogram.observe(10 ** 9)
+        assert histogram.buckets[-1] == 1
+
+    def test_reset(self, registry):
+        histogram = registry.histogram("h")
+        histogram.observe(3)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.minimum is None
+
+
+class TestRegistry:
+    def test_snapshot_flattens_everything(self, registry):
+        registry.counter("c").increment(2)
+        registry.timer("t").record(1.0)
+        registry.histogram("h").observe(4)
+        values = registry.snapshot()
+        assert values["c"] == 2
+        assert values["t.seconds"] == 1.0
+        assert values["t.count"] == 1
+        assert values["h.count"] == 1
+        assert values["h.mean"] == 4
+
+    def test_scoped_yields_deltas_only(self, registry):
+        registry.counter("before").increment(10)
+        with registry.scoped() as delta:
+            registry.counter("inside").increment(3)
+        assert delta == {"inside": 3}
+
+    def test_reset_zeroes_all(self, registry):
+        registry.counter("c").increment()
+        registry.timer("t").record(1.0)
+        registry.reset()
+        assert registry.snapshot()["c"] == 0
+        assert registry.snapshot()["t.seconds"] == 0.0
+
+    def test_len_counts_instruments(self, registry):
+        registry.counter("c")
+        registry.timer("t")
+        registry.histogram("h")
+        assert len(registry) == 3
+
+
+class TestGlobalRegistry:
+    def test_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_update_log_publishes_to_global(self):
+        from repro.data.sample import sample_document
+        from repro.schemes.registry import make_scheme
+        from repro.updates.document import LabeledDocument
+
+        registry = get_registry()
+        before = registry.counter("updates.insertions").value
+        ldoc = LabeledDocument(sample_document(), make_scheme("qed"))
+        ldoc.updates.append_child(ldoc.document.root, "kid")
+        assert registry.counter("updates.insertions").value == before + 1
+
+    def test_scheme_instruments_mirror_to_global(self):
+        from repro.schemes.registry import make_scheme
+
+        registry = get_registry()
+        before = registry.counter("scheme.comparisons").value
+        scheme = make_scheme("qed")
+        scheme.compare(("2",), ("3",))
+        assert registry.counter("scheme.comparisons").value == before + 1
+
+
+class TestRender:
+    def test_render_empty(self):
+        assert render_metrics(MetricsRegistry()) == "(no metrics recorded)"
+
+    def test_render_and_prefix_filter(self, registry):
+        registry.counter("a.one").increment(1)
+        registry.counter("b.two").increment(2)
+        text = render_metrics(registry)
+        assert "a.one" in text and "b.two" in text
+        filtered = render_metrics(registry, prefix="a.")
+        assert "a.one" in filtered and "b.two" not in filtered

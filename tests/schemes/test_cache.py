@@ -1,0 +1,94 @@
+"""ComparisonCache: memoized compare/is_ancestor correctness and reuse."""
+
+import pytest
+
+from conftest import labeled
+from repro.data.sample import sample_document
+from repro.observability.metrics import get_registry
+from repro.schemes.cache import ComparisonCache, comparison_cache_for
+from repro.schemes.registry import make_scheme
+
+
+@pytest.fixture
+def qed():
+    return make_scheme("qed")
+
+
+class TestCachedCompare:
+    def test_matches_scheme_compare(self, qed):
+        cache = ComparisonCache(qed)
+        labels = qed.label_tree(sample_document())
+        values = list(labels.values())
+        for left in values:
+            for right in values:
+                assert cache.compare(left, right) == qed.compare(left, right)
+
+    def test_second_call_hits(self, qed):
+        cache = ComparisonCache(qed)
+        hits = get_registry().counter("compare_cache.hits")
+        before = hits.value
+        cache.compare(("2",), ("3",))
+        assert hits.value == before
+        cache.compare(("2",), ("3",))
+        assert hits.value == before + 1
+
+    def test_reverse_pair_seeded_on_miss(self, qed):
+        cache = ComparisonCache(qed)
+        hits = get_registry().counter("compare_cache.hits")
+        cache.compare(("2",), ("3",))
+        before = hits.value
+        assert cache.compare(("3",), ("2",)) == 1
+        assert hits.value == before + 1
+
+    def test_is_ancestor_matches_scheme(self, qed):
+        cache = ComparisonCache(qed)
+        parent = ("2",)
+        child = ("2", "3")
+        assert cache.is_ancestor(parent, child) is True
+        assert cache.is_ancestor(child, parent) is False
+        # Cached round agrees.
+        assert cache.is_ancestor(parent, child) is True
+
+    def test_unhashable_labels_bypass(self, qed):
+        cache = ComparisonCache(qed)
+        uncacheable = get_registry().counter("compare_cache.uncacheable")
+        before = uncacheable.value
+        assert cache.compare(["2"], ["3"]) == qed.compare(["2"], ["3"])
+        assert uncacheable.value == before + 1
+
+
+class TestEviction:
+    def test_trim_keeps_cache_bounded(self, qed):
+        cache = ComparisonCache(qed, max_entries=4)
+        for index in range(20):
+            cache.compare((str(index + 2),), ("3",))
+        assert len(cache._compare) <= 5
+
+    def test_invalidate(self, qed):
+        cache = ComparisonCache(qed)
+        cache.compare(("2",), ("3",))
+        cache.invalidate()
+        assert len(cache._compare) == 0
+
+
+class TestSharedCache:
+    def test_one_cache_per_scheme_instance(self, qed):
+        assert comparison_cache_for(qed) is comparison_cache_for(qed)
+        other = make_scheme("qed")
+        assert comparison_cache_for(other) is not comparison_cache_for(qed)
+
+    def test_sort_key_orders_documents(self):
+        ldoc = labeled(sample_document(), "dewey")
+        in_order = ldoc.labels_in_document_order()
+        shuffled = list(reversed(in_order))
+        cache = comparison_cache_for(ldoc.scheme)
+        assert sorted(shuffled, key=cache.sort_key()) == in_order
+
+    def test_verify_order_uses_cache(self):
+        ldoc = labeled(sample_document(), "vector")
+        hits = get_registry().counter("compare_cache.hits")
+        ldoc.verify_order()
+        before = hits.value
+        ldoc.verify_order()
+        # The second verification replays the same label pairs.
+        assert hits.value > before

@@ -1,0 +1,49 @@
+"""make_scheme configuration errors: one exception type for every misuse."""
+
+import pytest
+
+from repro.errors import FrameworkError, ReproError, SchemeConfigurationError
+from repro.schemes.registry import available_schemes, make_scheme, scheme_class
+
+
+class TestUnknownScheme:
+    def test_raises_configuration_error(self):
+        with pytest.raises(SchemeConfigurationError):
+            make_scheme("no-such-scheme")
+
+    def test_message_lists_known_schemes(self):
+        with pytest.raises(SchemeConfigurationError) as excinfo:
+            make_scheme("no-such-scheme")
+        assert "qed" in str(excinfo.value)
+        assert excinfo.value.known_schemes == sorted(available_schemes())
+
+    def test_scheme_class_raises_the_same_type(self):
+        with pytest.raises(SchemeConfigurationError):
+            scheme_class("no-such-scheme")
+
+
+class TestBadConstructorConfig:
+    def test_unknown_kwarg_raises_configuration_error(self):
+        with pytest.raises(SchemeConfigurationError) as excinfo:
+            make_scheme("dewey", not_a_real_option=3)
+        assert "dewey" in str(excinfo.value)
+        assert excinfo.value.known_schemes == sorted(available_schemes())
+
+    def test_chains_the_original_type_error(self):
+        with pytest.raises(SchemeConfigurationError) as excinfo:
+            make_scheme("qed", bogus=True)
+        assert isinstance(excinfo.value.__cause__, TypeError)
+
+    def test_valid_kwargs_still_work(self):
+        scheme = make_scheme("dewey", component_bits=8)
+        assert scheme.component_bits == 8
+
+
+class TestHierarchy:
+    def test_subclass_of_framework_error(self):
+        assert issubclass(SchemeConfigurationError, FrameworkError)
+        assert issubclass(SchemeConfigurationError, ReproError)
+
+    def test_catchable_as_framework_error(self):
+        with pytest.raises(FrameworkError):
+            make_scheme("no-such-scheme")
