@@ -17,6 +17,12 @@ Quickstart::
     ldoc.verify_order()
 """
 
+from repro.durability import (
+    FaultInjector,
+    Journal,
+    Transaction,
+    recover,
+)
 from repro.schemes import (
     FIGURE7_ORDER,
     LabelingScheme,
@@ -45,11 +51,14 @@ __all__ = [
     "BatchResult",
     "Document",
     "FIGURE7_ORDER",
+    "FaultInjector",
+    "Journal",
     "LabeledDocument",
     "LabelingScheme",
     "MetricsRegistry",
     "NodeKind",
     "SchemeMetadata",
+    "Transaction",
     "UpdateBatch",
     "UpdateResult",
     "VersionedDocument",
@@ -64,6 +73,7 @@ __all__ = [
     "figure7_schemes",
     "make_scheme",
     "parse",
+    "recover",
     "serialize",
     "warn_on_legacy_results",
 ]

@@ -10,6 +10,8 @@
     python -m repro figure N                        # reproduce figure N
     python -m repro growth --schemes qed,vector     # skewed growth series
     python -m repro suggest version-control compact # section 5.2 advice
+    python -m repro journal inspect FILE            # list journal records
+    python -m repro journal replay FILE --verify    # recover + verify
 
 Every command prints plain text and exits non-zero on failure, so the
 tool scripts cleanly.
@@ -211,6 +213,45 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_journal(args: argparse.Namespace) -> int:
+    """Inspect or replay a write-ahead update journal."""
+    from repro.durability.journal import read_journal, recover
+
+    if args.action == "inspect":
+        records, torn_tail = read_journal(args.file)
+        for number, record in enumerate(records, start=1):
+            kind = record["type"]
+            if kind == "base":
+                print(f"{number:4d}  base     scheme={record['scheme']} "
+                      f"name={record['name']!r} "
+                      f"config={record.get('config', {})}")
+            elif kind == "op":
+                print(f"{number:4d}  op       txn={record['txn']} "
+                      f"{record['kind']} target={record['target']} "
+                      f"name={record.get('name', '')!r}")
+            else:
+                print(f"{number:4d}  {kind:8s} txn={record['txn']}")
+        if torn_tail:
+            print("--   torn tail line discarded")
+        print(f"-- {len(records)} record(s)")
+        return 0
+
+    result = recover(args.file)
+    print(f"recovered {result.name!r} under scheme {result.scheme_name}: "
+          f"{result.transactions_applied} transaction(s), "
+          f"{result.operations_applied} operation(s) replayed, "
+          f"{result.transactions_discarded} discarded"
+          + (", torn tail dropped" if result.torn_tail else ""))
+    if args.verify:
+        result.ldoc.verify_order()
+        print(f"verify: document order decided correctly for "
+              f"{len(result.ldoc.labels)} labels")
+    from repro.xmlmodel.serializer import serialize
+
+    print(serialize(result.ldoc.document))
+    return 0
+
+
 def _cmd_suggest(args: argparse.Namespace) -> int:
     from repro.store.repository import REQUIREMENT_PROPERTIES, suggest_scheme
 
@@ -287,6 +328,14 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--prefix", default="",
                          help="only show metrics whose name starts with this")
 
+    journal = commands.add_parser(
+        "journal", help="inspect or replay a write-ahead update journal"
+    )
+    journal.add_argument("action", choices=["inspect", "replay"])
+    journal.add_argument("file", help="journal file path")
+    journal.add_argument("--verify", action="store_true",
+                         help="after replay, verify document order")
+
     return parser
 
 
@@ -301,6 +350,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "suggest": _cmd_suggest,
     "metrics": _cmd_metrics,
+    "journal": _cmd_journal,
 }
 
 

@@ -100,3 +100,25 @@ class BatchError(UpdateError):
     a document is queried while a batch still has unlabelled nodes
     pending.
     """
+
+
+class TransactionError(UpdateError):
+    """A durability transaction was used incorrectly.
+
+    Raised for nested transactions on one document, for operations issued
+    outside an active transaction, and for commits attempted while an
+    update batch still has unapplied operations.
+    """
+
+
+class JournalError(ReproError):
+    """A write-ahead journal file is malformed or was misused.
+
+    Raised for appends without a base snapshot record, operations outside
+    an open journal transaction, and corrupt (non-trailing) records found
+    while reading a journal back.
+    """
+
+
+class RecoveryError(JournalError):
+    """A journal could not be replayed into a consistent document."""

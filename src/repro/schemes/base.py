@@ -129,6 +129,10 @@ class LabelingScheme(abc.ABC):
 
     def __init__(self):
         self.instruments = Instrumentation()
+        #: Constructor kwargs this instance was built with, recorded by
+        #: :func:`~repro.schemes.registry.make_scheme` so snapshots and
+        #: revisions can rebuild an identically configured scheme.
+        self.configuration: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Bulk labelling

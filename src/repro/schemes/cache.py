@@ -62,7 +62,7 @@ class ComparisonCache:
             return order
         self._misses.inc()
         order = self.scheme.compare(left, right)
-        self._maybe_trim(self._compare)
+        self._maybe_trim(self._compare, incoming=2)
         self._compare[(left, right)] = order
         self._compare[(right, left)] = -order
         return order
@@ -102,10 +102,12 @@ class ComparisonCache:
         self._compare.clear()
         self._ancestor.clear()
 
-    def _maybe_trim(self, table: Dict) -> None:
+    def _maybe_trim(self, table: Dict, incoming: int = 1) -> None:
         # Wholesale eviction keeps the hot path to one dict lookup; the
-        # tables refill from the working set within one query.
-        if len(table) >= self.max_entries:
+        # tables refill from the working set within one query.  ``incoming``
+        # is how many entries the caller is about to insert — compare()
+        # stores the mirrored pair too, and both must fit under the cap.
+        if len(table) + incoming > self.max_entries:
             table.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

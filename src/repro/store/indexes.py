@@ -25,15 +25,25 @@ class DocumentIndexes:
 
     def __init__(self, ldoc: LabeledDocument):
         self.ldoc = ldoc
-        self._stamp: Optional[Tuple[int, int, int]] = None
+        self._stamp: Optional[Tuple[int, int, int, int]] = None
         self._by_name: Dict[str, List[Entry]] = {}
         self._by_value: Dict[str, List[Entry]] = {}
 
     # ------------------------------------------------------------------
 
-    def _current_stamp(self) -> Tuple[int, int, int]:
+    def _current_stamp(self) -> Tuple[int, int, int, int]:
+        # ``rollbacks`` is monotonic and never restored by a rollback:
+        # without it, a transaction that rolls the counters back to their
+        # pre-transaction values would make an index built before the
+        # transaction — full of references to the replaced node objects —
+        # look current again.
         log = self.ldoc.log
-        return (log.insertions, log.deletions, log.content_updates)
+        return (
+            log.insertions,
+            log.deletions,
+            log.content_updates,
+            log.rollbacks,
+        )
 
     def refresh(self) -> None:
         """Rebuild if any update happened since the last build."""

@@ -11,8 +11,8 @@ It is also where section 5.2's selection advice becomes executable —
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.properties import PAPER_FIGURE_7, PROPERTY_ORDER, Property
 from repro.encoding.codec import codec_for
@@ -34,12 +34,55 @@ class Snapshot:
     Restoring re-parses the text and re-attaches the *decoded* labels by
     document order, so persistent labels survive a round trip through
     storage — the version-control property of section 5.2.
+    ``scheme_config`` records the constructor kwargs the scheme was made
+    with (``make_scheme(name, **kwargs)``): without it, restore would
+    silently rebuild a differently configured scheme — wrong component
+    widths, wrong overflow thresholds — under the same name.
     """
 
     name: str
     scheme_name: str
     xml: str
     label_stream: bytes
+    scheme_config: Dict[str, Any] = field(default_factory=dict)
+
+
+def snapshot_document(ldoc: LabeledDocument, name: str) -> Snapshot:
+    """Freeze any labelled document as a :class:`Snapshot`."""
+    codec = codec_for(ldoc.scheme)
+    data, _bits = codec.encode_labels(ldoc.labels_in_document_order())
+    return Snapshot(
+        name=name,
+        scheme_name=ldoc.scheme.metadata.name,
+        xml=serialize(ldoc.document),
+        label_stream=data,
+        scheme_config=dict(getattr(ldoc.scheme, "configuration", {})),
+    )
+
+
+def restore_snapshot(snapshot: Snapshot,
+                     on_collision: str = "raise") -> LabeledDocument:
+    """Rebuild a labelled document from a snapshot, labels included.
+
+    The label stream is decoded and re-attached to the re-parsed tree in
+    document order, and the scheme is reconstructed with the exact
+    configuration it was created with; a persistent scheme's labels
+    therefore come back bit-identical.
+    """
+    document = parse(snapshot.xml)
+    scheme = make_scheme(snapshot.scheme_name, **dict(snapshot.scheme_config))
+    codec = codec_for(scheme)
+    labels = codec.decode_labels(snapshot.label_stream)
+    nodes = list(document.labeled_nodes())
+    if len(labels) != len(nodes):
+        raise UpdateError(
+            "snapshot label stream does not match the document"
+        )
+    return LabeledDocument.from_labels(
+        document, scheme,
+        {node.node_id: label for node, label in zip(nodes, labels)},
+        on_collision=on_collision,
+    )
 
 
 class StoredDocument:
@@ -81,14 +124,7 @@ class StoredDocument:
     # -- persistence -------------------------------------------------------
 
     def snapshot(self) -> Snapshot:
-        codec = codec_for(self.ldoc.scheme)
-        data, _bits = codec.encode_labels(self.ldoc.labels_in_document_order())
-        return Snapshot(
-            name=self.name,
-            scheme_name=self.ldoc.scheme.metadata.name,
-            xml=serialize(self.ldoc.document),
-            label_stream=data,
-        )
+        return snapshot_document(self.ldoc, self.name)
 
     def storage_bits(self) -> int:
         return self.ldoc.total_label_bits()
@@ -158,22 +194,30 @@ class XMLRepository:
         target = name or snapshot.name
         if target in self._documents:
             raise UpdateError(f"document {target!r} already exists")
-        document = parse(snapshot.xml)
-        scheme = make_scheme(snapshot.scheme_name)
-        codec = codec_for(scheme)
-        labels = codec.decode_labels(snapshot.label_stream)
-        nodes = list(document.labeled_nodes())
-        if len(labels) != len(nodes):
-            raise UpdateError(
-                "snapshot label stream does not match the document"
-            )
-        ldoc = LabeledDocument.from_labels(
-            document, scheme,
-            {node.node_id: label for node, label in zip(nodes, labels)},
-        )
-        stored = StoredDocument(target, ldoc)
+        stored = StoredDocument(target, restore_snapshot(snapshot))
         self._documents[target] = stored
         return stored
+
+    # -- transactions --------------------------------------------------------
+
+    def transaction(self, name: str, journal=None):
+        """An atomic update scope over one stored document.
+
+        ::
+
+            with repository.transaction("orders") as txn:
+                txn.append_child(parent, "order")
+
+        A clean exit commits; any exception rolls the document — labels,
+        label index and secondary indexes included — back to its
+        pre-transaction state.  Pass a
+        :class:`~repro.durability.journal.Journal` to write-ahead-log the
+        operations for crash recovery.
+        """
+        from repro.durability.transactions import Transaction
+
+        get_registry().counter("repository.transactions").increment()
+        return Transaction(self.get(name).ldoc, journal=journal)
 
     # -- reporting -----------------------------------------------------------
 

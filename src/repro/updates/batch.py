@@ -84,7 +84,7 @@ class UpdateBatch:
     """A group of updates labelled with at most one relabelling pass.
 
     Usable imperatively (call :meth:`apply` when done) or as a context
-    manager (applied on clean exit, abandoned on exception)::
+    manager (applied on clean exit, rolled back on exception)::
 
         with ldoc.batch() as batch:
             for name in names:
@@ -101,6 +101,7 @@ class UpdateBatch:
         if ldoc._active_batch is not None:
             raise BatchError("document already has an open batch")
         self._ldoc = ldoc
+        self._undo = None
         self._pending: Set[int] = set()
         self._results: List[UpdateResult] = []
         self._operations = 0
@@ -147,14 +148,14 @@ class UpdateBatch:
 
     def append_child(self, parent: "XMLNode", name: str) -> UpdateResult:
         """Insert a new element as the last child of ``parent``."""
-        self._check_open()
+        self._prepare()
         element = self._ldoc.document.new_element(name)
         parent.append_child(element)
         return self._record(self._label_or_defer(element))
 
     def prepend_child(self, parent: "XMLNode", name: str) -> UpdateResult:
         """Insert a new element as the first content child of ``parent``."""
-        self._check_open()
+        self._prepare()
         element = self._ldoc.document.new_element(name)
         parent.insert_child(len(parent.attributes()), element)
         return self._record(self._label_or_defer(element))
@@ -162,7 +163,7 @@ class UpdateBatch:
     def insert_attribute(self, element: "XMLNode", name: str,
                          value: str) -> UpdateResult:
         """Insert a new attribute on ``element``."""
-        self._check_open()
+        self._prepare()
         attribute = self._ldoc.document.new_attribute(name, value)
         element.insert_child(len(element.attributes()), attribute)
         return self._record(self._label_or_defer(attribute))
@@ -170,7 +171,7 @@ class UpdateBatch:
     def insert_subtree(self, parent: "XMLNode", index: int,
                        fragment: "XMLNode") -> UpdateResult:
         """Insert a whole subtree as a serialised node sequence."""
-        self._check_open()
+        self._prepare()
         ldoc = self._ldoc
         root_copy = ldoc._copy_shallow(fragment)
         parent.insert_child(index, root_copy)
@@ -187,7 +188,7 @@ class UpdateBatch:
         eagerly, exactly as per-operation, and may label previously
         pending nodes.
         """
-        self._check_open()
+        self._prepare()
         ldoc = self._ldoc
         doomed = [
             child.node_id for child in node.preorder()
@@ -202,7 +203,7 @@ class UpdateBatch:
     def move(self, node: "XMLNode", new_parent: "XMLNode",
              index: int) -> UpdateResult:
         """Relocate a subtree; its nodes are relabelled at the target."""
-        self._check_open()
+        self._prepare()
         ldoc = self._ldoc
         if node.parent is None:
             raise UpdateError("the root element cannot be moved")
@@ -236,20 +237,20 @@ class UpdateBatch:
 
     def set_text(self, element: "XMLNode", text: str) -> UpdateResult:
         """Replace an element's text content (labels untouched)."""
-        self._check_open()
+        self._prepare()
         self._content_updates += 1
         return self._record(self._ldoc._do_set_text(element, text))
 
     def set_attribute_value(self, attribute: "XMLNode",
                             value: str) -> UpdateResult:
         """Replace an attribute's value (labels untouched)."""
-        self._check_open()
+        self._prepare()
         self._content_updates += 1
         return self._record(self._ldoc._do_set_attribute_value(attribute, value))
 
     def rename(self, node: "XMLNode", name: str) -> UpdateResult:
         """Rename an element or attribute (labels untouched)."""
-        self._check_open()
+        self._prepare()
         self._content_updates += 1
         return self._record(self._ldoc._do_rename(node, name))
 
@@ -267,8 +268,16 @@ class UpdateBatch:
         replaces fast-path labels assigned earlier in the batch so the
         final label set is exactly the scheme's canonical labelling of
         the current tree.
+
+        If the pass itself fails partway (a collision, an injected
+        crash), the batch is *not* closed: :meth:`rollback` — or the
+        context manager's exception path — restores the pre-batch state.
         """
+        from repro.durability.faults import maybe_fail
+        from repro.schemes.cache import comparison_cache_for
+
         self._check_open()
+        maybe_fail("batch.apply")
         ldoc = self._ldoc
         passes = 0
         relabeled_nodes = 0
@@ -280,9 +289,11 @@ class UpdateBatch:
                 if node_id in old_labels and old_labels[node_id] != label
             )
             ldoc.labels = new_labels
+            maybe_fail("batch.relabel")
             ldoc._rebuild_label_index()
             ldoc.log.record("relabel_events")
             ldoc.log.record("relabeled_nodes", relabeled_nodes)
+            comparison_cache_for(ldoc.scheme).invalidate()
             passes = 1
             self._pending.clear()
         for result in self._results:
@@ -305,28 +316,54 @@ class UpdateBatch:
             results=list(self._results),
         )
         ldoc.last_batch_result = batch_result
+        self._undo = None
         return batch_result
 
-    def abandon(self) -> None:
-        """Close the batch without labelling pending nodes.
+    def rollback(self) -> None:
+        """Restore the pre-batch state completely and close the batch.
 
-        Structural mutations already made are *not* rolled back; the
-        document should be considered unlabelled-in-part and relabelled
-        (``scheme.label_tree``) before further use.  Used by the context
-        manager on exception.
+        Every structural mutation, label assignment and log increment
+        the batch made is undone; the document comes back exactly as it
+        was when the batch opened (labels, label index and
+        ``verify_order`` included).  A no-op after a successful
+        :meth:`apply` — committed work stays committed.  Used by the
+        context manager on exception.
         """
-        self._applied = True
+        if self._applied:
+            return
+        if self._undo is not None:
+            self._undo.rollback()
+            self._undo = None
+        get_registry().counter("batch.rollbacks").increment()
         self._pending.clear()
+        self._results.clear()
+        self._applied = True
         self._ldoc._active_batch = None
+
+    def abandon(self) -> None:
+        """Deprecated name for :meth:`rollback`.
+
+        Historically this closed the batch *without* restoring state,
+        leaving the document partially unlabelled; it now rolls back
+        completely.
+        """
+        self.rollback()
 
     def __enter__(self) -> "UpdateBatch":
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         if exc_type is not None:
-            self.abandon()
+            self.rollback()
         elif not self._applied:
-            self.apply()
+            # The consolidated pass is itself a crash point (collisions,
+            # injected faults): if it fails, the scope still guarantees
+            # all-or-nothing.
+            try:
+                self.apply()
+            except Exception:
+                self.rollback()
+                raise
 
     # ------------------------------------------------------------------
     # Internals
@@ -336,6 +373,19 @@ class UpdateBatch:
         if self._applied:
             raise BatchError("batch already applied")
 
+    def _prepare(self) -> None:
+        """Gate one mutating operation: open check + lazy undo capture.
+
+        The undo record is captured immediately before the batch's first
+        mutation, so no-op batches stay free and the captured state is
+        exactly what :meth:`rollback` must restore.
+        """
+        self._check_open()
+        if self._undo is None:
+            from repro.durability.transactions import UndoRecord
+
+            self._undo = UndoRecord(self._ldoc)
+
     def _record(self, result: UpdateResult) -> UpdateResult:
         self._operations += 1
         self._results.append(result)
@@ -343,7 +393,7 @@ class UpdateBatch:
 
     def _insert_sibling(self, reference: "XMLNode", name: str,
                         after: bool) -> UpdateResult:
-        self._check_open()
+        self._prepare()
         ldoc = self._ldoc
         parent = ldoc._parent_of(reference)
         index = parent.child_index(reference) + (1 if after else 0)
@@ -365,6 +415,9 @@ class UpdateBatch:
 
     def _label_or_defer(self, node: "XMLNode") -> UpdateResult:
         """Fast-path label one new node, or park it for the final pass."""
+        from repro.durability.faults import maybe_fail
+
+        maybe_fail("batch.operation")
         ldoc = self._ldoc
         ldoc.log.record("insertions")
         outcome = None

@@ -45,6 +45,10 @@ class UpdateLog:
     relabel_events: int = 0
     overflow_events: int = 0
     collisions: int = 0
+    #: Monotonic: counts transaction/batch rollbacks and is *not*
+    #: restored by them, so it versions state derived from the document
+    #: (the repository indexes include it in their refresh stamp).
+    rollbacks: int = 0
 
     def __post_init__(self):
         registry = get_registry()
@@ -53,7 +57,7 @@ class UpdateLog:
             for name in (
                 "insertions", "deletions", "content_updates",
                 "relabeled_nodes", "relabel_events", "overflow_events",
-                "collisions",
+                "collisions", "rollbacks",
             )
         }
 
@@ -70,6 +74,7 @@ class UpdateLog:
         self.relabel_events = 0
         self.overflow_events = 0
         self.collisions = 0
+        self.rollbacks = 0
 
 
 class LabeledDocument:
@@ -92,6 +97,7 @@ class LabeledDocument:
         self.labels: Dict[int, Any] = scheme.label_tree(document)
         self._label_index: Dict[Any, int] = {}
         self._active_batch = None
+        self._active_txn = None
         self.last_batch_result = None
         self._rebuild_label_index()
 
@@ -111,6 +117,7 @@ class LabeledDocument:
         instance.labels = dict(labels)
         instance._label_index = {}
         instance._active_batch = None
+        instance._active_txn = None
         instance.last_batch_result = None
         instance._rebuild_label_index()
         return instance
@@ -144,6 +151,22 @@ class LabeledDocument:
         from repro.updates.batch import UpdateBatch
 
         return UpdateBatch(self)
+
+    def transaction(self, journal: Any = None) -> "Any":
+        """Open an atomic :class:`~repro.durability.transactions.Transaction`.
+
+        A clean exit commits; any exception restores the document —
+        tree, labels, label index and log counters — to the state at
+        entry.  Pass a :class:`~repro.durability.journal.Journal` to
+        write-ahead-log the operations issued through the transaction
+        surface for crash recovery::
+
+            with ldoc.transaction() as txn:
+                txn.append_child(parent, "entry")
+        """
+        from repro.durability.transactions import Transaction
+
+        return Transaction(self, journal=journal)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -506,15 +529,23 @@ class LabeledDocument:
         )
 
     def _apply_relabeling(self, relabeled: Dict[int, Any]) -> None:
+        from repro.durability.faults import maybe_fail
+        from repro.schemes.cache import comparison_cache_for
+
         self.log.record("relabel_events")
         self.log.record("relabeled_nodes", len(relabeled))
         for node_id, label in relabeled.items():
+            maybe_fail("document.relabel")
             old = self.labels.get(node_id)
             if old is not None and self._label_index.get(self._hashable(old)) == node_id:
                 del self._label_index[self._hashable(old)]
             self.labels[node_id] = label
         for node_id, label in relabeled.items():
             self._index(node_id, label)
+        # A relabelling pass retires label values wholesale; drop the
+        # scheme's memoized comparisons rather than let results for
+        # recycled values linger past the state change.
+        comparison_cache_for(self.scheme).invalidate()
 
     def _assign(self, node_id: int, label: Any) -> None:
         key = self._hashable(label)

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro.errors import UpdateError
 from repro.updates.document import LabeledDocument
 from repro.xmlmodel.parser import parse_fragment
 from repro.xmlmodel.tree import XMLNode
@@ -44,6 +45,30 @@ class Operation:
     name: str = "op"
     text: str = ""
 
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-JSON form (the write-ahead journal's record body)."""
+        return {
+            "kind": self.kind.value,
+            "target": self.target,
+            "name": self.name,
+            "text": self.text,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Operation":
+        """Invert :meth:`to_dict` (journal replay)."""
+        try:
+            kind = OpKind(data["kind"])
+            target = int(data["target"])
+        except (KeyError, ValueError, TypeError) as error:
+            raise UpdateError(f"malformed operation record: {error}") from None
+        return cls(
+            kind=kind,
+            target=target,
+            name=str(data.get("name", "op")),
+            text=str(data.get("text", "")),
+        )
+
 
 def _element_at(ldoc: LabeledDocument, position: int,
                 exclude_root: bool = False) -> Optional[XMLNode]:
@@ -55,6 +80,29 @@ def _element_at(ldoc: LabeledDocument, position: int,
     if not elements:
         return None
     return elements[position % len(elements)]
+
+
+def element_position(ldoc: LabeledDocument, node: XMLNode,
+                     exclude_root: bool = False) -> int:
+    """The position that makes :func:`_element_at` resolve to ``node``.
+
+    The inverse of the positional resolver: transactions use it to
+    serialise a node-targeted call as a declarative :class:`Operation`
+    that replays onto the same node.  Raises
+    :class:`~repro.errors.UpdateError` when ``node`` is not a targetable
+    element (non-elements, and the root when ``exclude_root``).
+    """
+    elements = [
+        candidate for candidate in ldoc.document.all_nodes()
+        if candidate.is_element
+        and not (exclude_root and candidate.parent is None)
+    ]
+    for index, candidate in enumerate(elements):
+        if candidate is node:
+            return index
+    raise UpdateError(
+        f"node {node!r} is not a positionally addressable element"
+    )
 
 
 def dispatch_operation(surface, ldoc: LabeledDocument, operation: Operation):

@@ -31,7 +31,16 @@ from repro.xmlmodel.tree import XMLNode
 
 @dataclass(frozen=True)
 class Revision:
-    """One committed state: message, text, label stream, label->name map."""
+    """One committed state: message, text, label stream, label->name map.
+
+    ``label_owners`` is keyed by *rendered* label text, so two nodes
+    whose labels render identically (LSDX/Com-D collisions) cannot both
+    appear; ``collisions`` counts the occluded nodes instead of letting
+    the overwrite pass silently.  ``scheme_name`` / ``scheme_config``
+    record the scheme the revision was committed under, so
+    :meth:`VersionedDocument.checkout` rebuilds an identically
+    configured scheme rather than a same-named default.
+    """
 
     number: int
     message: str
@@ -39,6 +48,10 @@ class Revision:
     label_stream: bytes
     #: Rendered label -> (node name, node id) at commit time.
     label_owners: Dict[str, Tuple[str, int]]
+    scheme_name: str = ""
+    scheme_config: Dict[str, Any] = field(default_factory=dict)
+    #: Labelled nodes whose rendered label duplicated an earlier node's.
+    collisions: int = 0
 
 
 @dataclass
@@ -83,21 +96,37 @@ class VersionedDocument:
     # ------------------------------------------------------------------
 
     def commit(self, message: str) -> Revision:
-        """Freeze the current state as a new revision."""
+        """Freeze the current state as a new revision.
+
+        Duplicate rendered labels (schemes whose grading tests document
+        collisions, e.g. LSDX after certain insertion patterns) are
+        detected rather than silently overwritten: the *first* owner of
+        a rendered label keeps it, and every occluded later node is
+        counted in ``Revision.collisions``.
+        """
         codec = codec_for(self.ldoc.scheme)
         stream, _bits = codec.encode_labels(
             self.ldoc.labels_in_document_order()
         )
-        owners = {
-            self.ldoc.format_label(node): (node.name, node.node_id)
-            for node in self.ldoc.document.labeled_nodes()
-        }
+        owners: Dict[str, Tuple[str, int]] = {}
+        collisions = 0
+        for node in self.ldoc.document.labeled_nodes():
+            rendered = self.ldoc.format_label(node)
+            if rendered in owners:
+                collisions += 1
+                continue
+            owners[rendered] = (node.name, node.node_id)
         revision = Revision(
             number=len(self.revisions),
             message=message,
             xml=serialize(self.ldoc.document),
             label_stream=stream,
             label_owners=owners,
+            scheme_name=self.ldoc.scheme.metadata.name,
+            scheme_config=dict(
+                getattr(self.ldoc.scheme, "configuration", {})
+            ),
+            collisions=collisions,
         )
         self.revisions.append(revision)
         return revision
@@ -116,7 +145,10 @@ class VersionedDocument:
         """Materialise a past revision as a fresh labelled document."""
         revision = self.revision(number)
         document = parse(revision.xml)
-        scheme = make_scheme(self.ldoc.scheme.metadata.name)
+        scheme = make_scheme(
+            revision.scheme_name or self.ldoc.scheme.metadata.name,
+            **dict(revision.scheme_config),
+        )
         labels = codec_for(scheme).decode_labels(revision.label_stream)
         nodes = list(document.labeled_nodes())
         return LabeledDocument.from_labels(

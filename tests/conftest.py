@@ -27,6 +27,17 @@ FULL_XPATH_SCHEMES = [
 COLLIDING_SCHEMES = ["lsdx", "comd"]
 
 
+@pytest.fixture(autouse=True)
+def clean_fault_injector():
+    """The fault injector is process-wide; never leak an armed fault."""
+    from repro.durability.faults import get_injector
+
+    injector = get_injector()
+    injector.reset()
+    yield injector
+    injector.reset()
+
+
 @pytest.fixture
 def sample():
     """The Figure 1(a) sample document, freshly parsed."""

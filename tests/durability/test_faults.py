@@ -1,0 +1,198 @@
+"""Crash-point sweep: recovery always lands on a transaction boundary.
+
+Every test arms one deterministic fault point, runs an update workload
+until the injected crash fires, and then asserts the strongest claim the
+tentpole makes: the document (tree bytes *and* label bits) is identical
+either to the pre-transaction state or to a committed state — never
+anything in between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import all_scheme_names, labeled
+from repro.durability.faults import (
+    FaultInjector,
+    InjectedFault,
+    get_injector,
+    maybe_fail,
+)
+from repro.durability.journal import Journal, recover
+from repro.encoding.codec import codec_for, supported_codec_schemes
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.serializer import serialize
+
+SAMPLE = "<library><shelf><book/><book/></shelf><shelf><book/></shelf></library>"
+
+#: Fault points exercised through a batch workload, with the probe
+#: offset to crash at.  ``batch.operation`` probes once per labelled
+#: node; ``batch.apply`` and ``batch.relabel`` probe at most once per
+#: batch (and ``batch.relabel`` only when a consolidated pass runs).
+BATCH_POINTS = [("batch.operation", 2), ("batch.apply", 1),
+                ("batch.relabel", 1)]
+
+
+def fingerprint(ldoc):
+    """Tree bytes plus exact label identity (codec bits where possible).
+
+    The prime scheme has no stream codec; its formatted labels serve as
+    the identity there.
+    """
+    tree = serialize(ldoc.document)
+    if ldoc.scheme.metadata.name in supported_codec_schemes():
+        stream, _bits = codec_for(ldoc.scheme).encode_labels(
+            ldoc.labels_in_document_order()
+        )
+        return tree, stream
+    return tree, tuple(
+        ldoc.format_label(node) for node in ldoc.document.labeled_nodes()
+    )
+
+
+class TestInjector:
+    def test_faults_are_deterministic_and_one_shot(self):
+        injector = FaultInjector()
+        injector.arm("p", at=3)
+        assert not injector.fires("p")
+        assert not injector.fires("p")
+        assert injector.fires("p")
+        assert not injector.fires("p")  # disarmed after firing
+        assert injector.triggered["p"] == 1
+
+    def test_hit_raises_injected_fault(self):
+        injector = FaultInjector()
+        injector.arm("p")
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.hit("p")
+        assert excinfo.value.point == "p"
+
+    def test_injecting_context_disarms_on_exit(self):
+        injector = FaultInjector()
+        with injector.injecting("p", at=10):
+            assert injector.armed_points() == ["p"]
+        assert injector.armed_points() == []
+
+    def test_maybe_fail_is_noop_when_disarmed(self):
+        maybe_fail("unarmed.point")  # must not raise
+
+    def test_injected_fault_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert not issubclass(InjectedFault, ReproError)
+
+
+class TestBatchCrashes:
+    @pytest.mark.parametrize("scheme_name", all_scheme_names())
+    @pytest.mark.parametrize("point,at", BATCH_POINTS)
+    def test_crash_in_batch_rolls_back_exactly(self, scheme_name, point, at):
+        ldoc = labeled(parse(SAMPLE), scheme_name)
+        before = fingerprint(ldoc)
+        get_injector().arm(point, at=at)
+        try:
+            with ldoc.batch() as batch:
+                root = ldoc.document.root
+                for index in range(4):
+                    batch.append_child(root, f"n{index}")
+                batch.insert_after(root.element_children()[0], "mid")
+        except InjectedFault:
+            assert fingerprint(ldoc) == before
+            ldoc.verify_order()
+        else:
+            # ``batch.relabel`` never probes when every insert took the
+            # fast path (persistent schemes): the batch commits cleanly.
+            assert point == "batch.relabel"
+            assert fingerprint(ldoc) != before
+            ldoc.verify_order()
+        assert ldoc._active_batch is None
+
+    @pytest.mark.parametrize("scheme_name", all_scheme_names())
+    def test_crash_mid_relabel_rolls_back_exactly(self, scheme_name):
+        """``document.relabel`` fires between individual reassignments,
+        leaving a half-mutated label map rollback must repair."""
+        ldoc = labeled(parse(SAMPLE), scheme_name)
+        before = fingerprint(ldoc)
+        get_injector().arm("document.relabel", at=2)
+        try:
+            with ldoc.transaction() as txn:
+                shelf = ldoc.document.root.element_children()[0]
+                for index in range(6):
+                    txn.insert_before(shelf.element_children()[0],
+                                      f"b{index}")
+        except InjectedFault:
+            assert fingerprint(ldoc) == before
+            ldoc.verify_order()
+        else:
+            # Persistent schemes never relabel, so the point never fires:
+            # the transaction commits cleanly instead.
+            assert fingerprint(ldoc) != before
+            ldoc.verify_order()
+
+
+class TestTransactionCrashes:
+    @pytest.mark.parametrize("scheme_name", all_scheme_names())
+    def test_crash_at_commit_rolls_back(self, scheme_name):
+        ldoc = labeled(parse(SAMPLE), scheme_name)
+        before = fingerprint(ldoc)
+        get_injector().arm("transaction.commit")
+        with pytest.raises(InjectedFault):
+            with ldoc.transaction() as txn:
+                txn.append_child(ldoc.document.root, "annex")
+        assert fingerprint(ldoc) == before
+        assert ldoc._active_txn is None
+
+
+class TestJournalCrashes:
+    @pytest.mark.parametrize("scheme_name", supported_codec_schemes())
+    @pytest.mark.parametrize(
+        "point,at", [("journal.append", 2), ("journal.torn", 2),
+                     ("transaction.commit", 1)]
+    )
+    def test_recovery_lands_on_a_commit_boundary(self, tmp_path,
+                                                 scheme_name, point, at):
+        """Crash during the second transaction: recovery must reproduce
+        exactly the state after the first (committed) transaction."""
+        ldoc = labeled(parse(SAMPLE), scheme_name)
+        path = tmp_path / "doc.journal"
+        journal = Journal.create(path, ldoc, name="lib")
+        with ldoc.transaction(journal=journal) as txn:
+            txn.append_child(ldoc.document.root, "committed")
+        committed = fingerprint(ldoc)
+
+        get_injector().arm(point, at=at)
+        with pytest.raises(InjectedFault):
+            with ldoc.transaction(journal=journal) as txn:
+                txn.append_child(ldoc.document.root, "lost1")
+                txn.append_child(ldoc.document.root, "lost2")
+                txn.append_child(ldoc.document.root, "lost3")
+        journal.close()
+
+        # The live document rolled back to the committed state...
+        assert fingerprint(ldoc) == committed
+        # ...and so does a recovery from the journal alone.
+        result = recover(path)
+        assert fingerprint(result.ldoc) == committed
+        assert result.transactions_applied == 1
+        if point == "journal.torn":
+            assert result.torn_tail
+
+    def test_crash_offset_sweep_never_exposes_intermediate_state(
+            self, tmp_path):
+        """Sweep every append offset of a 5-op transaction: recovery is
+        always the prior committed state, whole."""
+        for offset in range(1, 6):
+            ldoc = labeled(parse(SAMPLE), "cdqs")
+            path = tmp_path / f"sweep{offset}.journal"
+            journal = Journal.create(path, ldoc, name="lib")
+            with ldoc.transaction(journal=journal) as txn:
+                txn.append_child(ldoc.document.root, "base")
+            committed = fingerprint(ldoc)
+            get_injector().arm("journal.append", at=offset)
+            with pytest.raises(InjectedFault):
+                with ldoc.transaction(journal=journal) as txn:
+                    for index in range(5):
+                        txn.append_child(ldoc.document.root, f"n{index}")
+            journal.close()
+            result = recover(path)
+            assert fingerprint(result.ldoc) == committed, offset
+            assert fingerprint(ldoc) == committed, offset

@@ -1,0 +1,188 @@
+"""Transaction atomicity: commit keeps everything, rollback keeps nothing."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import all_scheme_names, labeled
+from repro.durability.transactions import Transaction, UndoRecord
+from repro.errors import TransactionError
+from repro.store.repository import XMLRepository
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.serializer import serialize
+
+SAMPLE = "<library><shelf><book/><book/></shelf><shelf><book/></shelf></library>"
+
+
+def fingerprint(ldoc):
+    """Serialised tree + formatted labels in document order."""
+    return (
+        serialize(ldoc.document),
+        [ldoc.format_label(node) for node in ldoc.document.labeled_nodes()],
+    )
+
+
+class TestRollback:
+    def test_exception_restores_document_and_labels(self):
+        ldoc = labeled(parse(SAMPLE), "dewey")
+        before = fingerprint(ldoc)
+        with pytest.raises(RuntimeError):
+            with ldoc.transaction() as txn:
+                txn.append_child(ldoc.document.root, "annex")
+                txn.delete(ldoc.document.root.element_children()[0])
+                raise RuntimeError("mid-transaction failure")
+        assert fingerprint(ldoc) == before
+        ldoc.verify_order()
+
+    @pytest.mark.parametrize("scheme_name", all_scheme_names())
+    def test_rollback_is_exact_for_every_scheme(self, scheme_name):
+        ldoc = labeled(parse(SAMPLE), scheme_name)
+        before = fingerprint(ldoc)
+        before_log = (ldoc.log.insertions, ldoc.log.deletions)
+        with pytest.raises(RuntimeError):
+            with ldoc.transaction() as txn:
+                shelf = ldoc.document.root.element_children()[0]
+                txn.insert_after(shelf, "shelf")
+                txn.set_text(shelf.element_children()[0], "title")
+                raise RuntimeError("boom")
+        assert fingerprint(ldoc) == before
+        assert (ldoc.log.insertions, ldoc.log.deletions) == before_log
+        assert ldoc.log.rollbacks == 1
+
+    def test_direct_document_updates_also_roll_back(self):
+        ldoc = labeled(parse(SAMPLE), "qed")
+        before = fingerprint(ldoc)
+        with pytest.raises(RuntimeError):
+            with ldoc.transaction():
+                ldoc.updates.append_child(ldoc.document.root, "direct")
+                raise RuntimeError("boom")
+        assert fingerprint(ldoc) == before
+
+    def test_node_references_must_be_reresolved_after_rollback(self):
+        ldoc = labeled(parse(SAMPLE), "dewey")
+        stale_root = ldoc.document.root
+        with pytest.raises(RuntimeError):
+            with ldoc.transaction():
+                raise RuntimeError("boom")
+        # The restored tree is the captured clone: same ids, new objects.
+        assert ldoc.document.root is not stale_root
+        assert ldoc.document.root.node_id == stale_root.node_id
+
+    def test_explicit_rollback_is_idempotent(self):
+        ldoc = labeled(parse(SAMPLE), "cdqs")
+        txn = Transaction(ldoc)
+        txn.begin()
+        txn.append_child(ldoc.document.root, "x")
+        txn.rollback()
+        txn.rollback()
+        assert txn.state == "rolled-back"
+        assert ldoc._active_txn is None
+
+
+class TestCommit:
+    def test_clean_exit_commits(self):
+        ldoc = labeled(parse(SAMPLE), "dewey")
+        with ldoc.transaction() as txn:
+            txn.append_child(ldoc.document.root, "annex")
+        assert txn.state == "committed"
+        names = [n.name for n in ldoc.document.root.element_children()]
+        assert names[-1] == "annex"
+        ldoc.verify_order()
+
+    def test_committed_work_survives_later_rollback_scope(self):
+        ldoc = labeled(parse(SAMPLE), "qed")
+        with ldoc.transaction() as txn:
+            txn.append_child(ldoc.document.root, "kept")
+        after_commit = fingerprint(ldoc)
+        with pytest.raises(RuntimeError):
+            with ldoc.transaction() as txn:
+                txn.append_child(ldoc.document.root, "lost")
+                raise RuntimeError("boom")
+        assert fingerprint(ldoc) == after_commit
+
+    def test_commit_requires_active_state(self):
+        ldoc = labeled(parse(SAMPLE), "dewey")
+        txn = Transaction(ldoc)
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+
+class TestGuards:
+    def test_no_nested_transactions(self):
+        ldoc = labeled(parse(SAMPLE), "dewey")
+        with ldoc.transaction():
+            with pytest.raises(TransactionError):
+                ldoc.transaction().begin()
+
+    def test_no_transaction_over_open_batch(self):
+        ldoc = labeled(parse(SAMPLE), "dewey")
+        batch = ldoc.batch()
+        try:
+            with pytest.raises(TransactionError):
+                ldoc.transaction().begin()
+        finally:
+            batch.rollback()
+
+    def test_unaddressable_node_raises_transaction_error(self):
+        ldoc = labeled(parse(SAMPLE), "dewey")
+        with pytest.raises(TransactionError):
+            with ldoc.transaction() as txn:
+                txn.delete(ldoc.document.root)  # root is not deletable
+
+
+class TestRepositoryTransactions:
+    def test_repository_scope_commits(self):
+        repo = XMLRepository()
+        repo.add("lib", SAMPLE, scheme="cdqs")
+        stored = repo.get("lib")
+        with repo.transaction("lib") as txn:
+            txn.append_child(stored.ldoc.document.root, "annex")
+        assert len(stored.find("annex")) == 1
+
+    def test_repository_rollback_refreshes_indexes(self):
+        """Regression: a pre-transaction index must not survive rollback.
+
+        The index refresh stamp is built from update-log counters, which
+        rollback restores; without the monotonic ``rollbacks`` counter
+        the stale index (referencing the replaced node objects) would
+        look current.
+        """
+        repo = XMLRepository()
+        repo.add("lib", SAMPLE, scheme="cdqs")
+        stored = repo.get("lib")
+        assert len(stored.find("book")) == 3  # build the index
+        with pytest.raises(RuntimeError):
+            with repo.transaction("lib") as txn:
+                txn.append_child(stored.ldoc.document.root, "annex")
+                raise RuntimeError("boom")
+        live_books = stored.find("book")
+        assert len(live_books) == 3
+        live_ids = {id(node) for node in live_books}
+        current_ids = {
+            id(node)
+            for node in stored.ldoc.document.labeled_nodes()
+            if node.name == "book"
+        }
+        assert live_ids <= current_ids
+
+
+class TestUndoRecord:
+    def test_manual_capture_and_rollback(self):
+        ldoc = labeled(parse(SAMPLE), "dewey")
+        before = fingerprint(ldoc)
+        undo = UndoRecord(ldoc)
+        ldoc.updates.append_child(ldoc.document.root, "x")
+        ldoc.updates.append_child(ldoc.document.root, "y")
+        undo.rollback()
+        assert fingerprint(ldoc) == before
+        ldoc.verify_order()
+
+    def test_new_node_ids_do_not_collide_after_rollback(self):
+        ldoc = labeled(parse(SAMPLE), "qed")
+        undo = UndoRecord(ldoc)
+        ldoc.updates.append_child(ldoc.document.root, "x")
+        undo.rollback()
+        result = ldoc.updates.append_child(ldoc.document.root, "z")
+        ids = [node.node_id for node in ldoc.document.all_nodes()]
+        assert len(ids) == len(set(ids))
+        assert result.node.node_id in ids

@@ -59,15 +59,45 @@ class TestCachedCompare:
 
 class TestEviction:
     def test_trim_keeps_cache_bounded(self, qed):
+        """Regression: the mirrored (right, left) insert used to skip the
+        trim check, letting the table exceed ``max_entries``; the bound
+        is now strict."""
         cache = ComparisonCache(qed, max_entries=4)
         for index in range(20):
             cache.compare((str(index + 2),), ("3",))
-        assert len(cache._compare) <= 5
+            assert len(cache._compare) <= cache.max_entries
+
+    def test_ancestor_table_also_bounded(self, qed):
+        cache = ComparisonCache(qed, max_entries=3)
+        for index in range(10):
+            cache.is_ancestor(("2",), (str(index + 2), "2"))
+            assert len(cache._ancestor) <= cache.max_entries
 
     def test_invalidate(self, qed):
         cache = ComparisonCache(qed)
         cache.compare(("2",), ("3",))
         cache.invalidate()
+        assert len(cache._compare) == 0
+
+    def test_relabelling_invalidates_document_cache(self):
+        """A state-mutating relabel must drop memoized comparisons: the
+        old label values' orderings are meaningless afterwards."""
+        ldoc = labeled(sample_document(), "dewey")
+        cache = comparison_cache_for(ldoc.scheme)
+        ldoc.verify_order()  # populate
+        assert len(cache._compare) > 0
+        first = ldoc.document.root.element_children()[0]
+        # A Dewey front insertion shifts every follower: relabelling.
+        ldoc.insert_before(first, "front")
+        assert len(cache._compare) == 0
+
+    def test_batch_relabel_pass_invalidates_cache(self):
+        ldoc = labeled(sample_document(), "dewey")
+        cache = comparison_cache_for(ldoc.scheme)
+        ldoc.verify_order()
+        with ldoc.batch() as batch:
+            first = ldoc.document.root.element_children()[0]
+            batch.insert_before(first, "front")
         assert len(cache._compare) == 0
 
 

@@ -142,6 +142,31 @@ class TestSnapshots:
             repository.get("doc").ldoc.labels_in_document_order()
         )
 
+    def test_snapshot_persists_scheme_configuration(self):
+        """Regression: a snapshot of a kwargs-configured scheme used to
+        restore under a default-configured scheme of the same name."""
+        repository = XMLRepository()
+        repository.add("doc", SAMPLE_XML, scheme="dewey", component_bits=4)
+        snapshot = repository.snapshot("doc")
+        assert snapshot.scheme_config == {"component_bits": 4}
+        restored = repository.restore(snapshot, name="copy")
+        assert restored.ldoc.scheme.component_bits == 4
+        assert restored.ldoc.scheme.configuration == {"component_bits": 4}
+        original = repository.get("doc").ldoc
+        assert restored.ldoc.total_label_bits() == original.total_label_bits()
+
+    def test_snapshot_config_changes_storage_width(self):
+        """The configuration is load-bearing: restoring under default
+        kwargs would report different storage."""
+        repository = XMLRepository()
+        narrow = repository.add("narrow", SAMPLE_XML, scheme="dewey",
+                                component_bits=4)
+        wide = repository.add("wide", SAMPLE_XML, scheme="dewey")
+        assert narrow.storage_bits() != wide.storage_bits()
+        restored = repository.restore(repository.snapshot("narrow"),
+                                      name="copy")
+        assert restored.storage_bits() == narrow.storage_bits()
+
 
 class TestStorageReport:
     def test_report_rows(self, repo):

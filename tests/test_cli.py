@@ -127,3 +127,36 @@ class TestSuggest:
         assert main([
             "suggest", "no-division", "no-recursion", "large-documents",
         ]) == 1
+
+
+class TestJournal:
+    @pytest.fixture
+    def journal_file(self, tmp_path):
+        from repro.durability.journal import Journal
+        from repro.schemes.registry import make_scheme
+        from repro.updates.document import LabeledDocument
+        from repro.xmlmodel.parser import parse
+
+        ldoc = LabeledDocument(parse(SAMPLE_XML), make_scheme("cdqs"))
+        path = tmp_path / "doc.journal"
+        with Journal.create(path, ldoc, name="sample") as journal:
+            with ldoc.transaction(journal=journal) as txn:
+                txn.append_child(ldoc.document.root, "annex")
+        return str(path)
+
+    def test_inspect_lists_records(self, journal_file, capsys):
+        assert main(["journal", "inspect", journal_file]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out
+        assert "commit" in out
+        assert "append-child" in out
+
+    def test_replay_recovers_and_verifies(self, journal_file, capsys):
+        assert main(["journal", "replay", journal_file, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "1 transaction(s)" in out
+        assert "verify: document order decided" in out
+        assert "<annex/>" in out
+
+    def test_missing_journal_fails(self, capsys):
+        assert main(["journal", "inspect", "/nonexistent.journal"]) == 1

@@ -10,6 +10,7 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.axes",
     "repro.core",
+    "repro.durability",
     "repro.encoding",
     "repro.labels",
     "repro.schemes",

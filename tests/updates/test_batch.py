@@ -153,6 +153,43 @@ class TestBatchErrors:
         assert ldoc._active_batch is None
         assert not batch.applied or batch.pending == 0
 
+    def test_exception_rolls_back_labels_and_index(self):
+        """Regression: an exception mid-batch used to abandon the batch
+        with the tree mutated and pending nodes permanently unlabelled;
+        it must instead restore the full pre-batch state."""
+        ldoc = labeled(parse(BASE_XML), "dewey")
+        before_xml = serialize(ldoc.document)
+        before_labels = dict(ldoc.labels)
+        before_index = dict(ldoc._label_index)
+        with pytest.raises(RuntimeError):
+            with ldoc.batch() as batch:
+                root = ldoc.document.root
+                batch.append_child(root, "kid")
+                batch.insert_before(root.element_children()[0], "front")
+                raise RuntimeError("mid-batch failure")
+        assert serialize(ldoc.document) == before_xml
+        assert ldoc.labels == before_labels
+        assert ldoc._label_index == before_index
+        ldoc.verify_order()
+
+    def test_exception_rollback_restores_log_counters(self):
+        ldoc = labeled(parse(BASE_XML), "qed")
+        ldoc.append_child(ldoc.document.root, "pre")  # insertions == 1
+        with pytest.raises(RuntimeError):
+            with ldoc.batch() as batch:
+                batch.append_child(ldoc.document.root, "kid")
+                raise RuntimeError("boom")
+        assert ldoc.log.insertions == 1
+        assert ldoc.log.rollbacks == 1
+
+    def test_empty_batch_rollback_is_free(self):
+        ldoc = labeled(parse(BASE_XML), "qed")
+        with pytest.raises(RuntimeError):
+            with ldoc.batch() as batch:
+                raise RuntimeError("boom")
+        assert batch._undo is None  # no mutation, nothing captured
+        assert ldoc._active_batch is None
+
     def test_move_validations(self):
         ldoc = labeled(parse(BASE_XML), "qed")
         root = ldoc.document.root

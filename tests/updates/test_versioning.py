@@ -37,6 +37,39 @@ class TestCommits:
         with pytest.raises(UpdateError):
             versioned.revision(9)
 
+    def test_commit_records_scheme_and_config(self):
+        from repro.updates.document import LabeledDocument
+        from repro.schemes.registry import make_scheme
+        from repro.xmlmodel.parser import parse
+
+        ldoc = LabeledDocument(
+            parse(DOCUMENT), make_scheme("dewey", component_bits=4)
+        )
+        versioned = VersionedDocument(ldoc)
+        assert versioned.head.scheme_name == "dewey"
+        assert versioned.head.scheme_config == {"component_bits": 4}
+        assert versioned.head.collisions == 0
+
+    def test_lsdx_duplicate_labels_surface_as_collisions(self):
+        """Regression: ``label_owners`` is keyed by rendered label text,
+        so an LSDX collision used to silently drop one node from the
+        revision; the overwrite is now counted."""
+        from repro.schemes.prefix.lsdx import LSDXScheme
+        from repro.updates.document import LabeledDocument
+        from repro.xmlmodel.builder import wide_tree
+
+        ldoc = LabeledDocument(
+            wide_tree(25), LSDXScheme(), on_collision="record"
+        )
+        children = ldoc.document.root.element_children()
+        ldoc.append_child(ldoc.document.root, "tail")
+        ldoc.insert_after(children[-1], "boom")  # duplicates "tail"'s label
+        versioned = VersionedDocument(ldoc)
+        head = versioned.head
+        assert head.collisions == 1
+        total_nodes = len(list(ldoc.document.labeled_nodes()))
+        assert len(head.label_owners) == total_nodes - head.collisions
+
 
 class TestCheckout:
     def test_checkout_restores_labels(self, versioned):
@@ -47,6 +80,24 @@ class TestCheckout:
         past = versioned.checkout(0)
         assert past.labels_in_document_order() == before
         past.verify_order()
+
+    def test_checkout_rebuilds_configured_scheme(self):
+        """The revision records the scheme kwargs, so checkout must not
+        fall back to a default-configured scheme of the same name."""
+        from repro.schemes.registry import make_scheme
+        from repro.updates.document import LabeledDocument
+        from repro.xmlmodel.parser import parse
+
+        ldoc = LabeledDocument(
+            parse(DOCUMENT), make_scheme("dewey", component_bits=4)
+        )
+        versioned = VersionedDocument(ldoc)
+        past = versioned.checkout(0)
+        assert past.scheme.configuration == {"component_bits": 4}
+        assert past.scheme.component_bits == 4
+        assert past.labels_in_document_order() == (
+            ldoc.labels_in_document_order()
+        )
 
     def test_checkout_is_independent(self, versioned):
         past = versioned.checkout(0)
