@@ -73,7 +73,13 @@ class Journal:
         self._has_base = False
         self._failed = False
         if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
-            entries, _torn = read_journal(self.path)
+            entries, torn = read_journal(self.path)
+            if torn:
+                # A torn tail must not survive reattachment: appending
+                # after the torn bytes would fuse two records into one
+                # corrupt mid-file line, making the whole journal —
+                # committed transactions included — unreadable.
+                _truncate_torn_tail(self.path)
             self._has_base = bool(entries) and entries[0]["type"] == "base"
             txns = [
                 int(entry["txn"]) for entry in entries if "txn" in entry
@@ -228,6 +234,15 @@ class Journal:
 # ----------------------------------------------------------------------
 # Reading and recovery
 # ----------------------------------------------------------------------
+
+def _truncate_torn_tail(path) -> None:
+    """Drop a torn final line, cutting the file back to the last newline."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    keep = data.rfind(b"\n") + 1  # 0 when no complete record survives
+    if keep < len(data):
+        os.truncate(path, keep)
+
 
 def read_journal(path) -> Tuple[List[Dict[str, Any]], bool]:
     """Parse a journal file into records; tolerate one torn tail line.

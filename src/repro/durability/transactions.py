@@ -147,7 +147,15 @@ class Transaction:
         if exc_type is not None:
             self.rollback()
         elif self._state == "active":
-            self.commit()
+            # Commit can refuse before reaching its own rollback-wrapped
+            # section (e.g. a batch with unapplied operations).  On the
+            # clean-exit path nobody is left to resolve the scope, so the
+            # error must still leave the document decided: rolled back.
+            try:
+                self.commit()
+            except Exception:
+                self.rollback()
+                raise
 
     def begin(self) -> None:
         """Capture the undo record and open the journal transaction."""
@@ -199,7 +207,14 @@ class Transaction:
             return
         ldoc = self._ldoc
         # A batch opened inside the scope and still live at rollback time
-        # is subsumed: the undo record predates it.
+        # is subsumed: the undo record predates it.  Close it too, so a
+        # caller still holding the reference cannot keep mutating the
+        # rolled-back document against stale node references.
+        batch = ldoc._active_batch
+        if batch is not None:
+            batch._applied = True
+            batch._undo = None
+            batch._pending.clear()
         ldoc._active_batch = None
         self._undo.rollback()
         self._undo = None

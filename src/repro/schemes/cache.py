@@ -39,6 +39,10 @@ class ComparisonCache:
 
     def __init__(self, scheme: LabelingScheme,
                  max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 2:
+            # compare() inserts the mirrored (right, left) entry with its
+            # result, so the cap can never be held below one pair.
+            raise ValueError("max_entries must be at least 2")
         self.scheme = scheme
         self.max_entries = max_entries
         self._compare: Dict[Tuple[Any, Any], int] = {}

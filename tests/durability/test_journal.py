@@ -127,6 +127,24 @@ class TestDiscard:
 
 
 class TestJournalFile:
+    def test_reattach_after_torn_tail_truncates_and_continues(self, tmp_path):
+        """Regression: attaching to a journal with a torn tail used to
+        append straight after the torn bytes, fusing two records into one
+        corrupt mid-file line and making every committed transaction
+        unrecoverable.  The constructor now truncates the torn tail."""
+        ldoc, path = journalled_workload(tmp_path, "qed")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"op","txn":9,"kind":"append-ch')
+        journal = Journal(path)
+        with ldoc.transaction(journal=journal) as txn:
+            txn.append_child(ldoc.document.root, "annex2")
+        journal.close()
+        records, torn = read_journal(path)
+        assert not torn
+        result = recover(path)
+        assert result.transactions_applied == 3
+        assert label_stream(result.ldoc) == label_stream(ldoc)
+
     def test_reopened_journal_continues_transaction_numbering(self, tmp_path):
         ldoc, path = journalled_workload(tmp_path, "cdqs")
         journal = Journal(path)

@@ -68,6 +68,25 @@ class TestRollback:
         assert ldoc.document.root is not stale_root
         assert ldoc.document.root.node_id == stale_root.node_id
 
+    def test_subsumed_batch_is_closed_by_rollback(self):
+        """Regression: rollback nulled ``_active_batch`` without closing
+        the batch object, so a held reference could keep mutating the
+        rolled-back document against stale node references."""
+        from repro.errors import BatchError
+
+        ldoc = labeled(parse(SAMPLE), "dewey")
+        before = fingerprint(ldoc)
+        with pytest.raises(RuntimeError):
+            with ldoc.transaction():
+                batch = ldoc.batch()
+                batch.append_child(ldoc.document.root, "x")
+                raise RuntimeError("boom")
+        with pytest.raises(BatchError):
+            batch.append_child(ldoc.document.root, "y")
+        batch.rollback()  # a no-op now, not a second restore
+        assert fingerprint(ldoc) == before
+        ldoc.verify_order()
+
     def test_explicit_rollback_is_idempotent(self):
         ldoc = labeled(parse(SAMPLE), "cdqs")
         txn = Transaction(ldoc)
@@ -105,6 +124,24 @@ class TestCommit:
         txn = Transaction(ldoc)
         with pytest.raises(TransactionError):
             txn.commit()
+
+    def test_clean_exit_with_pending_batch_rolls_back(self):
+        """Regression: commit's pending-batch refusal used to escape the
+        clean-exit path with the transaction still 'active', keeping the
+        in-scope mutations and blocking every later transaction."""
+        ldoc = labeled(parse(SAMPLE), "dewey")
+        before = fingerprint(ldoc)
+        with pytest.raises(TransactionError):
+            with ldoc.transaction():
+                batch = ldoc.batch()
+                shelf = ldoc.document.root.element_children()[0]
+                batch.insert_before(shelf, "annex")  # deferred label
+        assert fingerprint(ldoc) == before
+        assert ldoc._active_txn is None
+        assert ldoc._active_batch is None
+        with ldoc.transaction() as txn:  # the document is usable again
+            txn.append_child(ldoc.document.root, "ok")
+        ldoc.verify_order()
 
 
 class TestGuards:

@@ -73,6 +73,12 @@ class TestEviction:
             cache.is_ancestor(("2",), (str(index + 2), "2"))
             assert len(cache._ancestor) <= cache.max_entries
 
+    def test_max_entries_below_mirrored_pair_rejected(self, qed):
+        """compare() always stores both orientations of a pair, so a cap
+        of 1 could never hold; it is rejected up front."""
+        with pytest.raises(ValueError):
+            ComparisonCache(qed, max_entries=1)
+
     def test_invalidate(self, qed):
         cache = ComparisonCache(qed)
         cache.compare(("2",), ("3",))
