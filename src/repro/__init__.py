@@ -32,7 +32,20 @@ from repro.schemes import (
     figure7_schemes,
     make_scheme,
 )
-from repro.observability import MetricsRegistry, get_registry, render_metrics
+from repro.observability import (
+    InMemorySpanExporter,
+    JSONLinesSpanExporter,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    load_trace,
+    render_metrics,
+    render_span_tree,
+    summarize_trace,
+    traced,
+    tracing_enabled,
+)
 from repro.store import XMLRepository, suggest_scheme
 from repro.updates import (
     BatchResult,
@@ -52,12 +65,15 @@ __all__ = [
     "Document",
     "FIGURE7_ORDER",
     "FaultInjector",
+    "InMemorySpanExporter",
+    "JSONLinesSpanExporter",
     "Journal",
     "LabeledDocument",
     "LabelingScheme",
     "MetricsRegistry",
     "NodeKind",
     "SchemeMetadata",
+    "Tracer",
     "Transaction",
     "UpdateBatch",
     "UpdateResult",
@@ -67,8 +83,14 @@ __all__ = [
     "apply_batch",
     "available_schemes",
     "get_registry",
+    "get_tracer",
+    "load_trace",
     "render_metrics",
+    "render_span_tree",
     "suggest_scheme",
+    "summarize_trace",
+    "traced",
+    "tracing_enabled",
     "extension_schemes",
     "figure7_schemes",
     "make_scheme",

@@ -10,6 +10,8 @@
     python -m repro figure N                        # reproduce figure N
     python -m repro growth --schemes qed,vector     # skewed growth series
     python -m repro suggest version-control compact # section 5.2 advice
+    python -m repro metrics --scheme dewey --json   # metrics snapshot
+    python -m repro trace --scheme ordpath --ops 200 # span tree + hotspots
     python -m repro journal inspect FILE            # list journal records
     python -m repro journal replay FILE --verify    # recover + verify
 
@@ -168,23 +170,28 @@ def _cmd_growth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_document(args: argparse.Namespace):
+    from repro.xmlmodel.parser import parse
+
+    if getattr(args, "file", None):
+        with open(args.file, encoding="utf-8") as handle:
+            return parse(handle.read())
+    return parse(
+        "<library><shelf><book/><book/></shelf><shelf><book/></shelf>"
+        "</library>"
+    )
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Run an update workload and dump the observability registry."""
+    import json
     import random
 
     from repro.observability.metrics import get_registry, render_metrics
     from repro.schemes.registry import make_scheme
     from repro.updates.document import LabeledDocument
-    from repro.xmlmodel.parser import parse
 
-    if args.file:
-        with open(args.file, encoding="utf-8") as handle:
-            document = parse(handle.read())
-    else:
-        document = parse(
-            "<library><shelf><book/><book/></shelf><shelf><book/></shelf>"
-            "</library>"
-        )
+    document = _workload_document(args)
     registry = get_registry()
     registry.reset()
     ldoc = LabeledDocument(document, make_scheme(args.scheme))
@@ -199,17 +206,111 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 batch.insert_after(rng.choice(targets), f"n{index}")
         ldoc.verify_order()
         result = ldoc.last_batch_result
-        print(f"batch: {result.operations} ops, "
-              f"{result.relabel_passes} relabel pass(es), "
-              f"{result.relabels_avoided} relabels avoided")
+        summary = (f"batch: {result.operations} ops, "
+                   f"{result.relabel_passes} relabel pass(es), "
+                   f"{result.relabels_avoided} relabels avoided")
     else:
         for index in range(args.ops):
             ldoc.updates.insert_after(rng.choice(targets), f"n{index}")
         ldoc.verify_order()
-        print(f"per-op: {args.ops} ops, "
-              f"{ldoc.log.relabel_events} relabel event(s)")
+        summary = (f"per-op: {args.ops} ops, "
+                   f"{ldoc.log.relabel_events} relabel event(s)")
+    if args.json:
+        values = {
+            name: value for name, value in registry.snapshot().items()
+            if name.startswith(args.prefix)
+        }
+        print(json.dumps(values, indent=2, sort_keys=True))
+        return 0
+    print(summary)
     print()
     print(render_metrics(registry, prefix=args.prefix))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a traced update workload and print the span tree + hotspots."""
+    import random
+
+    from repro.errors import SchemeConfigurationError
+    from repro.observability.tracing import (
+        InMemorySpanExporter,
+        JSONLinesSpanExporter,
+        RatioSampler,
+        render_span_tree,
+        render_summary,
+        summarize_trace,
+        tracing_enabled,
+    )
+    from repro.schemes.registry import make_scheme
+    from repro.updates.document import LabeledDocument
+
+    document = _workload_document(args)
+    # Tighten overflow-prone bounds (when the scheme has them) so short
+    # traces exhibit the overflow→relabel cascades the tracer exists to
+    # attribute; schemes without bounded fields keep their defaults, and
+    # persistent schemes legitimately show no relabel spans at all.
+    scheme = None
+    if args.overflow_at:
+        try:
+            scheme = make_scheme(args.scheme, max_magnitude=args.overflow_at)
+        except SchemeConfigurationError:
+            scheme = None
+    if scheme is None:
+        scheme = make_scheme(args.scheme)
+    ldoc = LabeledDocument(document, scheme)
+    rng = random.Random(args.seed)
+    targets = [
+        node for node in document.all_nodes()
+        if node.is_element and node.parent is not None
+    ]
+    hot = targets[min(1, len(targets) - 1)]
+    sampler = (RatioSampler(args.sample, seed=args.seed)
+               if args.sample < 1.0 else None)
+    buffer = InMemorySpanExporter()
+    file_exporter = (JSONLinesSpanExporter(args.export)
+                     if args.export else None)
+    try:
+        with tracing_enabled(buffer, sampler=sampler) as tracer:
+            if file_exporter is not None:
+                tracer.add_exporter(file_exporter)
+            if args.batch:
+                with ldoc.batch() as batch:
+                    for index in range(args.ops):
+                        if index % 2 == 0:
+                            batch.insert_before(hot, f"s{index}")
+                        else:
+                            batch.insert_after(rng.choice(targets),
+                                               f"n{index}")
+            else:
+                # Half the inserts crowd one hot position (the skewed
+                # pattern behind careting cascades and QED growth), the
+                # rest scatter; deletes every 16 ops exercise on_delete.
+                for index in range(args.ops):
+                    if index % 16 == 15:
+                        victim = ldoc.updates.insert_after(
+                            rng.choice(targets), f"d{index}"
+                        ).node
+                        ldoc.updates.delete(victim)
+                    elif index % 2 == 0:
+                        ldoc.updates.insert_before(hot, f"s{index}")
+                    else:
+                        ldoc.updates.insert_after(rng.choice(targets),
+                                                  f"n{index}")
+    finally:
+        if file_exporter is not None:
+            file_exporter.close()
+    ldoc.verify_order()
+    roots = buffer.roots()
+    print(f"{args.ops} ops under {args.scheme}: {len(buffer)} span(s) in "
+          f"{len(roots)} trace(s), {ldoc.log.relabel_events} relabel "
+          f"event(s), {ldoc.log.overflow_events} overflow(s)")
+    print()
+    print(render_span_tree(roots, max_spans=args.max_spans))
+    print()
+    print(render_summary(summarize_trace(roots), top=args.top))
+    if args.export:
+        print(f"\nspans exported to {args.export}")
     return 0
 
 
@@ -327,6 +428,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="apply the workload through an UpdateBatch")
     metrics.add_argument("--prefix", default="",
                          help="only show metrics whose name starts with this")
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the snapshot as JSON (machine-readable)")
+
+    trace = commands.add_parser(
+        "trace", help="run a traced update workload; print the span tree"
+    )
+    trace.add_argument("file", nargs="?", default=None,
+                       help="XML file (default: a built-in sample)")
+    trace.add_argument("--scheme", default="dewey")
+    trace.add_argument("--ops", type=int, default=200)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--batch", action="store_true",
+                       help="apply the workload through an UpdateBatch")
+    trace.add_argument("--export", metavar="FILE", default=None,
+                       help="also write spans as JSON lines to FILE")
+    trace.add_argument("--top", type=int, default=10,
+                       help="hotspot rows to show (default 10)")
+    trace.add_argument("--sample", type=float, default=1.0,
+                       help="head-based sampling ratio in [0, 1] (default 1)")
+    trace.add_argument("--max-spans", type=int, default=None,
+                       help="truncate the printed tree after this many spans")
+    trace.add_argument("--overflow-at", type=int, default=63,
+                       help="cap overflow-prone label fields at this "
+                            "magnitude so relabel cascades appear in short "
+                            "traces (0 = scheme defaults)")
 
     journal = commands.add_parser(
         "journal", help="inspect or replay a write-ahead update journal"
@@ -350,6 +476,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "suggest": _cmd_suggest,
     "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
     "journal": _cmd_journal,
 }
 

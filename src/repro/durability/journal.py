@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.durability.faults import InjectedFault, get_injector, maybe_fail
 from repro.errors import JournalError, RecoveryError
 from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
 from repro.store.repository import (
     Snapshot,
     restore_snapshot,
@@ -142,7 +143,10 @@ class Journal:
         self._require_base()
         if self._open_txn is None:
             self.begin()
-        with self._timer_append.time():
+        with get_tracer().span("journal.append",
+                               kind=operation.kind.value,
+                               sync=self.sync_policy), \
+                self._timer_append.time():
             record = {"type": "op", "txn": self._open_txn}
             record.update(operation.to_dict())
             line = json.dumps(record, separators=(",", ":"))
@@ -218,7 +222,8 @@ class Journal:
             self._fsync()
 
     def _fsync(self) -> None:
-        os.fsync(self._file.fileno())
+        with get_tracer().span("journal.fsync", sync=self.sync_policy):
+            os.fsync(self._file.fileno())
         self._metric_syncs.increment()
 
     def _require_base(self) -> None:
@@ -298,7 +303,8 @@ def recover(path) -> RecoveryResult:
     """
     registry = get_registry()
     registry.counter("durability.recoveries").increment()
-    with registry.timer("durability.recover").time():
+    with get_tracer().span("journal.recover") as span, \
+            registry.timer("durability.recover").time():
         records, torn_tail = read_journal(path)
         if not records or records[0]["type"] != "base":
             raise RecoveryError(
@@ -320,7 +326,7 @@ def recover(path) -> RecoveryResult:
             raise RecoveryError(f"unusable base record: {error}") from None
 
         pending: Dict[int, List[Operation]] = {}
-        applied = operations = discarded = 0
+        applied = operations = discarded = discarded_ops = 0
         for record in records[1:]:
             kind = record["type"]
             txn = int(record.get("txn", -1))
@@ -336,11 +342,24 @@ def recover(path) -> RecoveryResult:
                     operations += 1
                 applied += 1
             elif kind == "rollback":
-                pending.pop(txn, None)
+                discarded_ops += len(pending.pop(txn, []))
                 discarded += 1
             else:
                 raise RecoveryError(f"unknown journal record type {kind!r}")
         discarded += len(pending)  # begun but never resolved: crash victims
+        discarded_ops += sum(len(ops) for ops in pending.values())
+        # The append path already counts every written record; recovery
+        # publishes the symmetric read-side accounting.
+        registry.counter(
+            "durability.recover.records_replayed"
+        ).increment(operations)
+        registry.counter(
+            "durability.recover.records_discarded"
+        ).increment(discarded_ops)
+        span.set_attribute("transactions_applied", applied)
+        span.set_attribute("records_replayed", operations)
+        span.set_attribute("records_discarded", discarded_ops)
+        span.set_attribute("torn_tail", torn_tail)
 
     return RecoveryResult(
         ldoc=ldoc,

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional
 from repro.durability.faults import maybe_fail
 from repro.errors import TransactionError, UpdateError
 from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
 from repro.updates.operations import (
     OpKind,
     Operation,
@@ -189,40 +190,47 @@ class Transaction:
             raise TransactionError(
                 "cannot commit while a batch has unapplied operations"
             )
-        try:
-            maybe_fail("transaction.commit")
-            if self._journal is not None:
-                self._journal.commit()
-        except Exception:
-            self.rollback()
-            raise
-        self._state = "committed"
-        self._undo = None
-        ldoc._active_txn = None
-        self._metric_commits.increment()
+        with get_tracer().span("transaction.commit",
+                               scheme=ldoc.scheme.metadata.name,
+                               journaled=self._journal is not None):
+            try:
+                maybe_fail("transaction.commit")
+                if self._journal is not None:
+                    self._journal.commit()
+            except Exception:
+                self.rollback()
+                raise
+            self._state = "committed"
+            self._undo = None
+            ldoc._active_txn = None
+            self._metric_commits.increment()
 
     def rollback(self) -> None:
         """Restore the document to its pre-transaction state."""
         if self._state != "active":
             return
         ldoc = self._ldoc
-        # A batch opened inside the scope and still live at rollback time
-        # is subsumed: the undo record predates it.  Close it too, so a
-        # caller still holding the reference cannot keep mutating the
-        # rolled-back document against stale node references.
-        batch = ldoc._active_batch
-        if batch is not None:
-            batch._applied = True
-            batch._undo = None
-            batch._pending.clear()
-        ldoc._active_batch = None
-        self._undo.rollback()
-        self._undo = None
-        if self._journal is not None:
-            self._journal.rollback()
-        self._state = "rolled-back"
-        ldoc._active_txn = None
-        self._metric_rollbacks.increment()
+        with get_tracer().span("transaction.rollback",
+                               scheme=ldoc.scheme.metadata.name,
+                               journaled=self._journal is not None):
+            # A batch opened inside the scope and still live at rollback
+            # time is subsumed: the undo record predates it.  Close it
+            # too, so a caller still holding the reference cannot keep
+            # mutating the rolled-back document against stale node
+            # references.
+            batch = ldoc._active_batch
+            if batch is not None:
+                batch._applied = True
+                batch._undo = None
+                batch._pending.clear()
+            ldoc._active_batch = None
+            self._undo.rollback()
+            self._undo = None
+            if self._journal is not None:
+                self._journal.rollback()
+            self._state = "rolled-back"
+            ldoc._active_txn = None
+            self._metric_rollbacks.increment()
 
     def _require_active(self) -> None:
         if self._state != "active":

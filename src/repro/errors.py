@@ -67,6 +67,16 @@ class UnsupportedRelationshipError(LabelError):
     """
 
 
+class MetricsError(ReproError):
+    """The observability registry was misused.
+
+    Raised when one instrument name is requested as two different
+    instrument types (a ``counter`` and later a ``timer``, say): the
+    registry refuses to shadow or clobber, because both callers would
+    silently publish into diverging instruments.
+    """
+
+
 class UpdateError(ReproError):
     """An update operation was invalid for the current document state."""
 

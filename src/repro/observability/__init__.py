@@ -1,13 +1,20 @@
-"""Observability: the metrics registry behind the package's cost accounting.
+"""Observability: metrics and tracing behind the package's cost accounting.
 
 The survey's whole argument is that update mechanisms must be *measured*,
 not assumed — overflow events, relabel passes and comparison counts are
-its currency.  This package turns those measurements into a uniform,
-process-wide metrics layer: counters, timers and histograms collected in
-a :class:`~repro.observability.metrics.MetricsRegistry`, fed by the
-scheme instrumentation, the update log, the batch engine, the structural
-joins and the comparison cache, and rendered by ``python -m repro
-metrics``.
+its currency.  This package turns those measurements into two layers:
+
+* a uniform, process-wide **metrics** registry — counters, timers and
+  histograms collected in a
+  :class:`~repro.observability.metrics.MetricsRegistry`, fed by the
+  scheme instrumentation, the update log, the batch engine, the
+  structural joins and the comparison cache, and rendered by
+  ``python -m repro metrics``;
+* a hierarchical **tracing** layer
+  (:mod:`repro.observability.tracing`) that attributes those costs to
+  individual operations — spans over inserts, relabel passes, journal
+  writes and joins, with per-span metric deltas, head-based sampling
+  and JSONL export, rendered by ``python -m repro trace``.
 """
 
 from repro.observability.metrics import (
@@ -18,12 +25,46 @@ from repro.observability.metrics import (
     get_registry,
     render_metrics,
 )
+from repro.observability.tracing import (
+    AlwaysOffSampler,
+    AlwaysOnSampler,
+    InMemorySpanExporter,
+    JSONLinesSpanExporter,
+    RatioSampler,
+    Span,
+    SpanRecord,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    load_trace,
+    render_span_tree,
+    render_summary,
+    summarize_trace,
+    traced,
+    tracing_enabled,
+)
 
 __all__ = [
+    "AlwaysOffSampler",
+    "AlwaysOnSampler",
     "Counter",
     "Histogram",
+    "InMemorySpanExporter",
+    "JSONLinesSpanExporter",
     "MetricsRegistry",
+    "RatioSampler",
+    "Span",
+    "SpanRecord",
     "Timer",
+    "Tracer",
+    "configure_tracing",
     "get_registry",
+    "get_tracer",
+    "load_trace",
     "render_metrics",
+    "render_span_tree",
+    "render_summary",
+    "summarize_trace",
+    "traced",
+    "tracing_enabled",
 ]

@@ -26,6 +26,8 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.errors import MetricsError
+
 
 class Counter:
     """A monotonically increasing count (events, nodes, cache hits)."""
@@ -166,6 +168,7 @@ class MetricsRegistry:
         """The counter called ``name``, created on first use."""
         counter = self._counters.get(name)
         if counter is None:
+            self._check_free(name, "counter")
             counter = self._counters[name] = Counter(name)
         return counter
 
@@ -173,6 +176,7 @@ class MetricsRegistry:
         """The timer called ``name``, created on first use."""
         timer = self._timers.get(name)
         if timer is None:
+            self._check_free(name, "timer")
             timer = self._timers[name] = Timer(name)
         return timer
 
@@ -180,8 +184,20 @@ class MetricsRegistry:
         """The histogram called ``name``, created on first use."""
         histogram = self._histograms.get(name)
         if histogram is None:
+            self._check_free(name, "histogram")
             histogram = self._histograms[name] = Histogram(name)
         return histogram
+
+    def _check_free(self, name: str, wanted: str) -> None:
+        """Refuse to register one name as two instrument types."""
+        for kind, instruments in (("counter", self._counters),
+                                  ("timer", self._timers),
+                                  ("histogram", self._histograms)):
+            if name in instruments:
+                raise MetricsError(
+                    f"metric {name!r} is already registered as a {kind}; "
+                    f"cannot re-register it as a {wanted}"
+                )
 
     # -- reading ----------------------------------------------------------
 
@@ -190,6 +206,9 @@ class MetricsRegistry:
 
         Counters contribute their value, timers their total seconds
         (plus a ``.count`` entry), histograms their count, sum and mean.
+        Keys come back sorted by name, so the snapshot serialises and
+        diffs identically no matter when each instrument was first
+        registered during the run.
         """
         values: Dict[str, float] = {}
         for name, counter in self._counters.items():
@@ -201,7 +220,7 @@ class MetricsRegistry:
             values[name + ".count"] = histogram.count
             values[name + ".sum"] = histogram.total
             values[name + ".mean"] = histogram.mean
-        return values
+        return dict(sorted(values.items()))
 
     @contextmanager
     def scoped(self) -> Iterator[Dict[str, float]]:

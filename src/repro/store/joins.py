@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, List, Sequence, Tuple
 
 from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
 from repro.schemes.base import LabelingScheme
 from repro.schemes.cache import comparison_cache_for
 
@@ -33,13 +34,19 @@ def nested_loop_join(scheme: LabelingScheme, ancestors: Sequence[Item],
                      descendants: Sequence[Item]) -> List[Tuple[Any, Any]]:
     """The O(|A| * |D|) baseline: test every pair."""
     get_registry().counter("store.joins.nested_loop").increment()
-    cache = comparison_cache_for(scheme)
-    return [
-        (a_payload, d_payload)
-        for a_label, a_payload in ancestors
-        for d_label, d_payload in descendants
-        if cache.is_ancestor(a_label, d_label)
-    ]
+    with get_tracer().span("store.join.nested_loop",
+                           scheme=scheme.metadata.name,
+                           ancestors=len(ancestors),
+                           descendants=len(descendants)) as span:
+        cache = comparison_cache_for(scheme)
+        output = [
+            (a_payload, d_payload)
+            for a_label, a_payload in ancestors
+            for d_label, d_payload in descendants
+            if cache.is_ancestor(a_label, d_label)
+        ]
+        span.set_attribute("output", len(output))
+        return output
 
 
 def stack_tree_join(scheme: LabelingScheme, ancestors: Sequence[Item],
@@ -53,31 +60,36 @@ def stack_tree_join(scheme: LabelingScheme, ancestors: Sequence[Item],
     O(|A| + |D| + output) label operations.
     """
     get_registry().counter("store.joins.stack_tree").increment()
-    cache = comparison_cache_for(scheme)
-    output: List[Tuple[Any, Any]] = []
-    stack: List[Item] = []
-    a_index = 0
-    d_index = 0
+    with get_tracer().span("store.join.stack_tree",
+                           scheme=scheme.metadata.name,
+                           ancestors=len(ancestors),
+                           descendants=len(descendants)) as span:
+        cache = comparison_cache_for(scheme)
+        output: List[Tuple[Any, Any]] = []
+        stack: List[Item] = []
+        a_index = 0
+        d_index = 0
 
-    def pop_finished(label: Any) -> None:
-        while stack and not cache.is_ancestor(stack[-1][0], label):
-            stack.pop()
+        def pop_finished(label: Any) -> None:
+            while stack and not cache.is_ancestor(stack[-1][0], label):
+                stack.pop()
 
-    while d_index < len(descendants):
-        d_label, d_payload = descendants[d_index]
-        if a_index < len(ancestors) and (
-            cache.compare(ancestors[a_index][0], d_label) < 0
-        ):
-            a_label, a_payload = ancestors[a_index]
-            pop_finished(a_label)
-            stack.append((a_label, a_payload))
-            a_index += 1
-            continue
-        pop_finished(d_label)
-        for a_label, a_payload in stack:
-            output.append((a_payload, d_payload))
-        d_index += 1
-    return output
+        while d_index < len(descendants):
+            d_label, d_payload = descendants[d_index]
+            if a_index < len(ancestors) and (
+                cache.compare(ancestors[a_index][0], d_label) < 0
+            ):
+                a_label, a_payload = ancestors[a_index]
+                pop_finished(a_label)
+                stack.append((a_label, a_payload))
+                a_index += 1
+                continue
+            pop_finished(d_label)
+            for a_label, a_payload in stack:
+                output.append((a_payload, d_payload))
+            d_index += 1
+        span.set_attribute("output", len(output))
+        return output
 
 
 def semi_join(scheme: LabelingScheme, ancestors: Sequence[Item],
@@ -88,24 +100,29 @@ def semi_join(scheme: LabelingScheme, ancestors: Sequence[Item],
     descendant at most once.
     """
     get_registry().counter("store.joins.semi").increment()
-    cache = comparison_cache_for(scheme)
-    kept: List[Item] = []
-    stack: List[Any] = []
-    a_index = 0
-    for d_label, d_payload in descendants:
-        while a_index < len(ancestors) and cache.compare(
-            ancestors[a_index][0], d_label
-        ) < 0:
-            a_label = ancestors[a_index][0]
-            while stack and not cache.is_ancestor(stack[-1], a_label):
+    with get_tracer().span("store.join.semi",
+                           scheme=scheme.metadata.name,
+                           ancestors=len(ancestors),
+                           descendants=len(descendants)) as span:
+        cache = comparison_cache_for(scheme)
+        kept: List[Item] = []
+        stack: List[Any] = []
+        a_index = 0
+        for d_label, d_payload in descendants:
+            while a_index < len(ancestors) and cache.compare(
+                ancestors[a_index][0], d_label
+            ) < 0:
+                a_label = ancestors[a_index][0]
+                while stack and not cache.is_ancestor(stack[-1], a_label):
+                    stack.pop()
+                stack.append(a_label)
+                a_index += 1
+            while stack and not cache.is_ancestor(stack[-1], d_label):
                 stack.pop()
-            stack.append(a_label)
-            a_index += 1
-        while stack and not cache.is_ancestor(stack[-1], d_label):
-            stack.pop()
-        if stack:
-            kept.append((d_label, d_payload))
-    return kept
+            if stack:
+                kept.append((d_label, d_payload))
+        span.set_attribute("output", len(kept))
+        return kept
 
 
 def path_join(scheme: LabelingScheme,

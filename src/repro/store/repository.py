@@ -109,11 +109,21 @@ class StoredDocument:
         Index scans feed the stack-based joins of
         :mod:`repro.store.joins`; no tree navigation happens.
         """
+        from repro.observability.tracing import get_tracer
+
         get_registry().counter("repository.path_queries").increment()
-        levels = [self.indexes.by_name(step) for step in names]
-        if any(not level for level in levels):
-            return []
-        return [node for _label, node in path_join(self.ldoc.scheme, levels)]
+        with get_tracer().span("repository.path_query",
+                               scheme=self.ldoc.scheme.metadata.name,
+                               steps=len(names)) as span:
+            levels = [self.indexes.by_name(step) for step in names]
+            if any(not level for level in levels):
+                span.set_attribute("matches", 0)
+                return []
+            matches = [
+                node for _label, node in path_join(self.ldoc.scheme, levels)
+            ]
+            span.set_attribute("matches", len(matches))
+            return matches
 
     def xpath(self, path: str) -> List[XMLNode]:
         """Full mini-XPath over this document."""
@@ -144,14 +154,19 @@ class XMLRepository:
         """Ingest a document (XML text or an existing tree)."""
         if name in self._documents:
             raise UpdateError(f"document {name!r} already exists")
+        from repro.observability.tracing import get_tracer
+
         registry = get_registry()
         document = parse(source) if isinstance(source, str) else source
-        with registry.timer("repository.ingest").time():
+        scheme_name = scheme or self.default_scheme
+        with get_tracer().span("repository.ingest", scheme=scheme_name,
+                               document=name) as span, \
+                registry.timer("repository.ingest").time():
             ldoc = LabeledDocument(
-                document, make_scheme(scheme or self.default_scheme,
-                                      **scheme_config)
+                document, make_scheme(scheme_name, **scheme_config)
             )
             stored = StoredDocument(name, ldoc)
+            span.set_attribute("labels", len(ldoc.labels))
         registry.counter("repository.documents_added").increment()
         self._documents[name] = stored
         return stored

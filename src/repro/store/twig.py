@@ -94,18 +94,27 @@ class TwigMatcher:
 
     def match(self, pattern: TwigNode) -> List[XMLNode]:
         """Nodes bound to the pattern's output node, in document order."""
-        output = pattern.output_node()
-        bindings = self._satisfy(pattern)
-        if pattern is output:
-            return [node for _label, node in bindings]
-        # Re-run the output subtree against the satisfied context: the
-        # output node's own candidates, restricted to those under some
-        # satisfied binding along the pattern path.
-        return [
-            node for _label, node in self._collect_output(
-                pattern, bindings, output
-            )
-        ]
+        from repro.observability.tracing import get_tracer
+
+        with get_tracer().span("store.twig.match",
+                               scheme=self.ldoc.scheme.metadata.name,
+                               root=pattern.name) as span:
+            output = pattern.output_node()
+            bindings = self._satisfy(pattern)
+            if pattern is output:
+                matches = [node for _label, node in bindings]
+            else:
+                # Re-run the output subtree against the satisfied
+                # context: the output node's own candidates, restricted
+                # to those under some satisfied binding along the
+                # pattern path.
+                matches = [
+                    node for _label, node in self._collect_output(
+                        pattern, bindings, output
+                    )
+                ]
+            span.set_attribute("matches", len(matches))
+            return matches
 
     def count(self, pattern: TwigNode) -> int:
         return len(self.match(pattern))

@@ -274,28 +274,44 @@ class UpdateBatch:
         context manager's exception path — restores the pre-batch state.
         """
         from repro.durability.faults import maybe_fail
+        from repro.observability.tracing import get_tracer
         from repro.schemes.cache import comparison_cache_for
 
         self._check_open()
         maybe_fail("batch.apply")
         ldoc = self._ldoc
-        passes = 0
-        relabeled_nodes = 0
-        if self._pending:
-            old_labels = ldoc.labels
-            new_labels = ldoc.scheme.label_tree(ldoc.document)
-            relabeled_nodes = sum(
-                1 for node_id, label in new_labels.items()
-                if node_id in old_labels and old_labels[node_id] != label
-            )
-            ldoc.labels = new_labels
-            maybe_fail("batch.relabel")
-            ldoc._rebuild_label_index()
-            ldoc.log.record("relabel_events")
-            ldoc.log.record("relabeled_nodes", relabeled_nodes)
-            comparison_cache_for(ldoc.scheme).invalidate()
-            passes = 1
-            self._pending.clear()
+        scheme_name = ldoc.scheme.metadata.name
+        tracer = get_tracer()
+        with tracer.span("batch.apply", scheme=scheme_name,
+                         operations=self._operations,
+                         deferred=self._deferrals) as span:
+            passes = 0
+            relabeled_nodes = 0
+            if self._pending:
+                with tracer.span("document.relabel", scheme=scheme_name,
+                                 consolidated=True,
+                                 overflow=False) as relabel_span:
+                    old_labels = ldoc.labels
+                    new_labels = ldoc.scheme.label_tree(ldoc.document)
+                    relabeled_nodes = sum(
+                        1 for node_id, label in new_labels.items()
+                        if node_id in old_labels and old_labels[node_id] != label
+                    )
+                    ldoc.labels = new_labels
+                    maybe_fail("batch.relabel")
+                    ldoc._rebuild_label_index()
+                    ldoc.log.record("relabel_events")
+                    ldoc.log.record("relabeled_nodes", relabeled_nodes)
+                    comparison_cache_for(ldoc.scheme).invalidate()
+                    relabel_span.set_attribute("nodes", relabeled_nodes)
+                if tracer.enabled:
+                    get_registry().histogram(
+                        f"scheme.{scheme_name}.relabel_extent"
+                    ).observe(relabeled_nodes)
+                passes = 1
+                self._pending.clear()
+            span.set_attribute("relabel_passes", passes)
+            span.set_attribute("relabeled_nodes", relabeled_nodes)
         for result in self._results:
             if result.node is not None and result.kind != "delete":
                 result.label = ldoc.labels.get(result.node.node_id)

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import BatchError, LabelCollisionError, UpdateError
 from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
 from repro.schemes.base import LabelingScheme, SiblingInsertContext
 from repro.updates.results import UpdateResult, UpdateSurface, _maybe_warn_legacy
 from repro.xmlmodel.tree import Document, NodeKind, XMLNode
@@ -280,12 +281,15 @@ class LabeledDocument:
 
     def _do_insert_subtree(self, parent: XMLNode, index: int,
                            fragment: XMLNode) -> UpdateResult:
-        root_copy = self._copy_shallow(fragment)
-        parent.insert_child(index, root_copy)
-        combined = self._label_new_node(root_copy)
-        combined.kind = "insert-subtree"
-        self._insert_children_of(fragment, root_copy, combined)
-        return combined
+        with get_tracer().span("document.insert_subtree",
+                               scheme=self.scheme.metadata.name) as span:
+            root_copy = self._copy_shallow(fragment)
+            parent.insert_child(index, root_copy)
+            combined = self._label_new_node(root_copy)
+            combined.kind = "insert-subtree"
+            self._insert_children_of(fragment, root_copy, combined)
+            span.set_attribute("nodes", combined.labels_assigned)
+            return combined
 
     def _insert_children_of(self, source: XMLNode, target: XMLNode,
                             combined: UpdateResult) -> None:
@@ -317,25 +321,30 @@ class LabeledDocument:
         self._do_delete(node)
 
     def _do_delete(self, node: XMLNode) -> UpdateResult:
-        parent = self._parent_of(node)
-        removed_ids = [
-            child.node_id for child in node.preorder() if child.kind.is_labeled
-        ]
-        parent.remove_child(node)
-        self.log.record("deletions")
-        relabeled = self.scheme.on_delete(
-            self.document, self.labels, node.node_id
-        )
-        for node_id in removed_ids:
-            label = self.labels.pop(node_id, None)
-            if label is not None and self._label_index.get(label) == node_id:
-                del self._label_index[label]
-        result = UpdateResult(kind="delete", node=None)
-        if relabeled:
-            self._apply_relabeling(relabeled)
-            result.relabeled_nodes = len(relabeled)
-            result.relabel_events = 1
-        return result
+        with get_tracer().span("document.delete",
+                               scheme=self.scheme.metadata.name) as span:
+            parent = self._parent_of(node)
+            removed_ids = [
+                child.node_id for child in node.preorder()
+                if child.kind.is_labeled
+            ]
+            parent.remove_child(node)
+            self.log.record("deletions")
+            relabeled = self.scheme.on_delete(
+                self.document, self.labels, node.node_id
+            )
+            for node_id in removed_ids:
+                label = self.labels.pop(node_id, None)
+                if label is not None and self._label_index.get(label) == node_id:
+                    del self._label_index[label]
+            result = UpdateResult(kind="delete", node=None)
+            if relabeled:
+                self._apply_relabeling(relabeled)
+                result.relabeled_nodes = len(relabeled)
+                result.relabel_events = 1
+            span.set_attribute("nodes_removed", len(removed_ids))
+            span.set_attribute("relabeled_nodes", result.relabeled_nodes)
+            return result
 
     # ------------------------------------------------------------------
     # Structural updates: move
@@ -364,31 +373,38 @@ class LabeledDocument:
             raise UpdateError("the root element cannot be moved")
         if node is new_parent or node.is_ancestor_of(new_parent):
             raise UpdateError("cannot move a node under itself")
-        old_parent = node.parent
-        moved_ids = [
-            child.node_id for child in node.preorder() if child.kind.is_labeled
-        ]
-        old_parent.remove_child(node)
-        relabeled = self.scheme.on_delete(self.document, self.labels, node.node_id)
-        for node_id in moved_ids:
-            label = self.labels.pop(node_id, None)
-            if label is not None and self._label_index.get(label) == node_id:
-                del self._label_index[label]
-        combined = UpdateResult(kind="move", node=node)
-        if relabeled:
-            self._apply_relabeling(relabeled)
-            combined.relabeled_nodes += len(relabeled)
-            combined.relabel_events += 1
-        new_parent.insert_child(index, node)
-        for child in node.preorder():
-            if child.kind.is_labeled:
-                result = self._label_new_node(child)
-                combined.labels_assigned += result.labels_assigned
-                combined.relabeled_nodes += result.relabeled_nodes
-                combined.relabel_events += result.relabel_events
-                combined.overflow_events += result.overflow_events
-        combined.label = self.labels.get(node.node_id)
-        return combined
+        with get_tracer().span("document.move",
+                               scheme=self.scheme.metadata.name) as span:
+            old_parent = node.parent
+            moved_ids = [
+                child.node_id for child in node.preorder()
+                if child.kind.is_labeled
+            ]
+            old_parent.remove_child(node)
+            relabeled = self.scheme.on_delete(
+                self.document, self.labels, node.node_id
+            )
+            for node_id in moved_ids:
+                label = self.labels.pop(node_id, None)
+                if label is not None and self._label_index.get(label) == node_id:
+                    del self._label_index[label]
+            combined = UpdateResult(kind="move", node=node)
+            if relabeled:
+                self._apply_relabeling(relabeled)
+                combined.relabeled_nodes += len(relabeled)
+                combined.relabel_events += 1
+            new_parent.insert_child(index, node)
+            for child in node.preorder():
+                if child.kind.is_labeled:
+                    result = self._label_new_node(child)
+                    combined.labels_assigned += result.labels_assigned
+                    combined.relabeled_nodes += result.relabeled_nodes
+                    combined.relabel_events += result.relabel_events
+                    combined.overflow_events += result.overflow_events
+            combined.label = self.labels.get(node.node_id)
+            span.set_attribute("nodes_moved", len(moved_ids))
+            span.set_attribute("relabeled_nodes", combined.relabeled_nodes)
+            return combined
 
     # ------------------------------------------------------------------
     # Content updates (labels untouched — section 3.1)
@@ -487,17 +503,38 @@ class LabeledDocument:
         return node.parent
 
     def _label_new_node(self, node: XMLNode) -> UpdateResult:
+        # The hottest call in the package: every inserted node passes
+        # through here.  The explicit enabled check keeps the disabled
+        # path free of any span machinery (the no-op overhead bound the
+        # tests assert); the traced path additionally feeds the
+        # per-scheme label-size profile.
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._label_new_node_core(node)
+        scheme_name = self.scheme.metadata.name
+        with tracer.span("document.insert", scheme=scheme_name) as span:
+            result = self._label_new_node_core(node)
+            span.set_attribute("relabeled_nodes", result.relabeled_nodes)
+            span.set_attribute("overflow", bool(result.overflow_events))
+            if result.label is not None:
+                get_registry().histogram(
+                    f"scheme.{scheme_name}.label_bits"
+                ).observe(self.scheme.label_size_bits(result.label))
+            return result
+
+    def _label_new_node_core(self, node: XMLNode) -> UpdateResult:
         context = self._insert_context_for(node)
         outcome = self.scheme.insert_sibling(context)
         self.log.record("insertions")
         result = UpdateResult(kind="insert", node=node, labels_assigned=1)
-        if outcome.relabeled:
-            self._apply_relabeling(outcome.relabeled)
-            result.relabeled_nodes = len(outcome.relabeled)
-            result.relabel_events = 1
         if outcome.overflowed:
             self.log.record("overflow_events")
             result.overflow_events = 1
+        if outcome.relabeled:
+            self._apply_relabeling(outcome.relabeled,
+                                   overflowed=outcome.overflowed)
+            result.relabeled_nodes = len(outcome.relabeled)
+            result.relabel_events = 1
         self._assign(node.node_id, outcome.label)
         result.label = outcome.label
         return result
@@ -528,7 +565,21 @@ class LabeledDocument:
             new_id=node.node_id,
         )
 
-    def _apply_relabeling(self, relabeled: Dict[int, Any]) -> None:
+    def _apply_relabeling(self, relabeled: Dict[int, Any],
+                          overflowed: bool = False) -> None:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            self._apply_relabeling_core(relabeled)
+            return
+        scheme_name = self.scheme.metadata.name
+        with tracer.span("document.relabel", scheme=scheme_name,
+                         nodes=len(relabeled), overflow=overflowed):
+            self._apply_relabeling_core(relabeled)
+        get_registry().histogram(
+            f"scheme.{scheme_name}.relabel_extent"
+        ).observe(len(relabeled))
+
+    def _apply_relabeling_core(self, relabeled: Dict[int, Any]) -> None:
         from repro.durability.faults import maybe_fail
         from repro.schemes.cache import comparison_cache_for
 

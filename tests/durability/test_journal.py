@@ -180,3 +180,24 @@ class TestJournalFile:
             journalled_workload(tmp_path, "cdqs")
         assert delta.get("durability.journal.appends", 0) == 3
         assert delta.get("durability.journal.commits", 0) == 2
+
+    def test_recovery_counters_published(self, tmp_path):
+        from repro.observability.metrics import get_registry
+        from repro.updates.operations import OpKind, Operation
+
+        ldoc = labeled(parse(SAMPLE), "cdqs")
+        path = tmp_path / "doc.journal"
+        journal = Journal.create(path, ldoc, name="lib")
+        with ldoc.transaction(journal=journal) as txn:
+            txn.append_child(ldoc.document.root, "kept")
+        # Crash victim: two journalled ops, commit marker never written.
+        journal.begin()
+        journal.append(Operation(kind=OpKind.APPEND_CHILD, target=0,
+                                 name="lost"))
+        journal.append(Operation(kind=OpKind.APPEND_CHILD, target=0,
+                                 name="also-lost"))
+        journal.close()
+        with get_registry().scoped() as delta:
+            recover(path)
+        assert delta.get("durability.recover.records_replayed") == 1
+        assert delta.get("durability.recover.records_discarded") == 2

@@ -147,3 +147,46 @@ class TestRender:
         assert "a.one" in text and "b.two" in text
         filtered = render_metrics(registry, prefix="a.")
         assert "a.one" in filtered and "b.two" not in filtered
+
+    def test_render_is_sorted_by_name(self, registry):
+        registry.counter("zeta").increment()
+        registry.counter("alpha").increment()
+        registry.timer("mid").record(0.5)
+        names = [line.split()[0] for line in render_metrics(registry).splitlines()]
+        assert names == sorted(names)
+
+
+class TestCrossTypeCollision:
+    """One name, one instrument type: re-registration must not shadow."""
+
+    def test_counter_then_timer_raises(self, registry):
+        from repro.errors import MetricsError
+
+        registry.counter("x")
+        with pytest.raises(MetricsError, match="already registered as a counter"):
+            registry.timer("x")
+
+    def test_timer_then_histogram_raises(self, registry):
+        from repro.errors import MetricsError
+
+        registry.timer("x")
+        with pytest.raises(MetricsError, match="already registered as a timer"):
+            registry.histogram("x")
+
+    def test_histogram_then_counter_raises(self, registry):
+        from repro.errors import MetricsError
+
+        registry.histogram("x")
+        with pytest.raises(MetricsError,
+                           match="already registered as a histogram"):
+            registry.counter("x")
+
+    def test_same_type_reaccess_is_fine(self, registry):
+        assert registry.timer("x") is registry.timer("x")
+
+    def test_snapshot_keys_are_sorted(self, registry):
+        registry.counter("z").increment()
+        registry.counter("a").increment()
+        registry.histogram("m").observe(1)
+        keys = list(registry.snapshot())
+        assert keys == sorted(keys)

@@ -160,3 +160,78 @@ class TestJournal:
 
     def test_missing_journal_fails(self, capsys):
         assert main(["journal", "inspect", "/nonexistent.journal"]) == 1
+
+
+class TestMetricsCommand:
+    def test_synthetic_workload_prints_metrics(self, capsys):
+        assert main(["metrics", "--scheme", "qed", "--ops", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "updates.insertions" in out
+
+    def test_json_output_is_parseable_and_sorted(self, capsys):
+        import json as json_module
+
+        assert main(["metrics", "--scheme", "qed", "--ops", "20",
+                     "--json"]) == 0
+        values = json_module.loads(capsys.readouterr().out)
+        assert values.get("updates.insertions", 0) > 0
+        assert list(values) == sorted(values)
+
+    def test_prefix_filter_applies_to_json(self, capsys):
+        import json as json_module
+
+        assert main(["metrics", "--scheme", "qed", "--ops", "20",
+                     "--json", "--prefix", "updates."]) == 0
+        values = json_module.loads(capsys.readouterr().out)
+        assert values
+        assert all(name.startswith("updates.") for name in values)
+
+
+class TestTraceCommand:
+    def test_span_tree_and_summary(self, capsys):
+        assert main(["trace", "--scheme", "dewey", "--ops", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "document.insert" in out
+        assert "scheme=dewey" in out
+        assert "cumulative" in out  # tree header
+        assert "count" in out  # summary table header
+
+    def test_ordpath_overflow_produces_relabel_spans(self, capsys):
+        assert main(["trace", "--scheme", "ordpath", "--ops", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "document.relabel" in out
+        assert "scheme=ordpath" in out
+        assert "overflow=True" in out
+
+    def test_export_round_trips(self, tmp_path, capsys):
+        from repro.observability.tracing import load_trace
+
+        target = tmp_path / "trace.jsonl"
+        assert main(["trace", "--scheme", "qed", "--ops", "30",
+                     "--export", str(target)]) == 0
+        roots = load_trace(target)
+        assert roots
+        assert any(r.name == "document.insert" for r in roots)
+
+    def test_batch_mode_emits_batch_spans(self, capsys):
+        assert main(["trace", "--scheme", "qed", "--ops", "30",
+                     "--batch"]) == 0
+        assert "batch.apply" in capsys.readouterr().out
+
+    def test_sampling_keeps_a_subset(self, capsys):
+        assert main(["trace", "--scheme", "qed", "--ops", "40",
+                     "--sample", "0.25", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "span(s)" in out
+
+    def test_file_workload(self, sample_file, capsys):
+        assert main(["trace", sample_file, "--scheme", "dewey",
+                     "--ops", "20"]) == 0
+        assert "document.insert" in capsys.readouterr().out
+
+    def test_tracer_left_disabled_after_run(self):
+        from repro.observability.tracing import get_tracer
+
+        assert main(["trace", "--scheme", "qed", "--ops", "10"]) == 0
+        assert get_tracer().enabled is False
+        assert get_tracer().exporters == []
