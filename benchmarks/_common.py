@@ -8,11 +8,28 @@ standalone programs (``python benchmarks/bench_figure4_ordpath.py`` or
 
 from __future__ import annotations
 
+import argparse
 import contextlib
 
 from repro.data.sample import sample_document
 from repro.updates.document import LabeledDocument
 from repro.schemes.registry import make_scheme
+
+
+def bench_args(doc: str, argv=None) -> argparse.Namespace:
+    """The uniform bench-module argument surface.
+
+    Every ``bench_*`` module's ``main(argv=None)`` parses through this,
+    so the telemetry harness (``python -m repro bench run``) can pass
+    ``["--quick"]`` to any section.  Modules whose workload has one
+    fixed (tiny) size simply ignore ``args.quick``.
+    """
+    parser = argparse.ArgumentParser(
+        description=(doc or "").splitlines()[0] if doc else None
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke-test sizes (CI / bench run)")
+    return parser.parse_args(argv)
 
 
 def fresh(scheme_name: str, document=None, **kwargs) -> LabeledDocument:

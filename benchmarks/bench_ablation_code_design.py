@@ -12,7 +12,7 @@ field), and the allocation axis buys compactness.  This bench isolates
 both effects on identical inputs.
 """
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.updates.workloads import skewed_insertions
 from repro.xmlmodel.builder import wide_tree
 
@@ -67,16 +67,20 @@ def bench_ablation_code_design(benchmark):
     assert results["cdqs"]["relabel_events"] == 0
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # ablation grid is constant-sized
     results = regenerate()
     print("Ablation: alphabet x allocation "
           f"({SIBLINGS} siblings bulk; {PRESSURE} skewed inserts)")
     print(f"{'scheme':17s} {'alphabet':11s} {'allocation':11s} "
           f"{'bulk b/label':>12s} {'relabels':>9s} {'overflows':>10s}")
+    rows = []
     for name, stats in results.items():
         print(f"{name:17s} {stats['alphabet']:11s} {stats['allocation']:11s} "
               f"{stats['bulk_bits_per_label']:12.1f} "
               f"{stats['relabel_events']:9d} {stats['overflow_events']:10d}")
+        rows.append({"scheme": name, **stats})
+    return rows
 
 
 if __name__ == "__main__":

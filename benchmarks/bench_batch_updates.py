@@ -24,11 +24,9 @@ comparisons than per-op, and is not slower on the big workloads.
 
 from __future__ import annotations
 
-import argparse
-import sys
 import time
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.observability.metrics import get_registry
 from repro.xmlmodel.generator import random_document
 from repro.xmlmodel.xmark import xmark_document
@@ -234,10 +232,7 @@ def bench_comparison_cache_payoff(benchmark):
 # ----------------------------------------------------------------------
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small smoke-test sizes (CI)")
-    args = parser.parse_args(argv)
+    args = bench_args(__doc__, argv)
     ops = QUICK_OPS if args.quick else FULL_OPS
     bids = QUICK_BIDS if args.quick else FULL_BIDS
 
@@ -276,8 +271,11 @@ def main(argv=None):
     )
     print(f"\nbatch consolidated relabelling on {wins} workload runs; "
           f"all claims hold")
-    return 0
+    return ([{"workload": "skewed", **record} for record in skewed]
+            + [{"workload": "xmark", **record} for record in xmark]
+            + [{"workload": "cache_payoff", **record}
+               for record in cache_records])
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    main()

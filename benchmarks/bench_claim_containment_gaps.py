@@ -11,7 +11,7 @@ configuration absorbs before its first relabel, plus where IEEE-754
 doubles give out for QRS.
 """
 
-from _common import fresh
+from _common import bench_args, fresh
 
 GAPS = [4, 8, 16, 64]
 PRESSURE = 120
@@ -52,12 +52,19 @@ def bench_gap_postponement(benchmark):
     assert results["qed (no gaps needed)"] == 201
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # sweep is already CI-sized
     results = regenerate()
     print("Skewed insertions absorbed before the first relabel")
+    rows = []
     for configuration, count in results.items():
-        note = " (never relabelled)" if count > PRESSURE else ""
+        never = count > PRESSURE
+        note = " (never relabelled)" if never else ""
         print(f"  {configuration:24s} {count:4d}{note}")
+        rows.append({"configuration": configuration,
+                     "inserts_absorbed": count,
+                     "never_relabelled": never})
+    return rows
 
 
 if __name__ == "__main__":

@@ -7,7 +7,7 @@ open interval is too tight for increment-or-append (for example between
 free, which is the survey's reason for dismissing the LSDX family.
 """
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.xmlmodel.builder import wide_tree
 
 
@@ -49,11 +49,15 @@ def bench_lsdx_collision_corner_cases(benchmark):
     assert results["qed tight-interval sweep"] == 0
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # corner cases are constant-sized
     results = regenerate()
     print("Duplicate labels produced (collisions)")
+    rows = []
     for scenario, count in results.items():
         print(f"  {scenario:28s} {count}")
+        rows.append({"scenario": scenario, "collisions": count})
+    return rows
 
 
 if __name__ == "__main__":

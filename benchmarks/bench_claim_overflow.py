@@ -7,7 +7,7 @@ through the same high-pressure one-position insertion run against tight
 storage fields and tabulates relabel/overflow events.
 """
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.core.probes import TIGHT_STORAGE
 from repro.schemes.registry import FIGURE7_ORDER
 from repro.updates.workloads import prepend_insertions, skewed_insertions
@@ -55,17 +55,22 @@ def bench_dln_under_pressure(benchmark):
     assert stats["overflow_events"] >= 1
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # pressure run is already CI-sized
     table = regenerate()
     print(f"Overflow pressure: {2 * PRESSURE} one-sided insertions, "
           "tight storage fields")
     print(f"{'scheme':18s} {'relabels':>9s} {'nodes moved':>12s} "
           f"{'overflows':>10s}  escapes?")
+    rows = []
     for name, stats in table.items():
-        escapes = "yes" if stats["relabel_events"] == 0 else "no"
+        escapes = stats["relabel_events"] == 0
         print(f"{name:18s} {stats['relabel_events']:9d} "
               f"{stats['relabeled_nodes']:12d} "
-              f"{stats['overflow_events']:10d}  {escapes}")
+              f"{stats['overflow_events']:10d}  "
+              f"{'yes' if escapes else 'no'}")
+        rows.append({"scheme": name, "escapes": escapes, **stats})
+    return rows
 
 
 if __name__ == "__main__":

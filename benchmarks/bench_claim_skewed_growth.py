@@ -6,6 +6,7 @@ conditions" — regenerated as a growth series over identical inputs, with
 ImprovedBinary and CDQS alongside for the string-scheme baseline.
 """
 
+from _common import bench_args
 from repro.analysis.growth import (
     growth_table,
     linearity_ratio,
@@ -15,11 +16,12 @@ from repro.analysis.growth import (
 
 SCHEMES = ["qed", "cdqs", "improved-binary", "vector"]
 INSERTS = 240
+QUICK_INSERTS = 80
 STEP = 40
 
 
-def regenerate():
-    return growth_table(SCHEMES, INSERTS, step=STEP)
+def regenerate(inserts=INSERTS):
+    return growth_table(SCHEMES, inserts, step=STEP)
 
 
 def bench_skewed_growth_series(benchmark):
@@ -52,13 +54,20 @@ def bench_qed_insertion_throughput(benchmark):
     assert series[-1].relabeled_nodes == 0
 
 
-def main():
-    table = regenerate()
+def main(argv=None):
+    args = bench_args(__doc__, argv)
+    table = regenerate(QUICK_INSERTS if args.quick else INSERTS)
     print("Skewed insertion growth (frontier label bits)")
     print(render_growth_table(table))
     print()
+    rows = []
     for name, series in table.items():
-        print(f"  {name:16s} bits/insert = {linearity_ratio(series):.3f}")
+        rate = linearity_ratio(series)
+        print(f"  {name:16s} bits/insert = {rate:.3f}")
+        rows.append({"scheme": name,
+                     "bits_per_insert": round(rate, 3),
+                     "frontier_bits": series[-1].frontier_bits})
+    return rows
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ with actual bits instead of models.
 
 import pytest
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.encoding.codec import codec_for, supported_codec_schemes
 from repro.xmlmodel.generator import random_document
 
@@ -59,15 +59,20 @@ def bench_codec_round_trip(benchmark, scheme_name):
     assert benchmark(round_trip) == labels
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # codec sweep is already CI-sized
     table = regenerate()
     print(f"Encoded label streams ({DOCUMENT_NODES}-node document)")
     print(f"{'scheme':17s} {'labels':>6s} {'bytes':>8s} {'bits/label':>11s}")
+    rows = []
     for name, stats in sorted(
         table.items(), key=lambda item: item[1]["bits_per_label"]
     ):
         print(f"{name:17s} {stats['labels']:6d} {stats['stream_bytes']:8d} "
               f"{stats['bits_per_label']:11.1f}")
+        rows.append({"scheme": name, **stats,
+                     "bits_per_label": round(stats["bits_per_label"], 2)})
+    return rows
 
 
 if __name__ == "__main__":

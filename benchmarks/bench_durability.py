@@ -21,13 +21,11 @@ slower than ``always`` (fsync is the dominant cost it omits).
 
 from __future__ import annotations
 
-import argparse
 import os
-import sys
 import tempfile
 import time
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.durability.journal import SYNC_POLICIES, Journal, recover
 from repro.encoding.codec import codec_for
 from repro.xmlmodel.generator import random_document
@@ -147,10 +145,7 @@ def bench_recovery_throughput(benchmark):
 # ----------------------------------------------------------------------
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small smoke-test sizes (CI)")
-    args = parser.parse_args(argv)
+    args = bench_args(__doc__, argv)
     ops = QUICK_OPS if args.quick else FULL_OPS
     sizes = QUICK_RECOVERY_SIZES if args.quick else FULL_RECOVERY_SIZES
 
@@ -178,8 +173,11 @@ def main(argv=None):
 
     print("\nall recovered documents bit-identical to the live state; "
           "claims hold")
-    return 0
+    return ([{"phase": "append_overhead", **record}
+             for record in append_records]
+            + [{"phase": "recovery", **record}
+               for record in recovery_records])
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    main()

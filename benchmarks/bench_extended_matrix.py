@@ -8,6 +8,7 @@ the extended matrix, with the measured grades asserted against what each
 scheme's design predicts.
 """
 
+from _common import bench_args
 from repro.core.matrix import EvaluationMatrix
 from repro.core.properties import Compliance, Property
 
@@ -52,9 +53,19 @@ def bench_extended_matrix(benchmark):
     assert comd == lsdx
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # probe suite is constant-sized
     matrix = regenerate()
     print(matrix.render())
+    return [
+        {
+            "scheme": row.name,
+            "extension": row.extension,
+            "grades": {prop.name: grade.value
+                       for prop, grade in row.grades.items()},
+        }
+        for row in matrix.rows
+    ]
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@ Regenerates the exact ``pre,post`` labels the paper draws over the tree
 representation of the Figure 1(a) sample file, and times the labelling.
 """
 
+from _common import bench_args
 from repro.data.sample import FIGURE_1B_PRE_POST, sample_document
 from repro.schemes.containment.prepost import PrePostScheme
 
@@ -24,12 +25,16 @@ def bench_figure1_prepost_labelling(benchmark):
     assert pairs == FIGURE_1B_PRE_POST
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # fixed-size reproduction; --quick is a no-op
     pairs, document = regenerate()
     print("Figure 1(b) — pre/post labels of the sample document")
     for (pre, post), node in zip(pairs, document.labeled_nodes()):
         print(f"  {pre},{post}\t{node.kind.value}\t{node.name}")
-    print("matches paper:", pairs == FIGURE_1B_PRE_POST)
+    matches = pairs == FIGURE_1B_PRE_POST
+    print("matches paper:", matches)
+    return [{"figure": "1b", "labels": len(pairs),
+             "matches_paper": matches}]
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@ Regenerates all ten rows (pre, post, node type, parent, name, value) and
 times table construction plus the Definition 2 reconstruction.
 """
 
+from _common import bench_args
 from repro.data.sample import FIGURE_2_ROWS, sample_document
 from repro.encoding.table import EncodingTable
 from repro.schemes.containment.prepost import PrePostScheme
@@ -39,11 +40,14 @@ def bench_figure2_reconstruction(benchmark):
     ]
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # fixed-size reproduction; --quick is a no-op
     rows, table = regenerate()
     print("Figure 2 — encoding of the sample XML file")
     print(table.render())
-    print("matches paper:", rows == FIGURE_2_ROWS)
+    matches = rows == FIGURE_2_ROWS
+    print("matches paper:", matches)
+    return [{"figure": "2", "rows": len(rows), "matches_paper": matches}]
 
 
 if __name__ == "__main__":

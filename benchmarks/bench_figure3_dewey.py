@@ -1,5 +1,6 @@
 """Figure 3: the DeweyID-labelled example tree."""
 
+from _common import bench_args
 from repro.data.sample import FIGURE_3_DEWEY_LABELS, figure3_tree
 from repro.schemes.prefix.dewey import DeweyScheme
 
@@ -19,12 +20,16 @@ def bench_figure3_dewey_labelling(benchmark):
     assert rendered == FIGURE_3_DEWEY_LABELS
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # fixed-size reproduction; --quick is a no-op
     rendered = regenerate()
     print("Figure 3 — DeweyID labelled XML tree")
     for label in rendered:
         print(f"  {label}")
-    print("matches paper:", rendered == FIGURE_3_DEWEY_LABELS)
+    matches = rendered == FIGURE_3_DEWEY_LABELS
+    print("matches paper:", matches)
+    return [{"figure": "3", "labels": len(rendered),
+             "matches_paper": matches}]
 
 
 if __name__ == "__main__":

@@ -6,7 +6,7 @@ insertion rules: before-first under 1.1 (gives 1.1.-1), after-last under
 1.5.2.1).  No existing node may be relabelled.
 """
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.data.sample import (
     FIGURE_4_INITIAL_ORDPATH_LABELS,
     FIGURE_4_INSERTED,
@@ -41,15 +41,20 @@ def bench_figure4_ordpath(benchmark):
     assert ldoc.log.relabeled_nodes == 0
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # fixed-size reproduction; --quick is a no-op
     initial, inserted, ldoc = regenerate()
     print("Figure 4 — ORDPATH labelled XML tree")
     print("  initial:", " ".join(initial))
     for description, label in inserted.items():
         print(f"  inserted {description}: {label}")
     print("relabelled existing nodes:", ldoc.log.relabeled_nodes)
-    print("matches paper:", initial == FIGURE_4_INITIAL_ORDPATH_LABELS
-          and inserted == FIGURE_4_INSERTED)
+    matches = (initial == FIGURE_4_INITIAL_ORDPATH_LABELS
+               and inserted == FIGURE_4_INSERTED)
+    print("matches paper:", matches)
+    return [{"figure": "4", "inserted": dict(inserted),
+             "relabeled_nodes": ldoc.log.relabeled_nodes,
+             "matches_paper": matches}]
 
 
 if __name__ == "__main__":

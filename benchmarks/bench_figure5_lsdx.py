@@ -4,7 +4,7 @@ Grey nodes: before-first under 1a.b (gives 2ab.ab), after-last under
 1a.c (gives 2ac.c) and between 2ad.b and 2ad.c (gives 2ad.bb).
 """
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.data.sample import (
     FIGURE_5_INITIAL_LSDX_LABELS,
     FIGURE_5_INSERTED,
@@ -38,14 +38,18 @@ def bench_figure5_lsdx(benchmark):
     assert inserted == FIGURE_5_INSERTED
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # fixed-size reproduction; --quick is a no-op
     initial, inserted = regenerate()
     print("Figure 5 — LSDX labelled XML tree")
     print("  initial:", " ".join(initial))
     for description, label in inserted.items():
         print(f"  inserted {description}: {label}")
-    print("matches paper:", initial == FIGURE_5_INITIAL_LSDX_LABELS
-          and inserted == FIGURE_5_INSERTED)
+    matches = (initial == FIGURE_5_INITIAL_LSDX_LABELS
+               and inserted == FIGURE_5_INSERTED)
+    print("matches paper:", matches)
+    return [{"figure": "5", "inserted": dict(inserted),
+             "matches_paper": matches}]
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 """Figure 6: the ImprovedBinary-labelled tree and its five insertions."""
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.data.sample import (
     FIGURE_6_INITIAL_LABELS,
     FIGURE_6_INSERTED,
@@ -42,14 +42,19 @@ def bench_figure6_improved_binary(benchmark):
     assert ldoc.log.relabeled_nodes == 0
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # fixed-size reproduction; --quick is a no-op
     initial, inserted, ldoc = regenerate()
     print("Figure 6 — ImprovedBinary labelled XML tree")
     print("  initial:", " ".join(repr(code) for code in initial))
     for description, label in inserted.items():
         print(f"  inserted {description}: {label}")
-    print("matches paper:", initial == FIGURE_6_INITIAL_LABELS
-          and inserted == FIGURE_6_INSERTED)
+    matches = (initial == FIGURE_6_INITIAL_LABELS
+               and inserted == FIGURE_6_INSERTED)
+    print("matches paper:", matches)
+    return [{"figure": "6", "inserted": dict(inserted),
+             "relabeled_nodes": ldoc.log.relabeled_nodes,
+             "matches_paper": matches}]
 
 
 if __name__ == "__main__":

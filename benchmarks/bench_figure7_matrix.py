@@ -6,6 +6,7 @@ Also reproduces the section 5.2 analysis: CDQS satisfies the greatest
 number of properties.
 """
 
+from _common import bench_args
 from repro.core.matrix import EvaluationMatrix
 from repro.core.report import most_generic_scheme, reproduction_report
 
@@ -29,12 +30,20 @@ def bench_figure7_single_row(benchmark):
     assert row.grades
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # fixed-size reproduction; --quick is a no-op
     matrix = regenerate()
     print(reproduction_report(matrix))
     print()
     print("Section 5.2 analysis — most generic scheme:",
           most_generic_scheme(matrix))
+    return [{
+        "figure": "7",
+        "schemes": len(matrix.rows),
+        "diff_cells": len(matrix.diff_against_paper()),
+        "most_generic": most_generic_scheme(matrix),
+        "matches_paper": matrix.matches_paper(),
+    }]
 
 
 if __name__ == "__main__":

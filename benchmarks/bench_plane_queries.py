@@ -7,6 +7,7 @@ the same axes on the same document — the windows avoid visiting nodes
 outside the answer's pre range.
 """
 
+from _common import bench_args
 from repro.axes.evaluator import AxisEvaluator
 from repro.axes.plane import PrePostPlane
 from repro.xmlmodel.generator import random_document
@@ -57,10 +58,13 @@ def bench_plane_matches_scan(benchmark):
     assert benchmark.pedantic(check, rounds=1, iterations=1)
 
 
-def main():
+def main(argv=None):
     import time
 
+    args = bench_args(__doc__, argv)
+    evaluations = 10 if args.quick else 50
     plane, scan, context = build()
+    rows = []
     for axis, plane_call in (
         ("descendant", plane.descendants),
         ("ancestor", plane.ancestors),
@@ -68,15 +72,19 @@ def main():
         ("preceding", plane.preceding),
     ):
         start = time.perf_counter()
-        for _ in range(50):
+        for _ in range(evaluations):
             plane_call(context)
         plane_ms = (time.perf_counter() - start) * 1000
         start = time.perf_counter()
-        for _ in range(50):
+        for _ in range(evaluations):
             scan.evaluate(axis, context)
         scan_ms = (time.perf_counter() - start) * 1000
         print(f"{axis:11s} plane={plane_ms:7.1f} ms  scan={scan_ms:7.1f} ms "
-              f"(50 evaluations, {DOCUMENT_NODES}-node document)")
+              f"({evaluations} evaluations, {DOCUMENT_NODES}-node document)")
+        rows.append({"axis": axis, "evaluations": evaluations,
+                     "plane_ms": round(plane_ms, 3),
+                     "scan_ms": round(scan_ms, 3)})
+    return rows
 
 
 if __name__ == "__main__":

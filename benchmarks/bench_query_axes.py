@@ -8,7 +8,7 @@ containment schemes answer ancestor/descendant, and the fallback path
 
 import pytest
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.axes.evaluator import AxisEvaluator
 from repro.axes.xpath import XPathEvaluator
 from repro.xmlmodel.generator import random_document
@@ -61,20 +61,27 @@ def bench_xpath_location_path(benchmark, scheme_name):
     assert isinstance(result, list)
 
 
-def main():
+def main(argv=None):
     import time
 
+    args = bench_args(__doc__, argv)
+    contexts = 10 if args.quick else 30
     print(f"Axis evaluation over a {DOCUMENT_NODES}-node document")
+    rows = []
     for scheme_name in ("qed", "dewey", "prepost", "vector"):
         ldoc = build(scheme_name)
         evaluator = AxisEvaluator(ldoc, allow_fallback=True)
         start = time.perf_counter()
-        for node in list(ldoc.document.labeled_nodes())[:30]:
+        for node in list(ldoc.document.labeled_nodes())[:contexts]:
             evaluator.evaluate("descendant", node)
             evaluator.evaluate("ancestor", node)
         elapsed = (time.perf_counter() - start) * 1000
-        print(f"  {scheme_name:10s} 60 axis evaluations: {elapsed:7.1f} ms "
-              f"(fallbacks: {evaluator.fallbacks})")
+        print(f"  {scheme_name:10s} {2 * contexts} axis evaluations: "
+              f"{elapsed:7.1f} ms (fallbacks: {evaluator.fallbacks})")
+        rows.append({"scheme": scheme_name, "evaluations": 2 * contexts,
+                     "elapsed_ms": round(elapsed, 3),
+                     "fallbacks": evaluator.fallbacks})
+    return rows
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@ random / frequent uniform / skewed workloads — the measurements behind
 the Compact Encoding column.
 """
 
+from _common import bench_args
 from repro.analysis.storage import StorageSummary, compare_schemes
 from repro.schemes.registry import FIGURE7_ORDER
 from repro.updates.workloads import (
@@ -16,26 +17,34 @@ from repro.updates.workloads import (
 from repro.xmlmodel.generator import random_document
 
 DOCUMENT_NODES = 400
+QUICK_DOCUMENT_NODES = 150
 UPDATES = 100
+QUICK_UPDATES = 30
 
 
-def document_factory():
-    return random_document(DOCUMENT_NODES, seed=77)
+def document_factory(nodes=DOCUMENT_NODES):
+    return random_document(nodes, seed=77)
 
 
-WORKLOADS = {
-    "bulk": None,
-    "random": lambda ldoc: random_insertions(ldoc, UPDATES, seed=5),
-    "uniform": lambda ldoc: uniform_insertions(ldoc, UPDATES),
-    "skewed": lambda ldoc: skewed_insertions(ldoc, UPDATES),
-}
+def workloads(updates=UPDATES):
+    return {
+        "bulk": None,
+        "random": lambda ldoc: random_insertions(ldoc, updates, seed=5),
+        "uniform": lambda ldoc: uniform_insertions(ldoc, updates),
+        "skewed": lambda ldoc: skewed_insertions(ldoc, updates),
+    }
 
 
-def regenerate():
+#: Full-size workloads, kept for the pytest entry points below.
+WORKLOADS = workloads()
+
+
+def regenerate(nodes=DOCUMENT_NODES, updates=UPDATES):
     table = {}
-    for workload_name, workload in WORKLOADS.items():
+    for workload_name, workload in workloads(updates).items():
         table[workload_name] = compare_schemes(
-            document_factory, FIGURE7_ORDER, workload=workload
+            lambda: document_factory(nodes), FIGURE7_ORDER,
+            workload=workload,
         )
     return table
 
@@ -89,16 +98,24 @@ def bench_bulk_labelling_cost_prepost(benchmark):
     assert len(labels) == document.labeled_size()
 
 
-def main():
-    table = regenerate()
+def main(argv=None):
+    args = bench_args(__doc__, argv)
+    nodes = QUICK_DOCUMENT_NODES if args.quick else DOCUMENT_NODES
+    updates = QUICK_UPDATES if args.quick else UPDATES
+    table = regenerate(nodes, updates)
+    rows = []
     for workload_name, results in table.items():
         print(f"\nStorage after {workload_name} "
-              f"({UPDATES if workload_name != 'bulk' else 0} updates)")
+              f"({updates if workload_name != 'bulk' else 0} updates)")
         print(f"  {'scheme':18s} {'bits/label':>10s} {'max label':>10s}")
         for name in FIGURE7_ORDER:
             summary: StorageSummary = results[name]
             print(f"  {name:18s} {summary.bits_per_label:10.1f} "
                   f"{summary.max_label_bits:10d}")
+            rows.append({"workload": workload_name, "scheme": name,
+                         "bits_per_label": round(summary.bits_per_label, 1),
+                         "max_label_bits": summary.max_label_bits})
+    return rows
 
 
 if __name__ == "__main__":

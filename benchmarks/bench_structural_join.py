@@ -10,7 +10,7 @@ the join code is scheme-agnostic because it only needs ``compare`` and
 
 import pytest
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.store.joins import count_join, nested_loop_join, stack_tree_join
 from repro.xmlmodel.generator import GeneratorProfile, random_document
 
@@ -72,9 +72,11 @@ def bench_join_comparison_counts(benchmark):
     assert merge_comparisons < nested_pairs / 4
 
 
-def main():
+def main(argv=None):
     import time
 
+    bench_args(__doc__, argv)  # join inputs are already CI-sized
+    rows = []
     for scheme_name in ("prepost", "qed", "vector"):
         ldoc, ancestors, descendants = build(scheme_name)
         start = time.perf_counter()
@@ -86,6 +88,11 @@ def main():
         print(f"{scheme_name:10s} |A|={len(ancestors):3d} "
               f"|D|={len(descendants):3d} out={len(merged):4d}  "
               f"stack={merge_ms:6.1f} ms  nested={nested_ms:6.1f} ms")
+        rows.append({"scheme": scheme_name, "ancestors": len(ancestors),
+                     "descendants": len(descendants), "pairs": len(merged),
+                     "stack_ms": round(merge_ms, 3),
+                     "nested_ms": round(nested_ms, 3)})
+    return rows
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ matcher against the XPath-with-predicates evaluator.
 
 import pytest
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.axes.xpath import xpath
 from repro.store.twig import TwigMatcher, child, descendant, twig
 from repro.xmlmodel.generator import GeneratorProfile, random_document
@@ -70,13 +70,18 @@ def bench_twig_matches_xpath_predicates(benchmark):
     benchmark.pedantic(check, rounds=1, iterations=1)
 
 
-def main():
+def main(argv=None):
+    bench_args(__doc__, argv)  # pattern match is already CI-sized
+    rows = []
     for scheme_name in ("qed", "dewey", "prepost"):
         ldoc = build(scheme_name)
         matcher = TwigMatcher(ldoc, allow_fallback=True)
         matches = matcher.match(PATTERN)
         print(f"{scheme_name:8s} record[name][.//entry] -> "
               f"{len(matches)} matches")
+        rows.append({"scheme": scheme_name, "pattern": EQUIVALENT_XPATH,
+                     "matches": len(matches)})
+    return rows
 
 
 if __name__ == "__main__":

@@ -8,13 +8,15 @@ relabelling schemes (preorder/postorder moves nearly everything).
 
 import pytest
 
-from _common import fresh
+from _common import bench_args, fresh
 from repro.schemes.registry import FIGURE7_ORDER
 from repro.updates.workloads import random_insertions, skewed_insertions
 from repro.xmlmodel.generator import random_document
 
 PERSISTENT = {"ordpath", "improved-binary", "qed", "cdqs", "vector"}
 DOCUMENT_NODES = 200
+INSERTS = 40
+QUICK_INSERTS = 15
 
 
 def build(scheme_name):
@@ -63,15 +65,23 @@ def bench_relabel_bill_table(benchmark):
     assert table["prepost"] > table["dewey"] > 0
 
 
-def main():
-    print(f"Relabelled nodes after 40 random + 40 skewed insertions "
-          f"({DOCUMENT_NODES}-node document)")
+def main(argv=None):
+    args = bench_args(__doc__, argv)
+    inserts = QUICK_INSERTS if args.quick else INSERTS
+    print(f"Relabelled nodes after {inserts} random + {inserts} skewed "
+          f"insertions ({DOCUMENT_NODES}-node document)")
+    rows = []
     for name in FIGURE7_ORDER:
         ldoc = build(name)
-        random_insertions(ldoc, 40, seed=6)
-        skewed_insertions(ldoc, 40)
-        marker = "persistent" if ldoc.log.relabeled_nodes == 0 else ""
+        random_insertions(ldoc, inserts, seed=6)
+        skewed_insertions(ldoc, inserts)
+        persistent = ldoc.log.relabeled_nodes == 0
+        marker = "persistent" if persistent else ""
         print(f"  {name:18s} {ldoc.log.relabeled_nodes:8d}  {marker}")
+        rows.append({"scheme": name,
+                     "relabeled_nodes": ldoc.log.relabeled_nodes,
+                     "persistent": persistent})
+    return rows
 
 
 if __name__ == "__main__":

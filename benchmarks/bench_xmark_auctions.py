@@ -10,21 +10,24 @@ query answers that must stay identical throughout.
 
 import pytest
 
+from _common import bench_args
 from repro.axes.xpath import xpath
 from repro.schemes.registry import make_scheme
 from repro.updates.document import LabeledDocument
 from repro.xmlmodel.xmark import bidding_stream, xmark_document
 
 SCALE = 2.0
+QUICK_SCALE = 0.4
 BIDS = 150
+QUICK_BIDS = 30
 
 SCHEMES = ["prepost", "dewey", "ordpath", "qed", "cdqs", "vector"]
 PERSISTENT = {"ordpath", "qed", "cdqs", "vector"}
 
 
-def build(scheme_name):
+def build(scheme_name, scale=SCALE):
     return LabeledDocument(
-        xmark_document(scale=SCALE, seed=11), make_scheme(scheme_name)
+        xmark_document(scale=scale, seed=11), make_scheme(scheme_name)
     )
 
 
@@ -71,16 +74,26 @@ def bench_queries_stable_through_stream(benchmark):
     assert bidders >= BIDS // 2
 
 
-def main():
-    print(f"XMark-style auction site, scale {SCALE} "
-          f"({xmark_document(scale=SCALE).labeled_size()} labelled nodes); "
-          f"{BIDS} bids into one hot auction\n")
+def main(argv=None):
+    args = bench_args(__doc__, argv)
+    scale = QUICK_SCALE if args.quick else SCALE
+    bids = QUICK_BIDS if args.quick else BIDS
+    site_nodes = xmark_document(scale=scale, seed=11).labeled_size()
+    print(f"XMark-style auction site, scale {scale} "
+          f"({site_nodes} labelled nodes); "
+          f"{bids} bids into one hot auction\n")
     print(f"{'scheme':10s} {'relabelled':>10s} {'max label bits':>15s}")
+    rows = []
     for scheme_name in SCHEMES:
-        ldoc = build(scheme_name)
-        result = bidding_stream(ldoc, BIDS, seed=5, hot_auction=0)
+        ldoc = build(scheme_name, scale=scale)
+        result = bidding_stream(ldoc, bids, seed=5, hot_auction=0)
         print(f"{scheme_name:10s} {result.relabeled_nodes:10d} "
               f"{result.max_label_bits:15d}")
+        rows.append({"scheme": scheme_name, "site_nodes": site_nodes,
+                     "bids": bids,
+                     "relabeled_nodes": result.relabeled_nodes,
+                     "max_label_bits": result.max_label_bits})
+    return rows
 
 
 if __name__ == "__main__":

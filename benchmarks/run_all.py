@@ -5,20 +5,28 @@ The one-command regeneration of everything the paper shows::
     python benchmarks/run_all.py            # all figures + claims
     python benchmarks/run_all.py figure     # only the figure reproductions
     python benchmarks/run_all.py claim      # only the textual-claim checks
+    python benchmarks/run_all.py --quick    # CI-sized workloads
 
 Each section is the ``main()`` of one ``bench_*`` module — the same code
-``pytest benchmarks/ --benchmark-only`` times and asserts.
+``pytest benchmarks/ --benchmark-only`` times and asserts, and the same
+sections ``python -m repro bench run`` wraps in the telemetry harness.
+A section that raises no longer aborts the run: the failure (name,
+exception, traceback tail) is recorded, the remaining sections still
+print, and the process exits non-zero at the end.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
 import os
 import sys
 import time
+import traceback
 
 #: Report order: the paper's figures first, then its claims, then the
-#: extension experiments.
+#: extension experiments (including the engine benchmarks added by the
+#: batch-update and durability PRs).
 SECTIONS = [
     ("figure", "bench_figure1_prepost"),
     ("figure", "bench_figure2_encoding"),
@@ -41,15 +49,49 @@ SECTIONS = [
     ("extension", "bench_plane_queries"),
     ("extension", "bench_xmark_auctions"),
     ("extension", "bench_query_axes"),
+    ("extension", "bench_batch_updates"),
+    ("extension", "bench_durability"),
 ]
+
+KINDS = ("figure", "claim", "extension")
+
+
+def run_section(module_name: str, argv):
+    """Import and run one section; return (rows, failure-or-None)."""
+    try:
+        module = importlib.import_module(module_name)
+        return module.main(argv), None
+    except (Exception, SystemExit) as error:
+        tail = traceback.format_exception(type(error), error,
+                                          error.__traceback__)
+        return None, {
+            "section": module_name,
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback_tail": [line.rstrip("\n") for line in tail[-4:]],
+        }
 
 
 def main(argv=None) -> int:
-    arguments = sys.argv[1:] if argv is None else argv
-    wanted = set(arguments) if arguments else {"figure", "claim", "extension"}
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("kinds", nargs="*", metavar="kind",
+                        help="restrict to report kinds: figure, claim, "
+                             "extension (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized workloads in every section")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    unknown = [kind for kind in args.kinds if kind not in KINDS]
+    if unknown:
+        parser.error(f"unknown kind(s): {', '.join(unknown)} "
+                     f"(choose from {', '.join(KINDS)})")
+    wanted = set(args.kinds) if args.kinds else set(KINDS)
+    section_argv = ["--quick"] if args.quick else []
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
     started = time.perf_counter()
     count = 0
+    failures = []
     for kind, module_name in SECTIONS:
         if kind not in wanted:
             continue
@@ -57,12 +99,21 @@ def main(argv=None) -> int:
         print("=" * len(banner))
         print(banner)
         print("=" * len(banner))
-        module = importlib.import_module(module_name)
-        module.main()
+        _rows, failure = run_section(module_name, section_argv)
+        if failure is not None:
+            failures.append(failure)
+            print(f"!! section failed: {failure['type']}: "
+                  f"{failure['message']}")
+            for line in failure["traceback_tail"]:
+                print(f"   {line}")
         print()
         count += 1
     elapsed = time.perf_counter() - started
     print(f"-- regenerated {count} reports in {elapsed:.1f} s")
+    if failures:
+        print(f"-- {len(failures)} section(s) FAILED: "
+              + ", ".join(failure["section"] for failure in failures))
+        return 1
     return 0
 
 

@@ -33,18 +33,28 @@ from repro.schemes import (
     make_scheme,
 )
 from repro.observability import (
+    BenchRun,
+    ComparisonReport,
     InMemorySpanExporter,
     JSONLinesSpanExporter,
     MetricsRegistry,
+    Thresholds,
     Tracer,
+    compare_runs,
+    find_latest_run,
     get_registry,
     get_tracer,
+    load_baseline,
+    load_run,
     load_trace,
+    render_comparison,
     render_metrics,
     render_span_tree,
+    run_sections,
     summarize_trace,
     traced,
     tracing_enabled,
+    write_run,
 )
 from repro.store import XMLRepository, suggest_scheme
 from repro.updates import (
@@ -62,6 +72,8 @@ __version__ = "1.1.0"
 
 __all__ = [
     "BatchResult",
+    "BenchRun",
+    "ComparisonReport",
     "Document",
     "FIGURE7_ORDER",
     "FaultInjector",
@@ -73,6 +85,7 @@ __all__ = [
     "MetricsRegistry",
     "NodeKind",
     "SchemeMetadata",
+    "Thresholds",
     "Tracer",
     "Transaction",
     "UpdateBatch",
@@ -82,15 +95,22 @@ __all__ = [
     "XMLRepository",
     "apply_batch",
     "available_schemes",
+    "compare_runs",
+    "find_latest_run",
     "get_registry",
     "get_tracer",
+    "load_baseline",
+    "load_run",
     "load_trace",
+    "render_comparison",
     "render_metrics",
     "render_span_tree",
+    "run_sections",
     "suggest_scheme",
     "summarize_trace",
     "traced",
     "tracing_enabled",
+    "write_run",
     "extension_schemes",
     "figure7_schemes",
     "make_scheme",

@@ -14,6 +14,9 @@
     python -m repro trace --scheme ordpath --ops 200 # span tree + hotspots
     python -m repro journal inspect FILE            # list journal records
     python -m repro journal replay FILE --verify    # recover + verify
+    python -m repro bench run --quick               # BENCH_<sha>.json
+    python -m repro bench compare                   # diff vs baseline
+    python -m repro bench report                    # consolidated health
 
 Every command prints plain text and exits non-zero on failure, so the
 tool scripts cleanly.
@@ -131,7 +134,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print("the benchmarks/ directory is not available in this install",
               file=sys.stderr)
         return 1
-    module.main()
+    # explicit empty argv: main(None) would parse this process's sys.argv
+    module.main([])
     return 0
 
 
@@ -353,6 +357,150 @@ def _cmd_journal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark telemetry: machine-readable runs, baselines, health."""
+    if args.bench_action == "run":
+        return _bench_run(args)
+    if args.bench_action == "compare":
+        return _bench_compare(args)
+    return _bench_report(args)
+
+
+def _bench_run(args: argparse.Namespace) -> int:
+    from repro.observability.benchtel import run_sections, write_run
+
+    def progress(section):
+        mark = "ok" if section.status == "ok" else "FAILED"
+        wall = section.wall_median_s
+        timing = f"{wall:8.3f} s" if wall is not None else " " * 10
+        print(f"  {section.name:32s} {timing}  {mark}")
+
+    kinds = set(args.kinds) if args.kinds else None
+    run = run_sections(quick=args.quick, repeats=args.repeats,
+                       label=args.label, kinds=kinds,
+                       verbose=args.verbose, progress=progress)
+    if not run.sections:
+        print("no sections matched", file=sys.stderr)
+        return 1
+    path = write_run(run, args.out)
+    totals = run.to_payload()["totals"]
+    print(f"\nwrote {path}")
+    print(f"-- {totals['ok']}/{totals['sections']} sections ok, "
+          f"total median wall {totals['wall_median_s']:.3f} s")
+    if run.failed:
+        print("-- FAILED: "
+              + ", ".join(section.name for section in run.failed),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _bench_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observability.benchtel import find_latest_run, load_run
+    from repro.observability.regression import (
+        Thresholds,
+        compare_runs,
+        load_baseline,
+        render_comparison,
+    )
+
+    current_path = args.current or find_latest_run()
+    current = load_run(current_path)
+    baseline = load_baseline(args.baseline)
+    thresholds = Thresholds(regression=args.regression,
+                            improvement=args.improvement,
+                            noise_floor_s=args.noise_floor)
+    report = compare_runs(current, baseline, thresholds)
+    if args.json:
+        print(json.dumps(report.to_payload(), indent=2))
+    else:
+        print(f"current:  {current_path}")
+        print(render_comparison(report))
+    return report.exit_code(soft=args.soft)
+
+
+def _bench_report(args: argparse.Namespace) -> int:
+    """One consolidated health document: bench + metrics + trace."""
+    import json
+
+    from repro.observability.benchtel import find_latest_run, load_run
+
+    bench_path = args.bench or find_latest_run()
+    payload = load_run(bench_path)
+    trace_rows = []
+    if args.trace:
+        from repro.observability.tracing import (
+            load_trace,
+            summarize_trace,
+        )
+
+        trace_rows = summarize_trace(load_trace(args.trace))
+
+    if args.json:
+        document = {
+            "bench": payload,
+            "trace_hotspots": [dict(row) for row in trace_rows],
+        }
+        print(json.dumps(document, indent=2))
+        return 1 if payload["totals"]["failed"] else 0
+
+    totals = payload["totals"]
+    print(f"Benchmark health report — {payload['label']} "
+          f"({payload['created']})")
+    print(f"  python {payload['python']}  quick={payload['quick']}  "
+          f"source {bench_path}")
+    print(f"  sections: {totals['ok']}/{totals['sections']} ok, "
+          f"total median wall {totals['wall_median_s']:.3f} s")
+    print()
+    print(f"  {'section':32s} {'median s':>9s} {'peak MiB':>9s} "
+          f"{'cache hit%':>11s}")
+    for section in payload["sections"]:
+        wall = section.get("wall_median_s")
+        timing = f"{wall:9.3f}" if wall is not None else f"{'-':>9s}"
+        peak = section.get("peak_memory_bytes")
+        memory = (f"{peak / (1024 * 1024):9.1f}"
+                  if peak is not None else f"{'-':>9s}")
+        cache = section.get("compare_cache") or {}
+        rate = cache.get("hit_rate")
+        hit = f"{100 * rate:10.1f}%" if rate is not None else f"{'-':>11s}"
+        flag = "" if section["status"] == "ok" else "  !! FAILED"
+        print(f"  {section['name']:32s} {timing} {memory} {hit}{flag}")
+    failed = [s for s in payload["sections"] if s["status"] != "ok"]
+    for section in failed:
+        error = section.get("error") or {}
+        print(f"\n  {section['name']}: {error.get('type', '?')}: "
+              f"{error.get('message', '')}")
+
+    hot = []
+    for section in payload["sections"]:
+        for row in section.get("hotspots") or []:
+            hot.append((row["self_s"], section["name"], row))
+    if hot:
+        hot.sort(reverse=True, key=lambda item: item[0])
+        print(f"\n  top hotspots (self time, across sections)")
+        for self_s, name, row in hot[:10]:
+            print(f"    {row['name']:28s} {self_s:8.4f} s  "
+                  f"x{row['count']:<6d} in {name}")
+    if trace_rows:
+        print(f"\n  trace hotspots ({args.trace})")
+        for row in trace_rows[:10]:
+            print(f"    {row['name']:28s} {row['self_s']:8.4f} s  "
+                  f"x{row['count']}")
+
+    snapshot = payload.get("metrics_snapshot") or {}
+    interesting = {
+        name: value for name, value in snapshot.items()
+        if name.startswith("compare_cache.") or name.endswith(".count")
+    }
+    if interesting:
+        print("\n  metrics snapshot (cache + histogram counts)")
+        for name in sorted(interesting):
+            print(f"    {name:44s} {interesting[name]:12.0f}")
+    return 1 if failed else 0
+
+
 def _cmd_suggest(args: argparse.Namespace) -> int:
     from repro.store.repository import REQUIREMENT_PROPERTIES, suggest_scheme
 
@@ -402,9 +550,11 @@ def build_parser() -> argparse.ArgumentParser:
     report = commands.add_parser(
         "report", help="regenerate every figure/claim report"
     )
-    report.add_argument("kinds", nargs="*",
-                        choices=["figure", "claim", "extension"],
-                        help="restrict to report kinds (default: all)")
+    # No argparse choices here: nargs="*" + choices rejects the empty
+    # list, breaking the bare `repro report`.  run_all.main validates.
+    report.add_argument("kinds", nargs="*", metavar="kind",
+                        help="restrict to report kinds: figure, claim, "
+                             "extension (default: all)")
 
     growth = commands.add_parser("growth", help="skewed growth series")
     growth.add_argument("--schemes", default="qed,cdqs,vector")
@@ -462,6 +612,66 @@ def build_parser() -> argparse.ArgumentParser:
     journal.add_argument("--verify", action="store_true",
                          help="after replay, verify document order")
 
+    bench = commands.add_parser(
+        "bench", help="benchmark telemetry: run / compare / report"
+    )
+    bench_actions = bench.add_subparsers(dest="bench_action", required=True)
+
+    bench_run = bench_actions.add_parser(
+        "run", help="run bench sections under the telemetry harness"
+    )
+    bench_run.add_argument("--quick", action="store_true",
+                           help="CI-sized workloads in every section")
+    bench_run.add_argument("--repeats", type=int, default=None,
+                           help="timing repeats per section "
+                                "(default 3, 1 with --quick)")
+    bench_run.add_argument("--label", default=None,
+                           help="run label (default: short git sha)")
+    bench_run.add_argument("--out", metavar="FILE", default=None,
+                           help="output path (default: repo-root "
+                                "BENCH_<label>.json)")
+    bench_run.add_argument("--kinds", nargs="*", metavar="kind",
+                           default=None,
+                           help="restrict to section kinds: figure, "
+                                "claim, extension")
+    bench_run.add_argument("--verbose", action="store_true",
+                           help="let sections print their reports")
+
+    bench_compare = bench_actions.add_parser(
+        "compare", help="diff a bench run against the committed baseline"
+    )
+    bench_compare.add_argument("current", nargs="?", default=None,
+                               help="BENCH_*.json to judge "
+                                    "(default: latest at repo root)")
+    bench_compare.add_argument("--baseline", metavar="FILE", default=None,
+                               help="baseline run (default: "
+                                    "benchmarks/baselines/default.json)")
+    bench_compare.add_argument("--regression", type=float, default=0.25,
+                               help="relative slowdown flagged as a "
+                                    "regression (default 0.25)")
+    bench_compare.add_argument("--improvement", type=float, default=0.20,
+                               help="relative speedup reported as "
+                                    "improved (default 0.20)")
+    bench_compare.add_argument("--noise-floor", type=float, default=0.005,
+                               help="seconds below which both runs are "
+                                    "noise (default 0.005)")
+    bench_compare.add_argument("--soft", action="store_true",
+                               help="report regressions but exit 0")
+    bench_compare.add_argument("--json", action="store_true",
+                               help="emit the comparison as JSON")
+
+    bench_report = bench_actions.add_parser(
+        "report", help="consolidated health report from a bench run"
+    )
+    bench_report.add_argument("--bench", metavar="FILE", default=None,
+                              help="BENCH_*.json to read "
+                                   "(default: latest at repo root)")
+    bench_report.add_argument("--trace", metavar="FILE", default=None,
+                              help="also fold in a JSONL span export "
+                                   "(from `repro trace --export`)")
+    bench_report.add_argument("--json", action="store_true",
+                              help="emit the health document as JSON")
+
     return parser
 
 
@@ -478,6 +688,7 @@ _HANDLERS = {
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
     "journal": _cmd_journal,
+    "bench": _cmd_bench,
 }
 
 

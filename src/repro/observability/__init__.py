@@ -14,9 +14,23 @@ its currency.  This package turns those measurements into two layers:
   (:mod:`repro.observability.tracing`) that attributes those costs to
   individual operations — spans over inserts, relabel passes, journal
   writes and joins, with per-span metric deltas, head-based sampling
-  and JSONL export, rendered by ``python -m repro trace``.
+  and JSONL export, rendered by ``python -m repro trace``;
+* a **benchmark telemetry** layer
+  (:mod:`repro.observability.benchtel`) that runs the whole bench suite
+  under a timed, metrics-capturing harness into schema-versioned
+  ``BENCH_*.json`` documents, and a **regression comparator**
+  (:mod:`repro.observability.regression`) that diffs a run against a
+  committed baseline — both behind ``python -m repro bench``.
 """
 
+from repro.observability.benchtel import (
+    BenchRun,
+    SectionResult,
+    find_latest_run,
+    load_run,
+    run_sections,
+    write_run,
+)
 from repro.observability.metrics import (
     Counter,
     Histogram,
@@ -24,6 +38,14 @@ from repro.observability.metrics import (
     Timer,
     get_registry,
     render_metrics,
+)
+from repro.observability.regression import (
+    ComparisonReport,
+    SectionComparison,
+    Thresholds,
+    compare_runs,
+    load_baseline,
+    render_comparison,
 )
 from repro.observability.tracing import (
     AlwaysOffSampler,
@@ -47,24 +69,36 @@ from repro.observability.tracing import (
 __all__ = [
     "AlwaysOffSampler",
     "AlwaysOnSampler",
+    "BenchRun",
+    "ComparisonReport",
     "Counter",
     "Histogram",
     "InMemorySpanExporter",
     "JSONLinesSpanExporter",
     "MetricsRegistry",
     "RatioSampler",
+    "SectionComparison",
+    "SectionResult",
     "Span",
     "SpanRecord",
+    "Thresholds",
     "Timer",
     "Tracer",
+    "compare_runs",
     "configure_tracing",
+    "find_latest_run",
     "get_registry",
     "get_tracer",
+    "load_baseline",
+    "load_run",
     "load_trace",
+    "render_comparison",
     "render_metrics",
     "render_span_tree",
     "render_summary",
+    "run_sections",
     "summarize_trace",
     "traced",
     "tracing_enabled",
+    "write_run",
 ]

@@ -1,0 +1,435 @@
+"""Benchmark telemetry: machine-readable perf runs over the bench suite.
+
+``benchmarks/run_all.py`` prints prose; this module runs the same
+sections under a timed, metrics-capturing harness and emits one
+schema-versioned JSON document per run (``BENCH_<label>.json``) so the
+repository finally has a perf *trajectory* — the discipline the paper
+applies to its own evaluation matrix, applied to our hot paths.
+
+Per section the harness records:
+
+* wall-clock over N repeats (median and min — min is the
+  least-interference estimate, median the robust one);
+* peak memory via :mod:`tracemalloc` during one instrumented pass;
+* the metric deltas of that pass from the process-wide
+  :class:`~repro.observability.metrics.MetricsRegistry` — including the
+  per-scheme ``scheme.<name>.label_bits`` / ``relabel_extent``
+  distribution summaries and the ``compare_cache.*`` counters;
+* trace-derived hotspot self-times (the instrumented pass runs under
+  :func:`benchmarks/_common.maybe_traced`-style span capture);
+* the section's own structured rows — every ``bench_*`` module's
+  ``main()`` returns its report as data.
+
+A section that raises is recorded (exception type, message, traceback
+tail) and the run continues; the payload carries the failure so CI can
+still upload the artifact and fail at the end.
+
+The counterpart :mod:`repro.observability.regression` diffs two of
+these payloads and classifies each section as improved / unchanged /
+regressed.
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+import traceback
+import tracemalloc
+from contextlib import redirect_stdout
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BenchSchemaError, BenchTelemetryError
+
+#: Version of the ``BENCH_*.json`` document layout.  Bump whenever a
+#: field changes meaning; the loader refuses cross-version comparisons.
+SCHEMA_VERSION = 1
+
+#: Hotspot rows kept per section (sorted by self time, descending).
+HOTSPOT_ROWS = 10
+
+#: Timing repeats (full / --quick).
+DEFAULT_REPEATS = 3
+QUICK_REPEATS = 1
+
+
+def benchmarks_directory() -> str:
+    """The repository's ``benchmarks/`` directory (must exist)."""
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))  # src/repro/observability -> src
+    candidate = os.path.join(os.path.dirname(package_root), "benchmarks")
+    if not os.path.isdir(candidate):
+        raise BenchTelemetryError(
+            "the benchmarks/ directory is not available in this install"
+        )
+    return candidate
+
+
+def _ensure_benchmarks_on_path() -> str:
+    directory = benchmarks_directory()
+    if directory not in sys.path:
+        sys.path.insert(0, directory)
+    return directory
+
+
+def default_sections() -> List[Tuple[str, str]]:
+    """``run_all.SECTIONS`` — the canonical (kind, module) report order."""
+    _ensure_benchmarks_on_path()
+    run_all = importlib.import_module("run_all")
+    return list(run_all.SECTIONS)
+
+
+def git_label() -> str:
+    """A short git revision for the run label (``local`` outside git)."""
+    try:
+        revision = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(benchmarks_directory()),
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "local"
+    label = revision.stdout.strip()
+    return label if revision.returncode == 0 and label else "local"
+
+
+def _jsonable(value: Any) -> Any:
+    """``value`` coerced to something ``json.dumps`` accepts.
+
+    Bench rows are plain dicts of numbers and strings in practice; the
+    fallback keeps one exotic value (an enum, a dataclass) from sinking
+    a whole run.
+    """
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# Per-section capture
+# ----------------------------------------------------------------------
+
+@dataclass
+class SectionResult:
+    """Everything one bench section contributed to the run."""
+
+    name: str
+    kind: str
+    status: str = "ok"                      # "ok" | "failed"
+    error: Optional[Dict[str, Any]] = None  # type / message / traceback tail
+    repeats: int = 0
+    wall_seconds: List[float] = field(default_factory=list)
+    peak_memory_bytes: int = 0
+    rows: Any = None
+    metrics: Dict[str, float] = field(default_factory=dict)
+    schemes: Dict[str, Dict[str, Dict[str, float]]] = field(
+        default_factory=dict)
+    compare_cache: Dict[str, float] = field(default_factory=dict)
+    hotspots: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def wall_median_s(self) -> Optional[float]:
+        return (statistics.median(self.wall_seconds)
+                if self.wall_seconds else None)
+
+    @property
+    def wall_min_s(self) -> Optional[float]:
+        return min(self.wall_seconds) if self.wall_seconds else None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "status": self.status,
+            "error": self.error,
+            "repeats": self.repeats,
+            "wall_seconds": [round(s, 6) for s in self.wall_seconds],
+            "wall_median_s": (None if self.wall_median_s is None
+                              else round(self.wall_median_s, 6)),
+            "wall_min_s": (None if self.wall_min_s is None
+                           else round(self.wall_min_s, 6)),
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "rows": _jsonable(self.rows),
+            "metrics": {name: value for name, value in
+                        sorted(self.metrics.items())},
+            "schemes": self.schemes,
+            "compare_cache": self.compare_cache,
+            "hotspots": self.hotspots,
+        }
+
+
+def _error_info(error: BaseException) -> Dict[str, Any]:
+    tail = traceback.format_exception(type(error), error,
+                                      error.__traceback__)
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "traceback_tail": [line.rstrip("\n") for line in tail[-4:]],
+    }
+
+
+def _scheme_stats(delta: Dict[str, float]) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-scheme label-size / relabel-extent summaries out of a delta.
+
+    The instrumented paths publish ``scheme.<name>.label_bits.*`` and
+    ``scheme.<name>.relabel_extent.*`` histogram fields; this regroups
+    the flat names into ``{scheme: {profile: {stat: value}}}``.
+    """
+    grouped: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for metric_name, value in delta.items():
+        for profile in ("label_bits", "relabel_extent"):
+            marker = f".{profile}."
+            if metric_name.startswith("scheme.") and marker in metric_name:
+                scheme, _, rest = metric_name[len("scheme."):].partition(
+                    marker)
+                if not scheme or "." in scheme:
+                    continue  # not a per-scheme profile name
+                grouped.setdefault(scheme, {}).setdefault(
+                    profile, {})[rest] = round(value, 6)
+    return grouped
+
+
+def _cache_stats(delta: Dict[str, float]) -> Dict[str, float]:
+    hits = delta.get("compare_cache.hits", 0)
+    misses = delta.get("compare_cache.misses", 0)
+    stats = {
+        "hits": hits,
+        "misses": misses,
+        "uncacheable": delta.get("compare_cache.uncacheable", 0),
+        "evictions": delta.get("compare_cache.evictions", 0),
+        "evicted_entries": delta.get("compare_cache.evicted_entries", 0),
+    }
+    lookups = hits + misses
+    stats["hit_rate"] = round(hits / lookups, 4) if lookups else 0.0
+    return stats
+
+
+def run_section(kind: str, module_name: str, quick: bool = False,
+                repeats: Optional[int] = None,
+                verbose: bool = False) -> SectionResult:
+    """One bench module under the full telemetry harness.
+
+    Timing repeats run clean (no tracemalloc, no tracing) so the
+    wall-clock numbers measure the benchmark, not the harness; one extra
+    instrumented pass then captures peak memory, metric deltas and span
+    hotspots.  The section's printed report is suppressed unless
+    ``verbose``.
+    """
+    from repro.observability.metrics import get_registry
+
+    _ensure_benchmarks_on_path()
+    result = SectionResult(name=module_name, kind=kind)
+    argv = ["--quick"] if quick else []
+    if repeats is None:
+        repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    result.repeats = repeats
+
+    try:
+        module = importlib.import_module(module_name)
+    except (Exception, SystemExit) as error:
+        result.status = "failed"
+        result.error = _error_info(error)
+        return result
+
+    def invoke():
+        sink = sys.stderr if verbose else io.StringIO()
+        if verbose:
+            return module.main(argv)
+        with redirect_stdout(sink):
+            return module.main(argv)
+
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            invoke()
+            result.wall_seconds.append(time.perf_counter() - started)
+    except (Exception, SystemExit) as error:
+        result.status = "failed"
+        result.error = _error_info(error)
+        return result
+
+    # Instrumented pass: memory + metrics + hotspots, off the clock.
+    if result.status == "ok":
+        try:
+            from _common import maybe_traced  # the benchmarks helper
+            registry = get_registry()
+            tracemalloc.start()
+            try:
+                with registry.scoped() as delta:
+                    with maybe_traced(capture=True) as buffer:
+                        result.rows = invoke()
+                result.peak_memory_bytes = tracemalloc.get_traced_memory()[1]
+            finally:
+                tracemalloc.stop()
+            result.metrics = {name: round(value, 6)
+                              for name, value in delta.items()}
+            result.schemes = _scheme_stats(delta)
+            result.compare_cache = _cache_stats(delta)
+            from repro.observability.tracing import summarize_trace
+            result.hotspots = [
+                {
+                    "name": row["name"],
+                    "count": row["count"],
+                    "self_s": round(row["self_s"], 6),
+                    "cumulative_s": round(row["cumulative_s"], 6),
+                    "max_s": round(row["max_s"], 6),
+                }
+                for row in summarize_trace(buffer.roots())[:HOTSPOT_ROWS]
+            ]
+        except (Exception, SystemExit) as error:
+            result.status = "failed"
+            result.error = _error_info(error)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Whole runs
+# ----------------------------------------------------------------------
+
+@dataclass
+class BenchRun:
+    """A full telemetry run over a list of sections."""
+
+    label: str
+    quick: bool
+    sections: List[SectionResult] = field(default_factory=list)
+    metrics_snapshot: Dict[str, float] = field(default_factory=dict)
+    created: str = ""
+
+    @property
+    def failed(self) -> List[SectionResult]:
+        return [s for s in self.sections if s.status != "ok"]
+
+    def to_payload(self) -> Dict[str, Any]:
+        total_wall = sum(
+            s.wall_median_s or 0.0 for s in self.sections
+        )
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "label": self.label,
+            "created": self.created,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": self.quick,
+            "sections": [s.to_payload() for s in self.sections],
+            "metrics_snapshot": {name: round(value, 6) for name, value in
+                                 sorted(self.metrics_snapshot.items())},
+            "totals": {
+                "sections": len(self.sections),
+                "ok": len(self.sections) - len(self.failed),
+                "failed": len(self.failed),
+                "wall_median_s": round(total_wall, 6),
+            },
+        }
+
+
+def run_sections(sections: Optional[Sequence[Tuple[str, str]]] = None,
+                 quick: bool = False, repeats: Optional[int] = None,
+                 label: Optional[str] = None, kinds: Optional[set] = None,
+                 verbose: bool = False,
+                 progress=None) -> BenchRun:
+    """Run bench sections under the telemetry harness; return the run.
+
+    ``sections`` defaults to :func:`default_sections`; ``kinds``
+    restricts to section kinds (``figure`` / ``claim`` / ``extension``);
+    ``progress`` is an optional callable receiving each finished
+    :class:`SectionResult` (the CLI prints one line per section).
+    """
+    from repro.observability.metrics import get_registry
+
+    if sections is None:
+        sections = default_sections()
+    if kinds:
+        sections = [(kind, name) for kind, name in sections if kind in kinds]
+    run = BenchRun(label=label or git_label(), quick=quick)
+    run.created = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    for kind, module_name in sections:
+        section = run_section(kind, module_name, quick=quick,
+                              repeats=repeats, verbose=verbose)
+        run.sections.append(section)
+        if progress is not None:
+            progress(section)
+    run.metrics_snapshot = get_registry().snapshot()
+    return run
+
+
+def bench_output_path(label: str, directory: Optional[str] = None) -> str:
+    """``BENCH_<label>.json`` at the repository root (or ``directory``)."""
+    if directory is None:
+        directory = os.path.dirname(benchmarks_directory())
+    return os.path.join(directory, f"BENCH_{label}.json")
+
+
+def write_run(run: BenchRun, path: Optional[str] = None) -> str:
+    """Serialise ``run`` to ``path`` (default: the repo-root BENCH file)."""
+    if path is None:
+        path = bench_output_path(run.label)
+    payload = run.to_payload()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_run(path) -> Dict[str, Any]:
+    """Read a ``BENCH_*.json`` payload back, verifying the schema.
+
+    Raises :class:`~repro.errors.BenchTelemetryError` when the file is
+    not bench telemetry at all, and
+    :class:`~repro.errors.BenchSchemaError` when it declares a different
+    schema version than this code writes.
+    """
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise BenchTelemetryError(
+                f"{path}: not valid JSON ({error})"
+            ) from error
+    if not isinstance(payload, dict) or "schema_version" not in payload:
+        raise BenchTelemetryError(
+            f"{path}: not a bench telemetry document "
+            "(missing schema_version)"
+        )
+    found = payload["schema_version"]
+    if found != SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"{path}: bench schema version {found!r} is not the supported "
+            f"version {SCHEMA_VERSION}",
+            found=found, expected=SCHEMA_VERSION,
+        )
+    if not isinstance(payload.get("sections"), list):
+        raise BenchTelemetryError(f"{path}: sections list missing")
+    return payload
+
+
+def find_latest_run(directory: Optional[str] = None) -> str:
+    """The most recently modified ``BENCH_*.json`` under ``directory``.
+
+    Defaults to the repository root.  Raises
+    :class:`~repro.errors.BenchTelemetryError` when none exists.
+    """
+    if directory is None:
+        directory = os.path.dirname(benchmarks_directory())
+    candidates = [
+        os.path.join(directory, name) for name in os.listdir(directory)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    ]
+    if not candidates:
+        raise BenchTelemetryError(
+            f"no BENCH_*.json found under {directory}; "
+            "run `python -m repro bench run` first"
+        )
+    return max(candidates, key=os.path.getmtime)

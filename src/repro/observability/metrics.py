@@ -22,6 +22,7 @@ increments keep the instrumented paths honest about their own cost.
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -136,6 +137,46 @@ class Histogram:
         """Mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile of the observations (0.0 when empty).
+
+        The estimate is the upper bound of the power-of-two bucket
+        holding the ``q``-th observation, clamped to the observed
+        minimum and maximum — exact at the extremes, within one bucket
+        width in between.  That is all the regression comparator and the
+        bench reports need from a fixed-memory summary.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, observed in enumerate(self.buckets):
+            cumulative += observed
+            if cumulative >= target:
+                if index >= len(self.BOUNDS):  # open-ended tail bucket
+                    return float(self.maximum)
+                bound = float(self.BOUNDS[index])
+                return min(max(bound, float(self.minimum)),
+                           float(self.maximum))
+        return float(self.maximum)  # pragma: no cover - counts always sum
+
+    @property
+    def p50(self) -> float:
+        """Estimated median observation."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """Estimated 95th-percentile observation."""
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """Estimated 99th-percentile observation."""
+        return self.quantile(0.99)
+
     def reset(self) -> None:
         """Forget every observation."""
         self.count = 0
@@ -205,10 +246,11 @@ class MetricsRegistry:
         """A flat name -> value dict of every instrument.
 
         Counters contribute their value, timers their total seconds
-        (plus a ``.count`` entry), histograms their count, sum and mean.
-        Keys come back sorted by name, so the snapshot serialises and
-        diffs identically no matter when each instrument was first
-        registered during the run.
+        (plus a ``.count`` entry), histograms their count, sum, mean,
+        min/max and estimated p50/p95/p99 — a usable distribution
+        summary, not just the moments.  Keys come back sorted by name,
+        so the snapshot serialises and diffs identically no matter when
+        each instrument was first registered during the run.
         """
         values: Dict[str, float] = {}
         for name, counter in self._counters.items():
@@ -220,6 +262,13 @@ class MetricsRegistry:
             values[name + ".count"] = histogram.count
             values[name + ".sum"] = histogram.total
             values[name + ".mean"] = histogram.mean
+            values[name + ".min"] = (0.0 if histogram.minimum is None
+                                     else histogram.minimum)
+            values[name + ".max"] = (0.0 if histogram.maximum is None
+                                     else histogram.maximum)
+            values[name + ".p50"] = histogram.p50
+            values[name + ".p95"] = histogram.p95
+            values[name + ".p99"] = histogram.p99
         return dict(sorted(values.items()))
 
     @contextmanager

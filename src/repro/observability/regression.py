@@ -1,0 +1,298 @@
+"""Baseline store and regression comparator for bench telemetry runs.
+
+A committed baseline (``benchmarks/baselines/*.json``, written by
+``python -m repro bench run``) fixes the expected per-section wall-clock
+numbers; this module diffs a fresh run against it and classifies every
+section:
+
+* ``improved`` — current median wall-clock beat the baseline by more
+  than the improvement threshold;
+* ``unchanged`` — within the thresholds, or both runs under the noise
+  floor (sub-noise sections never classify as regressed: timer jitter
+  on a 2 ms section is not a perf signal);
+* ``regressed`` — current exceeded baseline by more than the
+  regression threshold;
+* ``new`` / ``missing`` — the section exists on only one side (a bench
+  added or removed between runs);
+* ``failed`` — the current run recorded an exception for the section.
+
+Thresholds are *relative*: the defaults flag a >25 % slowdown and
+credit a >20 % speedup, with a 5 ms noise floor.  ``bench compare``
+exits non-zero on hard regressions (any ``regressed`` or ``failed``
+section) unless ``--soft``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import BenchSchemaError, BenchTelemetryError
+from repro.observability.benchtel import SCHEMA_VERSION
+
+#: Statuses that make a comparison a hard failure.
+HARD_STATUSES = ("regressed", "failed")
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Relative classification thresholds with a noise floor."""
+
+    regression: float = 0.25     # flag > +25 % median wall-clock
+    improvement: float = 0.20    # credit > -20 %
+    noise_floor_s: float = 0.005  # ignore sections both under 5 ms
+
+    def __post_init__(self):
+        if self.regression <= 0 or self.improvement <= 0:
+            raise ValueError("thresholds must be positive ratios")
+        if not 0 <= self.improvement < 1:
+            raise ValueError("improvement must be a ratio below 1")
+        if self.noise_floor_s < 0:
+            raise ValueError("noise floor must be >= 0 seconds")
+
+
+@dataclass
+class SectionComparison:
+    """One section's verdict against the baseline."""
+
+    name: str
+    status: str
+    baseline_s: Optional[float] = None
+    current_s: Optional[float] = None
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current / baseline median wall-clock (None when undefined)."""
+        if not self.baseline_s or self.current_s is None:
+            return None
+        return self.current_s / self.baseline_s
+
+
+@dataclass
+class ComparisonReport:
+    """The full verdict of one run against one baseline."""
+
+    baseline_label: str
+    current_label: str
+    thresholds: Thresholds
+    sections: List[SectionComparison] = field(default_factory=list)
+
+    def by_status(self, status: str) -> List[SectionComparison]:
+        return [s for s in self.sections if s.status == status]
+
+    @property
+    def regressions(self) -> List[SectionComparison]:
+        return [s for s in self.sections if s.status in HARD_STATUSES]
+
+    def exit_code(self, soft: bool = False) -> int:
+        """0 when clean; 1 on hard regressions (unless ``soft``)."""
+        if soft:
+            return 0
+        return 1 if self.regressions else 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline_label,
+            "current": self.current_label,
+            "thresholds": {
+                "regression": self.thresholds.regression,
+                "improvement": self.thresholds.improvement,
+                "noise_floor_s": self.thresholds.noise_floor_s,
+            },
+            "sections": [
+                {
+                    "name": s.name,
+                    "status": s.status,
+                    "baseline_s": s.baseline_s,
+                    "current_s": s.current_s,
+                    "ratio": (None if s.ratio is None
+                              else round(s.ratio, 4)),
+                    "note": s.note,
+                }
+                for s in self.sections
+            ],
+            "counts": {
+                status: len(self.by_status(status))
+                for status in ("improved", "unchanged", "regressed",
+                               "new", "missing", "failed")
+            },
+        }
+
+
+def _check_schema(payload: Dict[str, Any], role: str) -> None:
+    found = payload.get("schema_version")
+    if found != SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"{role} run declares bench schema version {found!r}; this "
+            f"comparator understands version {SCHEMA_VERSION} — "
+            "regenerate the baseline with `python -m repro bench run`",
+            found=found, expected=SCHEMA_VERSION,
+        )
+
+
+def _sections_by_name(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {section["name"]: section
+            for section in payload.get("sections", [])}
+
+
+def classify_section(name: str, baseline: Optional[Dict[str, Any]],
+                     current: Optional[Dict[str, Any]],
+                     thresholds: Thresholds) -> SectionComparison:
+    """One section's status given its two payload entries (either None)."""
+    if current is None:
+        return SectionComparison(
+            name=name, status="missing",
+            baseline_s=baseline.get("wall_median_s"),
+            note="section absent from the current run",
+        )
+    if current.get("status") != "ok":
+        error = current.get("error") or {}
+        return SectionComparison(
+            name=name, status="failed",
+            current_s=current.get("wall_median_s"),
+            note=f"{error.get('type', 'Error')}: "
+                 f"{error.get('message', 'section failed')}",
+        )
+    current_s = current.get("wall_median_s")
+    if baseline is None:
+        return SectionComparison(
+            name=name, status="new", current_s=current_s,
+            note="no baseline entry (will classify next run)",
+        )
+    baseline_s = baseline.get("wall_median_s")
+    if baseline_s is None or current_s is None:
+        return SectionComparison(
+            name=name, status="unchanged", baseline_s=baseline_s,
+            current_s=current_s, note="no wall-clock on one side",
+        )
+    if (baseline_s <= thresholds.noise_floor_s
+            and current_s <= thresholds.noise_floor_s):
+        return SectionComparison(
+            name=name, status="unchanged", baseline_s=baseline_s,
+            current_s=current_s,
+            note=f"below {thresholds.noise_floor_s * 1000:.0f} ms "
+                 "noise floor",
+        )
+    if baseline_s <= 0:
+        return SectionComparison(
+            name=name, status="unchanged", baseline_s=baseline_s,
+            current_s=current_s, note="zero baseline wall-clock",
+        )
+    ratio = current_s / baseline_s
+    if ratio > 1.0 + thresholds.regression:
+        status, note = "regressed", f"{(ratio - 1) * 100:+.0f}% wall-clock"
+    elif ratio < 1.0 - thresholds.improvement:
+        status, note = "improved", f"{(ratio - 1) * 100:+.0f}% wall-clock"
+    else:
+        status, note = "unchanged", f"{(ratio - 1) * 100:+.0f}%"
+    return SectionComparison(name=name, status=status,
+                             baseline_s=baseline_s, current_s=current_s,
+                             note=note)
+
+
+def compare_runs(current: Dict[str, Any], baseline: Dict[str, Any],
+                 thresholds: Optional[Thresholds] = None
+                 ) -> ComparisonReport:
+    """Diff a current bench payload against a baseline payload."""
+    thresholds = thresholds or Thresholds()
+    _check_schema(baseline, "baseline")
+    _check_schema(current, "current")
+    baseline_sections = _sections_by_name(baseline)
+    current_sections = _sections_by_name(current)
+    report = ComparisonReport(
+        baseline_label=str(baseline.get("label", "?")),
+        current_label=str(current.get("label", "?")),
+        thresholds=thresholds,
+    )
+    ordered = list(current_sections)
+    ordered += [name for name in baseline_sections
+                if name not in current_sections]
+    for name in ordered:
+        report.sections.append(classify_section(
+            name, baseline_sections.get(name), current_sections.get(name),
+            thresholds,
+        ))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Baseline store
+# ----------------------------------------------------------------------
+
+def baselines_directory() -> str:
+    """``benchmarks/baselines/`` next to the bench modules."""
+    from repro.observability.benchtel import benchmarks_directory
+
+    return os.path.join(benchmarks_directory(), "baselines")
+
+
+def default_baseline_path() -> str:
+    """The committed default baseline (``benchmarks/baselines/default.json``)."""
+    return os.path.join(baselines_directory(), "default.json")
+
+
+def load_baseline(path: Optional[str] = None) -> Dict[str, Any]:
+    """Load a baseline payload (default: the committed default baseline).
+
+    Raises :class:`~repro.errors.BenchTelemetryError` with a remediation
+    hint when the baseline file does not exist yet.
+    """
+    from repro.observability.benchtel import load_run
+
+    if path is None:
+        path = default_baseline_path()
+    if not os.path.exists(path):
+        raise BenchTelemetryError(
+            f"baseline {path} does not exist; create one with "
+            "`python -m repro bench run --quick --out " + path + "`"
+        )
+    return load_run(path)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+_STATUS_MARKS = {
+    "improved": "+", "unchanged": "=", "regressed": "!",
+    "new": "?", "missing": "-", "failed": "x",
+}
+
+
+def render_comparison(report: ComparisonReport) -> str:
+    """Plain-text verdict table for one comparison report."""
+    lines = [
+        f"bench compare: {report.current_label} vs baseline "
+        f"{report.baseline_label} "
+        f"(regress >{report.thresholds.regression * 100:.0f}%, "
+        f"improve >{report.thresholds.improvement * 100:.0f}%, "
+        f"noise floor {report.thresholds.noise_floor_s * 1000:.0f} ms)",
+        "",
+    ]
+    width = max((len(s.name) for s in report.sections), default=4)
+    lines.append(f"  {'section':{width}s} {'base s':>9s} {'now s':>9s} "
+                 f"{'ratio':>7s}  verdict")
+    for section in report.sections:
+        base = ("-" if section.baseline_s is None
+                else f"{section.baseline_s:.3f}")
+        now = ("-" if section.current_s is None
+               else f"{section.current_s:.3f}")
+        ratio = "-" if section.ratio is None else f"{section.ratio:.2f}x"
+        mark = _STATUS_MARKS.get(section.status, " ")
+        note = f"  ({section.note})" if section.note else ""
+        lines.append(f"{mark} {section.name:{width}s} {base:>9s} "
+                     f"{now:>9s} {ratio:>7s}  {section.status}{note}")
+    counts = ", ".join(
+        f"{len(report.by_status(status))} {status}"
+        for status in ("improved", "unchanged", "regressed", "new",
+                       "missing", "failed")
+        if report.by_status(status)
+    )
+    lines.append("")
+    lines.append(f"-- {counts or 'no sections compared'}")
+    if report.regressions:
+        lines.append("-- HARD REGRESSIONS: "
+                     + ", ".join(s.name for s in report.regressions))
+    return "\n".join(lines)

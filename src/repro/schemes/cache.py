@@ -10,10 +10,12 @@ their results can be memoized safely for as long as the cache fits in
 memory — even across relabelling passes, because relabelled nodes simply
 stop presenting their old label values.
 
-Hits and misses are published to the global metrics registry
+Hits, misses and evictions are published to the global metrics registry
 (``compare_cache.hits`` / ``compare_cache.misses`` /
-``compare_cache.uncacheable``), which is how the benchmarks report how
-many label comparisons a workload avoided.
+``compare_cache.uncacheable`` / ``compare_cache.evictions`` /
+``compare_cache.evicted_entries``), which is how the benchmarks and the
+health report price cache effectiveness: how many label comparisons a
+workload avoided, and how often the working set outgrew the cap.
 """
 
 from __future__ import annotations
@@ -51,6 +53,10 @@ class ComparisonCache:
         self._hits = registry.counter("compare_cache.hits")
         self._misses = registry.counter("compare_cache.misses")
         self._uncacheable = registry.counter("compare_cache.uncacheable")
+        self._evictions = registry.counter("compare_cache.evictions")
+        self._evicted_entries = registry.counter(
+            "compare_cache.evicted_entries"
+        )
 
     # -- cached relationship tests ----------------------------------------
 
@@ -112,6 +118,8 @@ class ComparisonCache:
         # is how many entries the caller is about to insert — compare()
         # stores the mirrored pair too, and both must fit under the cap.
         if len(table) + incoming > self.max_entries:
+            self._evictions.inc()
+            self._evicted_entries.inc(len(table))
             table.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,269 @@
+"""Benchmark telemetry: harness runs, BENCH JSON, regression verdicts."""
+
+import json
+
+import pytest
+
+from repro.errors import BenchSchemaError, BenchTelemetryError
+# NB: bench_output_path is imported inside its test — at module scope
+# pytest would collect the bench_* name as a benchmark test function.
+from repro.observability.benchtel import (
+    SCHEMA_VERSION,
+    find_latest_run,
+    git_label,
+    load_run,
+    run_sections,
+    write_run,
+)
+from repro.observability.regression import (
+    ComparisonReport,
+    Thresholds,
+    classify_section,
+    compare_runs,
+    load_baseline,
+    render_comparison,
+)
+
+
+def section_payload(name, wall, status="ok", **extra):
+    payload = {"name": name, "kind": "figure", "status": status,
+               "wall_median_s": wall}
+    payload.update(extra)
+    return payload
+
+
+def run_payload(label, sections):
+    return {"schema_version": SCHEMA_VERSION, "label": label,
+            "sections": sections}
+
+
+THRESHOLDS = Thresholds()  # regression 25%, improvement 20%, floor 5 ms
+
+
+class TestClassifySection:
+    def test_two_times_slower_is_regressed(self):
+        verdict = classify_section(
+            "s", section_payload("s", 1.0), section_payload("s", 2.0),
+            THRESHOLDS,
+        )
+        assert verdict.status == "regressed"
+        assert verdict.ratio == pytest.approx(2.0)
+
+    def test_within_threshold_is_unchanged(self):
+        verdict = classify_section(
+            "s", section_payload("s", 1.0), section_payload("s", 1.2),
+            THRESHOLDS,
+        )
+        assert verdict.status == "unchanged"
+
+    def test_speedup_is_improved(self):
+        verdict = classify_section(
+            "s", section_payload("s", 1.0), section_payload("s", 0.5),
+            THRESHOLDS,
+        )
+        assert verdict.status == "improved"
+
+    def test_both_under_noise_floor_is_unchanged(self):
+        # 1 ms -> 4 ms is a 4x "slowdown" but both are under the 5 ms
+        # floor: pure timer noise, never a verdict.
+        verdict = classify_section(
+            "s", section_payload("s", 0.001), section_payload("s", 0.004),
+            THRESHOLDS,
+        )
+        assert verdict.status == "unchanged"
+        assert "noise floor" in verdict.note
+
+    def test_no_baseline_entry_is_new(self):
+        verdict = classify_section(
+            "s", None, section_payload("s", 1.0), THRESHOLDS
+        )
+        assert verdict.status == "new"
+
+    def test_absent_from_current_run_is_missing(self):
+        verdict = classify_section(
+            "s", section_payload("s", 1.0), None, THRESHOLDS
+        )
+        assert verdict.status == "missing"
+
+    def test_failed_section_is_failed(self):
+        verdict = classify_section(
+            "s", section_payload("s", 1.0),
+            section_payload("s", None, status="failed",
+                            error={"type": "ValueError", "message": "boom"}),
+            THRESHOLDS,
+        )
+        assert verdict.status == "failed"
+        assert "ValueError" in verdict.note
+
+    def test_custom_thresholds_move_the_line(self):
+        tight = Thresholds(regression=0.05)
+        verdict = classify_section(
+            "s", section_payload("s", 1.0), section_payload("s", 1.2), tight
+        )
+        assert verdict.status == "regressed"
+
+    def test_thresholds_validate(self):
+        with pytest.raises(ValueError):
+            Thresholds(regression=-0.1)
+        with pytest.raises(ValueError):
+            Thresholds(noise_floor_s=-1.0)
+
+
+class TestCompareRuns:
+    def test_hard_regression_sets_exit_code(self):
+        report = compare_runs(
+            run_payload("now", [section_payload("a", 2.0),
+                                section_payload("b", 1.0)]),
+            run_payload("base", [section_payload("a", 1.0),
+                                 section_payload("b", 1.0)]),
+        )
+        assert [s.name for s in report.regressions] == ["a"]
+        assert report.exit_code() == 1
+        assert report.exit_code(soft=True) == 0
+
+    def test_clean_comparison_exits_zero(self):
+        report = compare_runs(
+            run_payload("now", [section_payload("a", 1.0)]),
+            run_payload("base", [section_payload("a", 1.0)]),
+        )
+        assert report.exit_code() == 0
+        assert report.by_status("unchanged")
+
+    def test_schema_mismatch_raises(self):
+        stale = run_payload("base", [])
+        stale["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(BenchSchemaError) as caught:
+            compare_runs(run_payload("now", []), stale)
+        assert caught.value.expected == SCHEMA_VERSION
+
+    def test_render_lists_hard_regressions(self):
+        report = compare_runs(
+            run_payload("now", [section_payload("slow", 4.0)]),
+            run_payload("base", [section_payload("slow", 1.0)]),
+        )
+        text = render_comparison(report)
+        assert "HARD REGRESSIONS: slow" in text
+        assert "regressed" in text
+
+    def test_payload_counts_every_status(self):
+        report = compare_runs(
+            run_payload("now", [section_payload("a", 2.0)]),
+            run_payload("base", [section_payload("a", 1.0),
+                                 section_payload("gone", 1.0)]),
+        )
+        counts = report.to_payload()["counts"]
+        assert counts["regressed"] == 1
+        assert counts["missing"] == 1
+
+
+class TestLoadRun:
+    def test_round_trip_through_writer_and_loader(self, tmp_path):
+        run = run_sections([("figure", "bench_figure1_prepost")],
+                           quick=True)
+        path = write_run(run, str(tmp_path / "BENCH_test.json"))
+        payload = load_run(path)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["label"] == run.label
+        (section,) = payload["sections"]
+        assert section["name"] == "bench_figure1_prepost"
+        assert section["status"] == "ok"
+        assert payload == json.loads(json.dumps(payload))  # JSON-pure
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(BenchTelemetryError):
+            load_run(str(path))
+
+    def test_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "BENCH_alien.json"
+        path.write_text('{"hello": 1}', encoding="utf-8")
+        with pytest.raises(BenchTelemetryError):
+            load_run(str(path))
+
+    def test_rejects_other_schema_versions(self, tmp_path):
+        path = tmp_path / "BENCH_future.json"
+        path.write_text(json.dumps({"schema_version": 99, "sections": []}),
+                        encoding="utf-8")
+        with pytest.raises(BenchSchemaError) as caught:
+            load_run(str(path))
+        assert caught.value.found == 99
+
+    def test_find_latest_run_picks_newest(self, tmp_path):
+        old = tmp_path / "BENCH_old.json"
+        new = tmp_path / "BENCH_new.json"
+        for path in (old, new):
+            path.write_text("{}", encoding="utf-8")
+        import os
+
+        os.utime(old, (1, 1))
+        assert find_latest_run(str(tmp_path)) == str(new)
+
+    def test_find_latest_run_empty_directory_raises(self, tmp_path):
+        with pytest.raises(BenchTelemetryError):
+            find_latest_run(str(tmp_path))
+
+    def test_load_baseline_missing_hints_remediation(self, tmp_path):
+        with pytest.raises(BenchTelemetryError) as caught:
+            load_baseline(str(tmp_path / "default.json"))
+        assert "bench run" in str(caught.value)
+
+
+class TestHarness:
+    def test_section_result_captures_telemetry(self):
+        # figure 4 labels through LabeledDocument, so the traced
+        # instrumented pass sees spans and per-scheme histograms
+        # (figure 1 calls label_tree directly and legitimately has none)
+        run = run_sections([("figure", "bench_figure4_ordpath")],
+                           quick=True)
+        (section,) = run.sections
+        assert section.status == "ok"
+        assert section.rows  # bench modules return structured rows
+        assert section.wall_seconds and section.wall_median_s >= 0
+        assert section.peak_memory_bytes > 0
+        assert section.repeats == len(section.wall_seconds)
+        assert "ordpath" in section.schemes
+        assert "count" in section.schemes["ordpath"]["label_bits"]
+        assert any(row["name"] == "document.insert"
+                   for row in section.hotspots)
+        assert "hit_rate" in section.compare_cache
+
+    def test_failed_section_is_recorded_not_raised(self):
+        run = run_sections([("figure", "no_such_bench_module")],
+                           quick=True)
+        (section,) = run.sections
+        assert section.status == "failed"
+        assert section.error["type"] == "ModuleNotFoundError"
+        assert run.failed == [section]
+
+    def test_kind_filter_restricts_sections(self):
+        run = run_sections([("figure", "bench_figure1_prepost"),
+                            ("claim", "bench_claim_overflow")],
+                           quick=True, kinds={"figure"})
+        assert [s.name for s in run.sections] == ["bench_figure1_prepost"]
+
+    def test_label_defaults_to_git_revision(self):
+        assert git_label()  # short sha in this repo, "local" elsewhere
+        run = run_sections([], quick=True)
+        assert run.label == git_label()
+
+    def test_output_path_embeds_label(self, tmp_path):
+        from repro.observability.benchtel import bench_output_path
+
+        path = bench_output_path("abc123", str(tmp_path))
+        assert path.endswith("BENCH_abc123.json")
+
+    def test_payload_survives_injected_slowdown_comparison(self, tmp_path):
+        """End to end: a 2x slowdown in a real payload is detected."""
+        run = run_sections([("figure", "bench_figure1_prepost")],
+                           quick=True)
+        baseline = load_run(write_run(run, str(tmp_path / "BENCH_a.json")))
+        slowed = json.loads(json.dumps(baseline))
+        for section in slowed["sections"]:
+            section["wall_median_s"] = 10.0
+        slowed_baseline = json.loads(json.dumps(baseline))
+        for section in slowed_baseline["sections"]:
+            section["wall_median_s"] = 5.0
+        report = compare_runs(slowed, slowed_baseline)
+        assert isinstance(report, ComparisonReport)
+        assert [s.status for s in report.sections] == ["regressed"]

@@ -78,6 +78,42 @@ class TestHistogram:
         assert histogram.count == 0
         assert histogram.minimum is None
 
+    def test_quantiles_from_buckets(self, registry):
+        histogram = registry.histogram("h")
+        for value in range(1, 101):  # 1..100, power-of-two buckets
+            histogram.observe(value)
+        # bucket upper bounds are coarse; the estimate must bracket the
+        # true quantile and stay clamped to the observed range
+        assert histogram.quantile(0.0) == 1
+        assert 50 <= histogram.p50 <= 64
+        assert 95 <= histogram.p95 <= 100
+        assert histogram.p99 == 100
+        assert histogram.quantile(1.0) == 100
+
+    def test_quantile_of_single_observation(self, registry):
+        histogram = registry.histogram("h")
+        histogram.observe(7)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.quantile(q) == 7
+
+    def test_quantile_of_empty_histogram(self, registry):
+        assert registry.histogram("h").quantile(0.5) == 0.0
+
+    def test_quantile_rejects_out_of_range(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h").quantile(1.5)
+
+    def test_snapshot_includes_percentiles(self, registry):
+        histogram = registry.histogram("h")
+        for value in (1, 2, 4, 100):
+            histogram.observe(value)
+        values = registry.snapshot()
+        assert values["h.min"] == 1
+        assert values["h.max"] == 100
+        assert values["h.p50"] >= 1
+        assert values["h.p95"] <= 100
+        assert values["h.p99"] <= 100
+
 
 class TestRegistry:
     def test_snapshot_flattens_everything(self, registry):

@@ -85,6 +85,27 @@ class TestEviction:
         cache.invalidate()
         assert len(cache._compare) == 0
 
+    def test_trim_publishes_eviction_counters(self, qed):
+        registry = get_registry()
+        evictions = registry.counter("compare_cache.evictions")
+        evicted = registry.counter("compare_cache.evicted_entries")
+        before_evictions = evictions.value
+        before_evicted = evicted.value
+        cache = ComparisonCache(qed, max_entries=4)
+        for index in range(8):
+            cache.compare((str(index + 2),), ("3",))
+        assert evictions.value > before_evictions
+        # wholesale trim: each eviction drops a full table
+        assert evicted.value - before_evicted >= cache.max_entries - 1
+
+    def test_invalidate_is_not_an_eviction(self, qed):
+        evictions = get_registry().counter("compare_cache.evictions")
+        cache = ComparisonCache(qed)
+        cache.compare(("2",), ("3",))
+        before = evictions.value
+        cache.invalidate()
+        assert evictions.value == before
+
     def test_relabelling_invalidates_document_cache(self):
         """A state-mutating relabel must drop memoized comparisons: the
         old label values' orderings are meaningless afterwards."""

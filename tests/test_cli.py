@@ -235,3 +235,120 @@ class TestTraceCommand:
         assert main(["trace", "--scheme", "qed", "--ops", "10"]) == 0
         assert get_tracer().enabled is False
         assert get_tracer().exporters == []
+
+
+class TestBench:
+    @pytest.fixture
+    def one_section(self, monkeypatch):
+        """Shrink the default section list so CLI runs stay fast."""
+        import repro.observability.benchtel as benchtel
+
+        monkeypatch.setattr(
+            benchtel, "default_sections",
+            lambda: [("figure", "bench_figure4_ordpath")],
+        )
+
+    def test_run_writes_bench_json(self, one_section, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "BENCH_cli.json"
+        assert main(["bench", "run", "--quick", "--label", "cli",
+                     "--out", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "bench_figure4_ordpath" in out
+        assert "wrote" in out
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["schema_version"] == 1
+        assert payload["label"] == "cli"
+        assert payload["sections"][0]["status"] == "ok"
+
+    def test_run_reports_section_failures(self, monkeypatch, tmp_path,
+                                          capsys):
+        import repro.observability.benchtel as benchtel
+
+        monkeypatch.setattr(
+            benchtel, "default_sections",
+            lambda: [("figure", "no_such_bench_module")],
+        )
+        assert main(["bench", "run", "--quick",
+                     "--out", str(tmp_path / "BENCH_f.json")]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def _payload(self, tmp_path, name, wall):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "schema_version": 1, "label": name,
+            "sections": [{"name": "s", "kind": "figure", "status": "ok",
+                          "wall_median_s": wall}],
+        }), encoding="utf-8")
+        return str(path)
+
+    def test_compare_flags_injected_slowdown(self, tmp_path, capsys):
+        baseline = self._payload(tmp_path, "base.json", 1.0)
+        current = self._payload(tmp_path, "BENCH_now.json", 2.0)
+        assert main(["bench", "compare", current,
+                     "--baseline", baseline]) == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out
+        assert "HARD REGRESSIONS" in out
+
+    def test_compare_soft_gate_exits_zero(self, tmp_path):
+        baseline = self._payload(tmp_path, "base.json", 1.0)
+        current = self._payload(tmp_path, "BENCH_now.json", 2.0)
+        assert main(["bench", "compare", current,
+                     "--baseline", baseline, "--soft"]) == 0
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        import json
+
+        baseline = self._payload(tmp_path, "base.json", 1.0)
+        current = self._payload(tmp_path, "BENCH_now.json", 1.0)
+        assert main(["bench", "compare", current,
+                     "--baseline", baseline, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["counts"]["unchanged"] == 1
+
+    def test_compare_missing_baseline_fails_cleanly(self, tmp_path,
+                                                    capsys):
+        current = self._payload(tmp_path, "BENCH_now.json", 1.0)
+        assert main(["bench", "compare", current, "--baseline",
+                     str(tmp_path / "absent.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_renders_health_document(self, one_section, tmp_path,
+                                            capsys):
+        target = tmp_path / "BENCH_cli.json"
+        assert main(["bench", "run", "--quick", "--label", "cli",
+                     "--out", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "report", "--bench", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark health report" in out
+        assert "bench_figure4_ordpath" in out
+        assert "top hotspots" in out
+
+    def test_report_json_merges_trace(self, one_section, tmp_path,
+                                      capsys):
+        import json
+
+        target = tmp_path / "BENCH_cli.json"
+        trace = tmp_path / "spans.jsonl"
+        assert main(["bench", "run", "--quick",
+                     "--out", str(target)]) == 0
+        assert main(["trace", "--scheme", "qed", "--ops", "20",
+                     "--export", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "report", "--bench", str(target),
+                     "--trace", str(trace), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["bench"]["schema_version"] == 1
+        assert any(row["name"] == "document.insert"
+                   for row in document["trace_hotspots"])
+
+
+class TestReportKindValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["report", "bogus"])
