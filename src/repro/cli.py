@@ -17,6 +17,7 @@
     python -m repro bench run --quick               # BENCH_<sha>.json
     python -m repro bench compare                   # diff vs baseline
     python -m repro bench report                    # consolidated health
+    python -m repro lint [--json]                   # static checks (CI gate)
 
 Every command prints plain text and exits non-zero on failure, so the
 tool scripts cleanly.
@@ -188,9 +189,9 @@ def _workload_document(args: argparse.Namespace):
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Run an update workload and dump the observability registry."""
-    import json
     import random
 
+    from repro.observability.jsonio import emit_json
     from repro.observability.metrics import get_registry, render_metrics
     from repro.schemes.registry import make_scheme
     from repro.updates.document import LabeledDocument
@@ -224,7 +225,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             name: value for name, value in registry.snapshot().items()
             if name.startswith(args.prefix)
         }
-        print(json.dumps(values, indent=2, sort_keys=True))
+        emit_json(values)
         return 0
     print(summary)
     print()
@@ -396,9 +397,8 @@ def _bench_run(args: argparse.Namespace) -> int:
 
 
 def _bench_compare(args: argparse.Namespace) -> int:
-    import json
-
     from repro.observability.benchtel import find_latest_run, load_run
+    from repro.observability.jsonio import emit_json
     from repro.observability.regression import (
         Thresholds,
         compare_runs,
@@ -414,7 +414,7 @@ def _bench_compare(args: argparse.Namespace) -> int:
                             noise_floor_s=args.noise_floor)
     report = compare_runs(current, baseline, thresholds)
     if args.json:
-        print(json.dumps(report.to_payload(), indent=2))
+        emit_json(report.to_payload())
     else:
         print(f"current:  {current_path}")
         print(render_comparison(report))
@@ -423,9 +423,8 @@ def _bench_compare(args: argparse.Namespace) -> int:
 
 def _bench_report(args: argparse.Namespace) -> int:
     """One consolidated health document: bench + metrics + trace."""
-    import json
-
     from repro.observability.benchtel import find_latest_run, load_run
+    from repro.observability.jsonio import emit_json
 
     bench_path = args.bench or find_latest_run()
     payload = load_run(bench_path)
@@ -443,7 +442,7 @@ def _bench_report(args: argparse.Namespace) -> int:
             "bench": payload,
             "trace_hotspots": [dict(row) for row in trace_rows],
         }
-        print(json.dumps(document, indent=2))
+        emit_json(document)
         return 1 if payload["totals"]["failed"] else 0
 
     totals = payload["totals"]
@@ -515,6 +514,48 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
         return 0
     print("no Figure 7 scheme satisfies that combination")
     return 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static property verification + repo lint (the CI gate)."""
+    from pathlib import Path
+
+    from repro.observability.jsonio import emit_json
+    from repro.staticcheck.lint import LintConfig, run_lint, select_rules
+
+    if args.list_rules:
+        for rule in select_rules(None, ()):
+            print(f"{rule.id}  {rule.severity:7s}  {rule.name}: "
+                  f"{rule.description}")
+        print("REP100  error    consistency-drift: static verdicts vs "
+              "dynamic counters vs Figure 7")
+        return 0
+
+    baseline_path = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    elif args.update_baseline:
+        from repro.staticcheck.baseline import DEFAULT_BASELINE
+        baseline_path = Path(DEFAULT_BASELINE)
+    else:
+        from repro.staticcheck.baseline import DEFAULT_BASELINE
+        default = Path(DEFAULT_BASELINE)
+        if default.exists():
+            baseline_path = default
+
+    config = LintConfig(
+        select=args.select.split(",") if args.select else None,
+        ignore=args.ignore.split(",") if args.ignore else (),
+        baseline_path=baseline_path,
+        update_baseline=args.update_baseline,
+        fast=args.fast,
+    )
+    result = run_lint(config)
+    if args.json:
+        emit_json(result.to_payload())
+    else:
+        print(result.render())
+    return result.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -672,6 +713,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench_report.add_argument("--json", action="store_true",
                               help="emit the health document as JSON")
 
+    lint = commands.add_parser(
+        "lint",
+        help="static property verifier + repo lint (CI gate)",
+    )
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings and scheme verdicts as JSON")
+    lint.add_argument("--fast", action="store_true",
+                      help="skip the dynamic probe/matrix cross-check")
+    lint.add_argument("--select", metavar="RULES", default=None,
+                      help="comma-separated rule ids to run "
+                           "(default: all, plus REP100 drift checks)")
+    lint.add_argument("--ignore", metavar="RULES", default="",
+                      help="comma-separated rule ids to skip")
+    lint.add_argument("--baseline", metavar="FILE", default=None,
+                      help="JSON-lines baseline of grandfathered findings "
+                           "(default: LINT_BASELINE.jsonl when present)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from the current findings")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+
     return parser
 
 
@@ -689,6 +751,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "journal": _cmd_journal,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 

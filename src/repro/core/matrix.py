@@ -176,3 +176,35 @@ class EvaluationMatrix:
         if any(row.extension for row in self.rows) and with_extensions:
             rendered.append("* extension scheme (no Figure 7 row in the paper)")
         return "\n".join(rendered)
+
+
+def division_recursion_grades(
+    names: Optional[List[str]] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """The Division/Recursion slice of the matrix, cheaply.
+
+    Runs only the two arithmetic probes — the full framework's other six
+    are irrelevant to the static property verifier, which cross-checks
+    its AST verdicts against this slice on every ``repro lint`` run.
+    Returns, per scheme: the measured counters, the probe grades, and
+    the published Figure 7 grades (``None`` for extension schemes the
+    paper does not list).
+    """
+    selected = list(names) if names is not None else list(available_schemes())
+    division_column = 2 + PROPERTY_ORDER.index(Property.DIVISION_FREEDOM)
+    recursion_column = 2 + PROPERTY_ORDER.index(Property.RECURSION_FREEDOM)
+    grades: Dict[str, Dict[str, Any]] = {}
+    for name in selected:
+        factory = functools.partial(make_scheme, name)
+        division = probe_division(factory)
+        recursion = probe_recursion(factory)
+        paper = PAPER_FIGURE_7.get(name)
+        grades[name] = {
+            "division": division.compliance,
+            "recursion": recursion.compliance,
+            "divisions": division.evidence["divisions"],
+            "recursive_calls": recursion.evidence["recursive_calls"],
+            "paper_division": paper[division_column] if paper else None,
+            "paper_recursion": paper[recursion_column] if paper else None,
+        }
+    return grades

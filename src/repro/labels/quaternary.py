@@ -18,8 +18,9 @@ Invariants maintained here (and asserted by the property tests):
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List
+from typing import List, Optional
 
+from repro.analysis.instrumentation import Instrumentation
 from repro.errors import InvalidLabelError
 from repro.labels.ordered_strings import (
     evenly_spaced_codes,
@@ -48,7 +49,9 @@ def code_to_fraction(code: str) -> Fraction:
     weight = Fraction(1, 4)
     for digit in code:
         value += int(digit) * weight
-        weight /= 4
+        # Exact rational arithmetic for order verification — not label
+        # assignment, and no floating point involved.
+        weight /= 4  # repro: noqa[REP001]
     return value
 
 
@@ -124,18 +127,31 @@ def compact_code_between(left: str, right: str) -> str:
     )
 
 
-def initial_codes(count: int) -> List[str]:
+def initial_codes(count: int,
+                  instruments: Optional[Instrumentation] = None) -> List[str]:
     """QED bulk assignment: codes for ``count`` ordered siblings.
 
     The published algorithm recursively computes the ``(1/3)``-th and
     ``(2/3)``-th codes between the current bounds
     (``GetOneThirdAndTwoThirdCode``).  This reference implementation
     produces the code sequence; the scheme class performs the recursion
-    itself so the instrumentation can observe it.
+    itself so the instrumentation can observe it.  Callers on a counted
+    path (the QED key strategy) pass ``instruments`` so the divisions
+    show up in the Figure 7 counters.
     """
     codes: List[str] = [""] * count
     if count == 0:
         return codes
+
+    def third_points(low_index: int, size: int) -> tuple:
+        if instruments is not None:
+            one = low_index + instruments.divide(1 + size, 3)
+            two = low_index + instruments.divide(2 * (1 + size), 3)
+            return one, two
+        # Uncounted fallback for strategy-less callers (tests, tools).
+        one = low_index + (1 + size) // 3  # repro: noqa[REP001]
+        two = low_index + (2 * (1 + size)) // 3  # repro: noqa[REP001]
+        return one, two
 
     def fill(low_index: int, high_index: int, low_code: str, high_code: str) -> None:
         # Assign codes for the open index range (low_index, high_index).
@@ -145,9 +161,8 @@ def initial_codes(count: int) -> List[str]:
         if size == 1:
             codes[low_index + 1] = between_or_end(low_code, high_code)
             return
-        one_third = low_index + (1 + size) // 3
+        one_third, two_third = third_points(low_index, size)
         one_third = max(low_index + 1, min(high_index - 2, one_third))
-        two_third = low_index + (2 * (1 + size)) // 3
         two_third = max(one_third + 1, min(high_index - 1, two_third))
         first_code = between_or_end(low_code, high_code)
         second_code = between_or_end(first_code, high_code)

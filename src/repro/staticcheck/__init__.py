@@ -1,0 +1,67 @@
+"""Static analysis for the repro codebase: Figure 7 from the AST.
+
+Three cooperating layers (see ``docs/API.md`` for the full catalogue):
+
+* :mod:`~repro.staticcheck.verifier` — proves each registered scheme's
+  Division/Recursion grades from its source, via a call graph over the
+  scheme modules and their label/strategy helpers;
+* :mod:`~repro.staticcheck.consistency` — diffs those static verdicts
+  against the dynamic instrumentation counters and the published
+  Figure 7 matrix, both directions;
+* :mod:`~repro.staticcheck.lint` — the pluggable rule framework behind
+  ``python -m repro lint``, with ``# repro: noqa[RULE]`` suppressions
+  and a JSON-lines baseline.
+"""
+
+from repro.staticcheck.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    write_baseline,
+)
+from repro.staticcheck.callgraph import CallGraph
+from repro.staticcheck.consistency import (
+    ConsistencyReport,
+    Drift,
+    check_consistency,
+)
+from repro.staticcheck.lint import (
+    DRIFT_RULE_ID,
+    LintConfig,
+    LintResult,
+    run_lint,
+    select_rules,
+)
+from repro.staticcheck.project import Project
+from repro.staticcheck.reporting import Finding, render_findings
+from repro.staticcheck.rules import ALL_RULES, Rule, RuleContext
+from repro.staticcheck.verifier import (
+    SchemeVerdict,
+    scheme_classes,
+    verify_all,
+    verify_scheme,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "CallGraph",
+    "ConsistencyReport",
+    "DEFAULT_BASELINE",
+    "DRIFT_RULE_ID",
+    "Drift",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Project",
+    "Rule",
+    "RuleContext",
+    "SchemeVerdict",
+    "check_consistency",
+    "load_baseline",
+    "render_findings",
+    "run_lint",
+    "scheme_classes",
+    "select_rules",
+    "verify_all",
+    "verify_scheme",
+    "write_baseline",
+]

@@ -1,0 +1,59 @@
+"""JSON-lines baseline for grandfathered findings.
+
+A baseline entry records a finding's fingerprint (rule + file + flagged
+line *text*), so findings survive unrelated line-number churn but
+resurface the moment the offending code itself changes.  The file is one
+JSON object per line — diff-friendly, mergeable, and append-only in
+spirit: entries should only be added with a justification and removed
+when the underlying finding is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.staticcheck.reporting import Finding
+
+#: Default baseline location, repo-root-relative.
+DEFAULT_BASELINE = "LINT_BASELINE.jsonl"
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    """Fingerprint -> entry map; empty when the file does not exist."""
+    entries: Dict[str, dict] = {}
+    if not path.exists():
+        return entries
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        entries[entry["fingerprint"]] = entry
+    return entries
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> int:
+    """Write every finding as a baseline entry; returns the count."""
+    lines = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        lines.append(json.dumps({
+            "fingerprint": finding.fingerprint(),
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "snippet": finding.snippet.strip(),
+            "message": finding.message,
+        }, sort_keys=True))
+    path.write_text("\n".join(lines) + ("\n" if lines else ""),
+                    encoding="utf-8")
+    return len(lines)
+
+
+def apply_baseline(findings: List[Finding],
+                   baseline: Dict[str, dict]) -> None:
+    """Mark findings whose fingerprint is baselined (in place)."""
+    for finding in findings:
+        if finding.fingerprint() in baseline:
+            finding.baselined = True

@@ -1,0 +1,181 @@
+"""Static-vs-dynamic-vs-paper agreement for Division and Recursion.
+
+The static verifier and the runtime probes establish the same two
+Figure 7 columns by independent means; this module diffs them — in both
+directions — and folds in the published grades.  Any disagreement is a
+*drift*: either a division operator escaped the instrumentation (the
+counters under-report, the static pass sees it), or instrumentation
+claims work that is not in the code (an ``instruments.divide`` call the
+static pass cannot find a reachable path to, a manually bumped counter,
+a ``recursive_call`` marker in a function that is not part of any
+cycle).
+
+Structural drifts need no runtime at all and are always checked; the
+counter/paper comparison runs the two probes per scheme (cheap — two
+80-node documents each) and is what ``repro lint`` gates on by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.staticcheck.project import Project
+from repro.staticcheck.verifier import SchemeVerdict, verify_all
+
+
+@dataclass
+class Drift:
+    """One disagreement between the static, dynamic or published view."""
+
+    scheme: str
+    kind: str
+    message: str
+    path: Optional[str] = None
+    line: Optional[int] = None
+
+    def to_payload(self) -> dict:
+        return {
+            "scheme": self.scheme, "kind": self.kind,
+            "message": self.message, "path": self.path, "line": self.line,
+        }
+
+
+@dataclass
+class ConsistencyReport:
+    """Every drift found, plus the verdicts it was computed from."""
+
+    verdicts: Dict[str, SchemeVerdict]
+    drifts: List[Drift] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.drifts
+
+    def to_payload(self) -> dict:
+        return {
+            "consistent": self.consistent,
+            "drifts": [drift.to_payload() for drift in self.drifts],
+            "schemes": {
+                name: verdict.to_payload()
+                for name, verdict in sorted(self.verdicts.items())
+            },
+        }
+
+
+def structural_drifts(verdicts: Dict[str, SchemeVerdict]) -> List[Drift]:
+    """Drifts visible in the AST alone.
+
+    * an uninstrumented, unsuppressed division on a reachable path —
+      the counters cannot see it, so the dynamic grade silently lies;
+    * a direct write to an instrumentation counter — the number no
+      longer measures anything;
+    * a ``recursive_call`` marker in a function with no reachable cycle
+      through it — instrumentation claiming recursion the code lacks.
+    """
+    drifts: List[Drift] = []
+    for name, verdict in sorted(verdicts.items()):
+        for site in verdict.division_sites:
+            if site.instrumented or site.suppressed or site.excluded:
+                continue
+            drifts.append(Drift(
+                scheme=name, kind="uninstrumented-division",
+                message=(
+                    f"{site.path}:{site.line}: `{site.op}` reachable from "
+                    f"{name}'s labelling entry points is not routed through "
+                    f"instruments.divide, so the dynamic Division counter "
+                    f"under-reports"
+                ),
+                path=site.path, line=site.line,
+            ))
+        for path, line, attribute in verdict.counter_writes:
+            drifts.append(Drift(
+                scheme=name, kind="counter-tampering",
+                message=(
+                    f"{path}:{line}: direct write to instruments."
+                    f"{attribute}; counters must only move through the "
+                    f"Instrumentation methods"
+                ),
+                path=path, line=line,
+            ))
+        cycle_functions = set()
+        for cycle in verdict.recursion_cycles:
+            cycle_functions.update(cycle.functions)
+        if verdict.recursion_markers and not verdict.recursion_cycles:
+            for path, line in verdict.recursion_markers:
+                drifts.append(Drift(
+                    scheme=name, kind="phantom-recursion-marker",
+                    message=(
+                        f"{path}:{line}: instruments.recursive_call marks "
+                        f"recursion, but no call-graph cycle is reachable "
+                        f"from {name}.label_tree"
+                    ),
+                    path=path, line=line,
+                ))
+    return drifts
+
+
+def dynamic_drifts(verdicts: Dict[str, SchemeVerdict]) -> List[Drift]:
+    """Drifts between the static verdicts, the probes and Figure 7.
+
+    Imports the runtime lazily: this is the only part of the static
+    checker that executes the checked code.
+    """
+    from repro.core.matrix import division_recursion_grades
+    from repro.core.properties import Compliance
+
+    grades = division_recursion_grades(sorted(verdicts))
+    drifts: List[Drift] = []
+    for name, verdict in sorted(verdicts.items()):
+        row = grades[name]
+        dynamic_division = row["division"] is not Compliance.FULL
+        dynamic_recursion = row["recursion"] is not Compliance.FULL
+        if verdict.uses_division != dynamic_division:
+            drifts.append(Drift(
+                scheme=name, kind="division-verdict-drift",
+                message=(
+                    f"static says uses_division={verdict.uses_division} but "
+                    f"the instrumentation counted {row['divisions']} "
+                    f"divisions under the standard insert workload"
+                ),
+            ))
+        if verdict.uses_recursion != dynamic_recursion:
+            drifts.append(Drift(
+                scheme=name, kind="recursion-verdict-drift",
+                message=(
+                    f"static says uses_recursion={verdict.uses_recursion} "
+                    f"but the instrumentation counted "
+                    f"{row['recursive_calls']} recursive calls during bulk "
+                    f"labelling"
+                ),
+            ))
+        for column, static_value in (
+            ("paper_division", verdict.uses_division),
+            ("paper_recursion", verdict.uses_recursion),
+        ):
+            published = row[column]
+            if published is None:
+                continue  # extension scheme; no Figure 7 row
+            paper_uses = published != Compliance.FULL.value
+            if static_value != paper_uses:
+                drifts.append(Drift(
+                    scheme=name, kind="paper-grade-drift",
+                    message=(
+                        f"static verdict disagrees with the published "
+                        f"Figure 7 grade {published!r} for "
+                        f"{column.replace('paper_', '')}"
+                    ),
+                ))
+    return drifts
+
+
+def check_consistency(project: Optional[Project] = None,
+                      verdicts: Optional[Dict[str, SchemeVerdict]] = None,
+                      include_dynamic: bool = True) -> ConsistencyReport:
+    """Run the full agreement check; see the module docstring."""
+    if verdicts is None:
+        verdicts = verify_all(project)
+    drifts = structural_drifts(verdicts)
+    if include_dynamic:
+        drifts.extend(dynamic_drifts(verdicts))
+    return ConsistencyReport(verdicts=verdicts, drifts=drifts)

@@ -1,0 +1,188 @@
+"""The lint runner behind ``python -m repro lint``.
+
+One pass does three things, in order:
+
+1. runs every selected :mod:`~repro.staticcheck.rules` rule over the
+   parsed project, dropping ``# repro: noqa`` suppressions and marking
+   baselined findings;
+2. computes the static Figure 7 verdicts and their structural drifts
+   (always — this needs no runtime);
+3. unless ``fast`` is set, cross-checks the verdicts against the
+   dynamic probes and the published matrix
+   (:mod:`~repro.staticcheck.consistency`).
+
+Exit codes are CI semantics: 0 clean (warnings allowed), 1 when any
+non-baselined error-severity finding or any drift exists.  Drifts are
+reported as findings under the reserved id ``REP100`` so one output
+stream carries everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.staticcheck import baseline as baseline_store
+from repro.staticcheck.consistency import check_consistency
+from repro.staticcheck.project import Project
+from repro.staticcheck.reporting import Finding, render_findings
+from repro.staticcheck.rules import ALL_RULES, Rule, RuleContext
+
+#: Reserved id for consistency drifts surfaced as findings.
+DRIFT_RULE_ID = "REP100"
+
+
+@dataclass
+class LintConfig:
+    """Everything ``repro lint`` can be asked to do."""
+
+    root: Optional[Path] = None
+    select: Optional[Sequence[str]] = None
+    ignore: Sequence[str] = ()
+    baseline_path: Optional[Path] = None
+    update_baseline: bool = False
+    #: skip the dynamic probe/matrix cross-check (rules + structure only).
+    fast: bool = False
+
+
+@dataclass
+class LintResult:
+    """What one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    verdicts: Dict[str, object] = field(default_factory=dict)
+    baseline_written: Optional[int] = None
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that count: not baselined."""
+        return [finding for finding in self.findings
+                if not finding.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if any(finding.severity == "error"
+                        for finding in self.active) else 0
+
+    def to_payload(self) -> dict:
+        errors = sum(1 for f in self.active if f.severity == "error")
+        warnings = sum(1 for f in self.active if f.severity == "warning")
+        return {
+            "findings": [finding.to_payload()
+                         for finding in sorted(self.findings,
+                                               key=Finding.sort_key)],
+            "summary": {
+                "errors": errors,
+                "warnings": warnings,
+                "baselined": len(self.findings) - len(self.active),
+                "suppressed": self.suppressed,
+                "exit_code": self.exit_code,
+            },
+            "schemes": {
+                name: verdict.to_payload()
+                for name, verdict in sorted(self.verdicts.items())
+            },
+        }
+
+    def render(self) -> str:
+        lines = []
+        if self.active:
+            lines.append(render_findings(self.active))
+        errors = sum(1 for f in self.active if f.severity == "error")
+        warnings = sum(1 for f in self.active if f.severity == "warning")
+        baselined = len(self.findings) - len(self.active)
+        summary = (f"{errors} error(s), {warnings} warning(s), "
+                   f"{baselined} baselined, {self.suppressed} suppressed")
+        if self.baseline_written is not None:
+            summary += f"; baseline updated ({self.baseline_written} entries)"
+        lines.append(summary)
+        division = sorted(name for name, verdict in self.verdicts.items()
+                          if getattr(verdict, "uses_division", False))
+        recursion = sorted(name for name, verdict in self.verdicts.items()
+                           if getattr(verdict, "uses_recursion", False))
+        if self.verdicts:
+            lines.append(
+                f"static verdicts over {len(self.verdicts)} schemes — "
+                f"division: {', '.join(division) or 'none'}; "
+                f"recursion: {', '.join(recursion) or 'none'}"
+            )
+        return "\n".join(lines)
+
+
+def select_rules(select: Optional[Sequence[str]],
+                 ignore: Sequence[str]) -> List[Rule]:
+    """The rule set after ``--select`` / ``--ignore`` filtering."""
+    wanted = None if select is None else {
+        rule_id.upper() for rule_id in select
+    }
+    dropped = {rule_id.upper() for rule_id in ignore}
+    rules = []
+    for rule in ALL_RULES:
+        if wanted is not None and rule.id not in wanted:
+            continue
+        if rule.id in dropped:
+            continue
+        rules.append(rule)
+    return rules
+
+
+def run_lint(config: Optional[LintConfig] = None) -> LintResult:
+    """Execute one full lint pass; see the module docstring."""
+    if config is None:
+        config = LintConfig()
+    project = Project.load(config.root)
+    ctx = RuleContext(project=project)
+    result = LintResult()
+
+    for rule in select_rules(config.select, config.ignore):
+        for finding in rule.check(ctx):
+            module = project.modules.get(
+                _module_name_for(project, finding.path)
+            )
+            if module is not None and module.is_suppressed(
+                finding.line, finding.rule
+            ):
+                result.suppressed += 1
+                continue
+            result.findings.append(finding)
+
+    # The property verifier and its drifts ride every lint run: the
+    # whole point is that an uninstrumented `//` fails CI, not just a
+    # style nit.
+    check_drifts = config.select is None or DRIFT_RULE_ID in {
+        rule_id.upper() for rule_id in config.select
+    }
+    if check_drifts and DRIFT_RULE_ID not in {
+        rule_id.upper() for rule_id in config.ignore
+    }:
+        report = check_consistency(project=project,
+                                   include_dynamic=not config.fast)
+        result.verdicts = report.verdicts
+        for drift in report.drifts:
+            result.findings.append(Finding(
+                rule=DRIFT_RULE_ID, severity="error",
+                path=drift.path or "src/repro/schemes/registry.py",
+                line=drift.line or 1, col=0,
+                message=f"[{drift.kind}] {drift.scheme}: {drift.message}",
+                snippet=f"{drift.kind}:{drift.scheme}",
+            ))
+
+    if config.baseline_path is not None:
+        if config.update_baseline:
+            result.baseline_written = baseline_store.write_baseline(
+                config.baseline_path, result.findings
+            )
+        entries = baseline_store.load_baseline(config.baseline_path)
+        baseline_store.apply_baseline(result.findings, entries)
+    return result
+
+
+def _module_name_for(project: Project, path: str) -> str:
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)

@@ -1,0 +1,326 @@
+"""The static checker's view of a source tree: parsed, indexed modules.
+
+Everything in :mod:`repro.staticcheck` works from this model and nothing
+else — no imports of the checked code, no runtime reflection.  A
+:class:`Project` is a directory of Python sources parsed into
+:class:`ModuleInfo` records; each module indexes its import bindings, its
+classes (with their methods) and every function — including functions
+nested inside other functions, which the labelling schemes use heavily
+for their bulk-assignment helpers.
+
+The model also carries the suppression map: a ``# repro: noqa[RULE]``
+comment on a physical line exempts that line from the named rules (or
+from every rule when the bracket list is omitted).  Suppressions are
+parsed here, once, so the verifier and every lint rule agree on them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.errors import FrameworkError
+
+#: ``# repro: noqa`` with an optional ``[REP001,REP002]`` rule list.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+@dataclass
+class ImportBinding:
+    """One local name introduced by an import statement.
+
+    ``attr`` is ``None`` when the binding *is* a module (``from repro.labels
+    import quaternary``); otherwise the binding is attribute ``attr`` of
+    module ``module`` (``from repro.schemes.base import LabelingScheme``).
+    """
+
+    name: str
+    module: str
+    attr: Optional[str] = None
+    line: int = 0
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition, nested definitions included."""
+
+    module: "ModuleInfo"
+    qualname: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional[str] = None          # defining class name, for methods
+    parent: Optional["FunctionInfo"] = None   # enclosing function
+    children: Dict[str, "FunctionInfo"] = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        """Stable identity of this definition across the project."""
+        return (self.module.name, self.qualname)
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionInfo {self.module.name}:{self.qualname}>"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its directly defined methods."""
+
+    module: "ModuleInfo"
+    name: str
+    node: ast.ClassDef
+    bases: List[ast.expr] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        return (self.module.name, self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClassInfo {self.module.name}:{self.name}>"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: AST plus the indexes the analyses need."""
+
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    imports: Dict[str, ImportBinding] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: line number -> ``None`` (suppress everything) or a set of rule ids.
+    noqa: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+    #: names bound at module top level (defs, classes, assignments, imports).
+    top_level_names: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` is noqa'd on physical ``line``."""
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return rules is None or rule_id.upper() in rules
+
+    def line_text(self, line: int) -> str:
+        """Source text of physical ``line`` (1-based), or ``""``."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ModuleInfo {self.name}>"
+
+
+class _Indexer(ast.NodeVisitor):
+    """Builds the function/class/import indexes of one module."""
+
+    def __init__(self, module: ModuleInfo):
+        self.module = module
+        self._class_stack: List[ClassInfo] = []
+        self._func_stack: List[FunctionInfo] = []
+
+    # -- imports ----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            # ``import a.b.c`` binds ``a``; with an asname it binds the
+            # full dotted module under that name.
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.module.imports[local] = ImportBinding(
+                name=local, module=target, attr=None, line=node.lineno
+            )
+            if not self._class_stack and not self._func_stack:
+                self.module.top_level_names.add(local)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = node.module or ""
+        if node.level:
+            # Relative import: resolve against this module's package.
+            package_parts = self.module.name.split(".")[: -node.level]
+            base = ".".join(package_parts + ([node.module] if node.module else []))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.module.imports[local] = ImportBinding(
+                name=local, module=base, attr=alias.name, line=node.lineno
+            )
+            if not self._class_stack and not self._func_stack:
+                self.module.top_level_names.add(local)
+
+    # -- definitions ------------------------------------------------------
+
+    def _qualname(self, name: str) -> str:
+        parts: List[str] = []
+        if self._func_stack:
+            parts.append(self._func_stack[-1].qualname + ".<locals>")
+        elif self._class_stack:
+            parts.append(self._class_stack[-1].name)
+        parts.append(name)
+        return ".".join(parts)
+
+    def _visit_function(self, node) -> None:
+        info = FunctionInfo(
+            module=self.module,
+            qualname=self._qualname(node.name),
+            name=node.name,
+            node=node,
+            cls=(self._class_stack[-1].name
+                 if self._class_stack and not self._func_stack else None),
+            parent=self._func_stack[-1] if self._func_stack else None,
+        )
+        self.module.functions[info.qualname] = info
+        if info.parent is not None:
+            info.parent.children[info.name] = info
+        elif self._class_stack:
+            self._class_stack[-1].methods[info.name] = info
+        else:
+            self.module.top_level_names.add(node.name)
+        self._func_stack.append(info)
+        for child in node.body:
+            self.visit(child)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._func_stack:
+            # Classes defined inside functions are rare and out of scope
+            # for the call graph; index their functions as nested defs.
+            for child in node.body:
+                self.visit(child)
+            return
+        info = ClassInfo(
+            module=self.module, name=node.name, node=node,
+            bases=list(node.bases),
+        )
+        self.module.classes[node.name] = info
+        self.module.top_level_names.add(node.name)
+        self._class_stack.append(info)
+        for child in node.body:
+            self.visit(child)
+        self._class_stack.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._class_stack and not self._func_stack:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.module.top_level_names.add(target.id)
+                elif isinstance(target, ast.Tuple):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            self.module.top_level_names.add(element.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if not self._class_stack and not self._func_stack:
+            if isinstance(node.target, ast.Name):
+                self.module.top_level_names.add(node.target.id)
+
+
+def _parse_noqa(lines: List[str]) -> Dict[int, Optional[Set[str]]]:
+    noqa: Dict[int, Optional[Set[str]]] = {}
+    for number, text in enumerate(lines, start=1):
+        if "noqa" not in text:
+            continue
+        match = _NOQA_RE.search(text)
+        if not match:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            noqa[number] = None
+        else:
+            noqa[number] = {
+                rule.strip().upper() for rule in rules.split(",") if rule.strip()
+            }
+    return noqa
+
+
+def parse_module(name: str, path: Path) -> ModuleInfo:
+    """Parse and index one source file as module ``name``."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    module = ModuleInfo(
+        name=name, path=path, source=source, tree=tree,
+        lines=source.splitlines(),
+    )
+    module.noqa = _parse_noqa(module.lines)
+    _Indexer(module).visit(tree)
+    return module
+
+
+class Project:
+    """Every module under one source root, parsed and indexed.
+
+    ``root`` is the directory *containing* the top-level package(s) —
+    for this repository, ``src/``.  Module names are dotted paths
+    relative to the root (``repro.schemes.prefix.qed``); a package's
+    ``__init__.py`` gets the package's own dotted name.
+    """
+
+    def __init__(self, root: Path, modules: Dict[str, ModuleInfo]):
+        self.root = root
+        self.modules = modules
+
+    @classmethod
+    def load(cls, root: Optional[Path] = None) -> "Project":
+        """Parse every ``*.py`` under ``root`` (default: this repo's src)."""
+        if root is None:
+            root = Path(__file__).resolve().parents[2]
+        root = Path(root)
+        if not root.is_dir():
+            raise FrameworkError(f"project root {root} is not a directory")
+        modules: Dict[str, ModuleInfo] = {}
+        for path in sorted(root.rglob("*.py")):
+            relative = path.relative_to(root)
+            parts = list(relative.parts)
+            parts[-1] = parts[-1][: -len(".py")]
+            if parts[-1] == "__init__":
+                parts.pop()
+            if not parts:
+                continue
+            name = ".".join(parts)
+            modules[name] = parse_module(name, path)
+        return cls(root=root, modules=modules)
+
+    def module(self, name: str) -> Optional[ModuleInfo]:
+        """The module called ``name``, or ``None``."""
+        return self.modules.get(name)
+
+    def relative_path(self, module: ModuleInfo) -> str:
+        """Module path relative to the project root, for reports."""
+        try:
+            return str(module.path.relative_to(self.root))
+        except ValueError:  # fixture modules outside the root
+            return str(module.path)
+
+    def find_class(self, module: ModuleInfo, name: str) -> Optional[ClassInfo]:
+        """Resolve class ``name`` as seen from ``module``.
+
+        Looks at the module's own classes first, then follows one import
+        binding (``from repro.schemes.base import LabelingScheme``), then
+        follows re-exports through package ``__init__`` modules.
+        """
+        return self._find_class(module, name, depth=0)
+
+    def _find_class(self, module: ModuleInfo, name: str,
+                    depth: int) -> Optional[ClassInfo]:
+        if depth > 4:  # re-export chains are short; cut cycles
+            return None
+        if name in module.classes:
+            return module.classes[name]
+        binding = module.imports.get(name)
+        if binding is None or binding.attr is None:
+            return None
+        target = self.module(binding.module)
+        if target is None:
+            return None
+        return self._find_class(target, binding.attr, depth + 1)

@@ -1,0 +1,64 @@
+"""Findings and their renderings (text for terminals, JSON for CI)."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+#: Ordered from least to most severe; exit codes key off "error".
+SEVERITIES = ("warning", "error")
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: source text of the flagged line, for baselines and review.
+    snippet: str = ""
+    baselined: bool = False
+
+    def fingerprint(self) -> str:
+        """Location-independent identity for the baseline file.
+
+        Hashes the rule, the file and the flagged line's *text* (not its
+        number), so a finding stays baselined when unrelated edits shift
+        it a few lines, but resurfaces if the offending code changes.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.rule.encode())
+        digest.update(b"\0")
+        digest.update(self.path.encode())
+        digest.update(b"\0")
+        digest.update(self.snippet.strip().encode())
+        return digest.hexdigest()[:16]
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule, "severity": self.severity,
+            "path": self.path, "line": self.line, "col": self.col,
+            "message": self.message, "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.severity}: {self.message}")
+
+
+def render_findings(findings: List[Finding]) -> str:
+    """One line per finding, sorted by location."""
+    return "\n".join(
+        finding.render() for finding in sorted(findings,
+                                               key=Finding.sort_key)
+    )

@@ -19,6 +19,7 @@ from __future__ import annotations
 import abc
 from typing import Any, Dict, List, Type
 
+from repro.analysis.instrumentation import Instrumentation
 from repro.errors import FrameworkError
 
 
@@ -28,6 +29,12 @@ class OrderedKeyStrategy(abc.ABC):
     #: Registry key; also the value schemes put in
     #: ``SchemeMetadata.orthogonal_strategy``.
     name: str = ""
+
+    def __init__(self):
+        # Strategies count their label arithmetic exactly like schemes do;
+        # the skeleton schemes alias this to their own instruments so the
+        # Figure 7 counters see strategy work too.
+        self.instruments = Instrumentation()
 
     @abc.abstractmethod
     def initial(self, count: int) -> List[Any]:

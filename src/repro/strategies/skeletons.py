@@ -38,6 +38,9 @@ class StrategyPrefixScheme(PrefixSchemeBase):
     def __init__(self, strategy: OrderedKeyStrategy):
         super().__init__()
         self.strategy = strategy
+        # One counter set per scheme: the strategy's arithmetic lands in
+        # the same Instrumentation the evaluation probes read.
+        strategy.instruments = self.instruments
         self.metadata = SchemeMetadata(
             name=f"{strategy.name}-prefix",
             display_name=f"{strategy.name.upper()} (prefix skeleton)",
@@ -87,6 +90,9 @@ class StrategyContainmentScheme(LabelingScheme):
     def __init__(self, strategy: OrderedKeyStrategy):
         super().__init__()
         self.strategy = strategy
+        # One counter set per scheme: the strategy's arithmetic lands in
+        # the same Instrumentation the evaluation probes read.
+        strategy.instruments = self.instruments
         self.metadata = SchemeMetadata(
             name=f"{strategy.name}-containment",
             display_name=f"{strategy.name.upper()} (containment skeleton)",

@@ -26,10 +26,11 @@ class QEDKeyStrategy(OrderedKeyStrategy):
     name = "qed"
 
     def __init__(self):
+        super().__init__()
         self.storage = SeparatorStorage(separator_bits=quaternary.SEPARATOR_BITS)
 
     def initial(self, count: int) -> List[str]:
-        return quaternary.initial_codes(count)
+        return quaternary.initial_codes(count, self.instruments)
 
     def before(self, first: str) -> str:
         return quaternary.before_first_code(first)
@@ -54,6 +55,7 @@ class CDQSKeyStrategy(OrderedKeyStrategy):
     name = "cdqs"
 
     def __init__(self):
+        super().__init__()
         self.storage = SeparatorStorage(separator_bits=quaternary.SEPARATOR_BITS)
 
     def initial(self, count: int) -> List[str]:
@@ -86,6 +88,7 @@ class CDBSKeyStrategy(OrderedKeyStrategy):
     name = "cdbs"
 
     def __init__(self, length_field_bits: int = 8):
+        super().__init__()
         self.storage = LengthFieldStorage(
             length_field_bits=length_field_bits, unit_bits=1
         )

@@ -281,15 +281,26 @@ class LabeledDocument:
 
     def _do_insert_subtree(self, parent: XMLNode, index: int,
                            fragment: XMLNode) -> UpdateResult:
-        with get_tracer().span("document.insert_subtree",
-                               scheme=self.scheme.metadata.name) as span:
-            root_copy = self._copy_shallow(fragment)
-            parent.insert_child(index, root_copy)
-            combined = self._label_new_node(root_copy)
-            combined.kind = "insert-subtree"
-            self._insert_children_of(fragment, root_copy, combined)
+        # Same enabled-check split as _label_new_node: the untraced path
+        # must not touch span machinery (grafts label every node through
+        # the hottest call below).
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._do_insert_subtree_core(parent, index, fragment)
+        with tracer.span("document.insert_subtree",
+                         scheme=self.scheme.metadata.name) as span:
+            combined = self._do_insert_subtree_core(parent, index, fragment)
             span.set_attribute("nodes", combined.labels_assigned)
             return combined
+
+    def _do_insert_subtree_core(self, parent: XMLNode, index: int,
+                                fragment: XMLNode) -> UpdateResult:
+        root_copy = self._copy_shallow(fragment)
+        parent.insert_child(index, root_copy)
+        combined = self._label_new_node(root_copy)
+        combined.kind = "insert-subtree"
+        self._insert_children_of(fragment, root_copy, combined)
+        return combined
 
     def _insert_children_of(self, source: XMLNode, target: XMLNode,
                             combined: UpdateResult) -> None:
@@ -321,30 +332,38 @@ class LabeledDocument:
         self._do_delete(node)
 
     def _do_delete(self, node: XMLNode) -> UpdateResult:
-        with get_tracer().span("document.delete",
-                               scheme=self.scheme.metadata.name) as span:
-            parent = self._parent_of(node)
-            removed_ids = [
-                child.node_id for child in node.preorder()
-                if child.kind.is_labeled
-            ]
-            parent.remove_child(node)
-            self.log.record("deletions")
-            relabeled = self.scheme.on_delete(
-                self.document, self.labels, node.node_id
-            )
-            for node_id in removed_ids:
-                label = self.labels.pop(node_id, None)
-                if label is not None and self._label_index.get(label) == node_id:
-                    del self._label_index[label]
-            result = UpdateResult(kind="delete", node=None)
-            if relabeled:
-                self._apply_relabeling(relabeled)
-                result.relabeled_nodes = len(relabeled)
-                result.relabel_events = 1
-            span.set_attribute("nodes_removed", len(removed_ids))
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._do_delete_core(node)
+        with tracer.span("document.delete",
+                         scheme=self.scheme.metadata.name) as span:
+            result = self._do_delete_core(node)
+            span.set_attribute("nodes_removed", result.nodes_detached)
             span.set_attribute("relabeled_nodes", result.relabeled_nodes)
             return result
+
+    def _do_delete_core(self, node: XMLNode) -> UpdateResult:
+        parent = self._parent_of(node)
+        removed_ids = [
+            child.node_id for child in node.preorder()
+            if child.kind.is_labeled
+        ]
+        parent.remove_child(node)
+        self.log.record("deletions")
+        relabeled = self.scheme.on_delete(
+            self.document, self.labels, node.node_id
+        )
+        for node_id in removed_ids:
+            label = self.labels.pop(node_id, None)
+            if label is not None and self._label_index.get(label) == node_id:
+                del self._label_index[label]
+        result = UpdateResult(kind="delete", node=None,
+                              nodes_detached=len(removed_ids))
+        if relabeled:
+            self._apply_relabeling(relabeled)
+            result.relabeled_nodes = len(relabeled)
+            result.relabel_events = 1
+        return result
 
     # ------------------------------------------------------------------
     # Structural updates: move
@@ -373,38 +392,47 @@ class LabeledDocument:
             raise UpdateError("the root element cannot be moved")
         if node is new_parent or node.is_ancestor_of(new_parent):
             raise UpdateError("cannot move a node under itself")
-        with get_tracer().span("document.move",
-                               scheme=self.scheme.metadata.name) as span:
-            old_parent = node.parent
-            moved_ids = [
-                child.node_id for child in node.preorder()
-                if child.kind.is_labeled
-            ]
-            old_parent.remove_child(node)
-            relabeled = self.scheme.on_delete(
-                self.document, self.labels, node.node_id
-            )
-            for node_id in moved_ids:
-                label = self.labels.pop(node_id, None)
-                if label is not None and self._label_index.get(label) == node_id:
-                    del self._label_index[label]
-            combined = UpdateResult(kind="move", node=node)
-            if relabeled:
-                self._apply_relabeling(relabeled)
-                combined.relabeled_nodes += len(relabeled)
-                combined.relabel_events += 1
-            new_parent.insert_child(index, node)
-            for child in node.preorder():
-                if child.kind.is_labeled:
-                    result = self._label_new_node(child)
-                    combined.labels_assigned += result.labels_assigned
-                    combined.relabeled_nodes += result.relabeled_nodes
-                    combined.relabel_events += result.relabel_events
-                    combined.overflow_events += result.overflow_events
-            combined.label = self.labels.get(node.node_id)
-            span.set_attribute("nodes_moved", len(moved_ids))
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._do_move_core(node, new_parent, index)
+        with tracer.span("document.move",
+                         scheme=self.scheme.metadata.name) as span:
+            combined = self._do_move_core(node, new_parent, index)
+            span.set_attribute("nodes_moved", combined.nodes_detached)
             span.set_attribute("relabeled_nodes", combined.relabeled_nodes)
             return combined
+
+    def _do_move_core(self, node: XMLNode, new_parent: XMLNode,
+                      index: int) -> UpdateResult:
+        old_parent = node.parent
+        moved_ids = [
+            child.node_id for child in node.preorder()
+            if child.kind.is_labeled
+        ]
+        old_parent.remove_child(node)
+        relabeled = self.scheme.on_delete(
+            self.document, self.labels, node.node_id
+        )
+        for node_id in moved_ids:
+            label = self.labels.pop(node_id, None)
+            if label is not None and self._label_index.get(label) == node_id:
+                del self._label_index[label]
+        combined = UpdateResult(kind="move", node=node,
+                                nodes_detached=len(moved_ids))
+        if relabeled:
+            self._apply_relabeling(relabeled)
+            combined.relabeled_nodes += len(relabeled)
+            combined.relabel_events += 1
+        new_parent.insert_child(index, node)
+        for child in node.preorder():
+            if child.kind.is_labeled:
+                result = self._label_new_node(child)
+                combined.labels_assigned += result.labels_assigned
+                combined.relabeled_nodes += result.relabeled_nodes
+                combined.relabel_events += result.relabel_events
+                combined.overflow_events += result.overflow_events
+        combined.label = self.labels.get(node.node_id)
+        return combined
 
     # ------------------------------------------------------------------
     # Content updates (labels untouched — section 3.1)

@@ -77,6 +77,9 @@ class UpdateResult:
     relabel_events: int = 0
     overflow_events: int = 0
     deferred: bool = False
+    #: labelled nodes detached by a delete, or detached-and-reattached by
+    #: a move (the subtree size the operation touched).
+    nodes_detached: int = 0
 
 
 class UpdateSurface:

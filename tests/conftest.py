@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import functools
+from pathlib import Path
 
 import pytest
 
@@ -54,6 +55,35 @@ def fig_tree():
 def fig3_tree():
     """The Figure 3 abstract tree."""
     return figure3_tree()
+
+
+# -- static-checker fixture projects (tests/staticcheck/fixtures/) --------
+
+_STATICCHECK_FIXTURES = Path(__file__).parent / "staticcheck" / "fixtures"
+
+
+@pytest.fixture(scope="session")
+def ruleproj():
+    """The per-rule lint fixture tree, parsed once per session."""
+    from repro.staticcheck.project import Project
+
+    return Project.load(_STATICCHECK_FIXTURES / "ruleproj")
+
+
+@pytest.fixture(scope="session")
+def rule_ctx(ruleproj):
+    """A shared RuleContext over the lint fixture tree."""
+    from repro.staticcheck.rules import RuleContext
+
+    return RuleContext(project=ruleproj)
+
+
+@pytest.fixture(scope="session")
+def schemeproj():
+    """The miniature scheme-registry fixture tree for the verifier."""
+    from repro.staticcheck.project import Project
+
+    return Project.load(_STATICCHECK_FIXTURES / "schemeproj")
 
 
 def labeled(document, scheme_name, **kwargs):

@@ -1,0 +1,13 @@
+"""REP002 fixture: exact float comparisons in label-codec code."""
+
+
+def literal_equality(value):
+    return value == 0.5
+
+
+def cast_inequality(a, b):
+    return float(a) != b
+
+
+def tolerant(a, b):
+    return abs(a - b) < 1e-9

@@ -1,0 +1,20 @@
+"""REP001 fixture: raw division-family arithmetic in a scheme module."""
+
+
+def uninstrumented(total, parts):
+    share = total // parts
+    rest = total % parts
+    ratio = total / parts
+    quotient, remainder = divmod(total, parts)
+    return share, rest, ratio, quotient, remainder
+
+
+def excluded_forms(n, name):
+    if n % 2:
+        n += 1
+    text = "node %s" % name
+    return n, text
+
+
+def suppressed(total):
+    return total // 3  # repro: noqa[REP001]

@@ -1,0 +1,9 @@
+"""REP001 fixture: arithmetic routed through the instrumentation layer."""
+
+
+def instrumented_share(instruments, total, parts):
+    return instruments.divide(total, parts)
+
+
+def plain_sums(values):
+    return sum(values) + len(values)

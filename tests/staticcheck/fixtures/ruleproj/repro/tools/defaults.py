@@ -1,0 +1,14 @@
+"""REP008 fixture: mutable default arguments."""
+
+
+def collect(items=[]):
+    return items
+
+
+def index(mapping={},
+          *, seen=set()):
+    return mapping, seen
+
+
+def safe(items=None):
+    return list(items or ())

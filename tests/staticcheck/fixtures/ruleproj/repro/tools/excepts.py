@@ -1,0 +1,37 @@
+"""REP003 fixture: broad exception handling, good and bad."""
+
+
+def swallow_everything(action):
+    try:
+        action()
+    except:  # noqa: E722 (the repro linter should flag this itself)
+        pass
+
+
+def swallow_exception(action):
+    try:
+        action()
+    except Exception:
+        pass
+
+
+def isolate(action):
+    try:
+        action()
+    except Exception as error:
+        return error
+
+
+def cleanup_and_reraise(action, log):
+    try:
+        action()
+    except Exception:
+        log.close()
+        raise
+
+
+def narrow(action):
+    try:
+        action()
+    except (ValueError, KeyError):
+        return None

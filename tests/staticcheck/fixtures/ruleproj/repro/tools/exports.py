@@ -1,0 +1,6 @@
+"""REP007 fixture: __all__ entries and re-exports that do not exist."""
+
+from repro.schemes.bad_arith import no_such_helper
+from repro.schemes.bad_arith import uninstrumented
+
+__all__ = ["uninstrumented", "phantom"]

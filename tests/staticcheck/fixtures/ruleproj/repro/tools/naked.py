@@ -1,0 +1,20 @@
+"""REP004 fixture: document/label state mutated outside the update layers."""
+
+
+def clobber_labels(document, node, label):
+    document.labels[node] = label
+
+
+def drop_index(document, label):
+    document._label_index.pop(label)
+
+
+def replace_root(document, node):
+    document.root = node
+
+
+def local_dict_is_fine(pairs):
+    labels = {}
+    for node, label in pairs:
+        labels[node] = label
+    return labels

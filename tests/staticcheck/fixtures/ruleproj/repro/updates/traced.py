@@ -1,0 +1,23 @@
+"""REP005 fixture: the enabled-check *_core split, followed and broken."""
+
+
+def apply_traced(tracer, batch):
+    with tracer.span("updates.apply"):
+        return batch.run()
+
+
+def apply_gated(tracer, batch):
+    if not tracer.enabled:
+        return apply_gated_core(batch)
+    with tracer.span("updates.apply"):
+        return apply_gated_core(batch)
+
+
+def apply_gated_core(batch):
+    return batch.run()
+
+
+def relabel_core(batch):
+    tracer = get_tracer()
+    tracer.record(batch)
+    return batch.run()

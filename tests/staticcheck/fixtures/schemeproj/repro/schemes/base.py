@@ -1,0 +1,9 @@
+"""Minimal scheme base class for verifier fixtures."""
+
+
+class LabelingScheme:
+    def label_tree(self, tree):
+        raise NotImplementedError
+
+    def insert_sibling(self, left, right):
+        raise NotImplementedError

@@ -1,0 +1,22 @@
+"""Fixture scheme: clean bulk labelling; recursion only on the insert path.
+
+The recursion verdict is decided by ``label_tree`` reachability alone, so
+``_shift``'s self-recursion (reachable only from ``insert_sibling``) must
+not flip it — the same narrowing that keeps Dewey's subtree relabelling
+out of its Figure 7 Recursion grade.
+"""
+
+from repro.schemes.base import LabelingScheme
+
+
+class FlatScheme(LabelingScheme):
+    def label_tree(self, tree):
+        return [(node, index) for index, node in enumerate(tree.nodes)]
+
+    def insert_sibling(self, left, right):
+        self._shift(right)
+        return left + 1
+
+    def _shift(self, node):
+        for child in node.children:
+            self._shift(child)

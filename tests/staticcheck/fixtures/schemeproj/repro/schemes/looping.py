@@ -1,0 +1,17 @@
+"""Fixture scheme: instrumented division plus direct (self) recursion."""
+
+from repro.schemes.base import LabelingScheme
+
+
+class RecursiveScheme(LabelingScheme):
+    def label_tree(self, tree):
+        return self._walk(tree, "1")
+
+    def _walk(self, node, label):
+        out = [(node, label)]
+        for index, child in enumerate(node.children):
+            out.extend(self._walk(child, label + "." + str(index)))
+        return out
+
+    def insert_sibling(self, left, right):
+        return self.instruments.divide(left + right, 2)

@@ -1,0 +1,21 @@
+"""Fixture scheme: mutual recursion and a raw, uninstrumented division."""
+
+from repro.schemes.base import LabelingScheme
+
+
+def descend(node, depth):
+    if not node.children:
+        return depth
+    return max(revisit(child, depth + 1) for child in node.children)
+
+
+def revisit(node, depth):
+    return descend(node, depth)
+
+
+class MutualScheme(LabelingScheme):
+    def label_tree(self, tree):
+        return descend(tree, 0)
+
+    def insert_sibling(self, left, right):
+        return (left + right) // 2

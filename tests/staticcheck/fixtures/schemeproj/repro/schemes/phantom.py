@@ -1,0 +1,12 @@
+"""Fixture scheme: a recursive_call marker with no actual cycle."""
+
+from repro.schemes.base import LabelingScheme
+
+
+class PhantomScheme(LabelingScheme):
+    def label_tree(self, tree):
+        self.instruments.recursive_call(1)
+        return list(tree.nodes)
+
+    def insert_sibling(self, left, right):
+        return left + 1

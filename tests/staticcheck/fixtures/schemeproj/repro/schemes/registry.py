@@ -1,0 +1,18 @@
+"""Fixture registry mirroring the real ``_SCHEME_CLASSES`` shape."""
+
+from typing import Dict, Type
+
+from repro.schemes.base import LabelingScheme
+from repro.schemes.flat import FlatScheme
+from repro.schemes.looping import RecursiveScheme
+from repro.schemes.mutual import MutualScheme
+from repro.schemes.phantom import PhantomScheme
+from repro.schemes.tamper import TamperScheme
+
+_SCHEME_CLASSES: Dict[str, Type[LabelingScheme]] = {
+    "flat": FlatScheme,
+    "looping": RecursiveScheme,
+    "mutual": MutualScheme,
+    "phantom": PhantomScheme,
+    "tamper": TamperScheme,
+}

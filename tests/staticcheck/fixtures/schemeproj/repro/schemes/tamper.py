@@ -1,0 +1,12 @@
+"""Fixture scheme: writes an instrumentation counter directly."""
+
+from repro.schemes.base import LabelingScheme
+
+
+class TamperScheme(LabelingScheme):
+    def label_tree(self, tree):
+        self.instruments.divisions += 1
+        return list(tree.nodes)
+
+    def insert_sibling(self, left, right):
+        return left + 1

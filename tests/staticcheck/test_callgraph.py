@@ -1,0 +1,147 @@
+"""Unit tests for fact extraction, call resolution and cycle detection."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.callgraph import (
+    CallGraph,
+    extract_facts,
+    iter_division_ops,
+)
+
+
+def _graph(project):
+    return CallGraph(project, scope_prefixes=("repro.",))
+
+
+def _cls(project, module, name):
+    return project.module(module).classes[name]
+
+
+def _entry(graph, cls, method):
+    function = graph.resolve_method(cls, method)
+    assert function is not None
+    return [(function, cls)]
+
+
+class TestDivisionClassification:
+    def test_all_operator_families(self):
+        ops = iter_division_ops(ast.parse(
+            "a = x / y\nb = x // y\nc = x % y\nd = divmod(x, y)\nx //= 2\n"
+        ))
+        assert sorted(op.op for op in ops) == ["%", "/", "//", "//", "divmod"]
+        assert all(op.excluded is None for op in ops)
+
+    def test_parity_exclusion(self):
+        (op,) = iter_division_ops(ast.parse("if x % 2:\n    pass\n"))
+        assert op.excluded == "parity"
+
+    def test_string_format_exclusion(self):
+        (op,) = iter_division_ops(ast.parse("text = 'n %s' % name\n"))
+        assert op.excluded == "string-format"
+
+    def test_nested_defs_are_seen(self):
+        ops = iter_division_ops(ast.parse(
+            "def outer():\n    def inner(a, b):\n        return a // b\n"
+        ))
+        assert [op.op for op in ops] == ["//"]
+
+
+class TestFactExtraction:
+    def test_instrumented_division_detected(self, schemeproj):
+        module = schemeproj.module("repro.schemes.looping")
+        facts = extract_facts(
+            module.functions["RecursiveScheme.insert_sibling"]
+        )
+        assert [call.method for call in facts.instrumented] == ["divide"]
+        assert facts.divisions == []
+
+    def test_raw_division_detected(self, schemeproj):
+        module = schemeproj.module("repro.schemes.mutual")
+        facts = extract_facts(module.functions["MutualScheme.insert_sibling"])
+        assert [op.op for op in facts.divisions] == ["//"]
+        assert facts.instrumented == []
+
+    def test_counter_write_detected(self, schemeproj):
+        module = schemeproj.module("repro.schemes.tamper")
+        facts = extract_facts(module.functions["TamperScheme.label_tree"])
+        assert [w.attribute for w in facts.counter_writes] == ["divisions"]
+
+    def test_recursive_call_marker_detected(self, schemeproj):
+        module = schemeproj.module("repro.schemes.phantom")
+        facts = extract_facts(module.functions["PhantomScheme.label_tree"])
+        assert [c.method for c in facts.instrumented] == ["recursive_call"]
+
+
+class TestResolution:
+    def test_mro_is_class_then_bases(self, schemeproj):
+        graph = _graph(schemeproj)
+        cls = _cls(schemeproj, "repro.schemes.looping", "RecursiveScheme")
+        assert [c.name for c in graph.mro(cls)] == [
+            "RecursiveScheme", "LabelingScheme",
+        ]
+
+    def test_resolve_method_prefers_override(self, schemeproj):
+        graph = _graph(schemeproj)
+        cls = _cls(schemeproj, "repro.schemes.looping", "RecursiveScheme")
+        method = graph.resolve_method(cls, "label_tree")
+        assert method.module.name == "repro.schemes.looping"
+        assert graph.resolve_method(cls, "no_such_method") is None
+
+    def test_self_call_resolves_through_receiver(self, schemeproj):
+        graph = _graph(schemeproj)
+        cls = _cls(schemeproj, "repro.schemes.looping", "RecursiveScheme")
+        reach = graph.reachable(_entry(graph, cls, "label_tree"))
+        names = {qualname for _module, qualname in reach.functions}
+        assert "RecursiveScheme._walk" in names
+
+    def test_module_function_call_resolves(self, schemeproj):
+        graph = _graph(schemeproj)
+        cls = _cls(schemeproj, "repro.schemes.mutual", "MutualScheme")
+        reach = graph.reachable(_entry(graph, cls, "label_tree"))
+        names = {qualname for _module, qualname in reach.functions}
+        assert {"descend", "revisit"} <= names
+
+    def test_unresolved_calls_are_recorded_not_guessed(self, schemeproj):
+        graph = _graph(schemeproj)
+        cls = _cls(schemeproj, "repro.schemes.looping", "RecursiveScheme")
+        reach = graph.reachable(_entry(graph, cls, "insert_sibling"))
+        targets = {call.target for call in reach.unresolved}
+        assert "self.instruments.divide" in targets
+
+
+class TestCycles:
+    def test_direct_recursion_is_a_self_loop_cycle(self, schemeproj):
+        graph = _graph(schemeproj)
+        cls = _cls(schemeproj, "repro.schemes.looping", "RecursiveScheme")
+        reach = graph.reachable(_entry(graph, cls, "label_tree"))
+        cycles = graph.cycles(reach)
+        assert len(cycles) == 1
+        assert [key[0][1] for key in cycles[0]] == ["RecursiveScheme._walk"]
+
+    def test_mutual_recursion_is_a_two_node_cycle(self, schemeproj):
+        graph = _graph(schemeproj)
+        cls = _cls(schemeproj, "repro.schemes.mutual", "MutualScheme")
+        reach = graph.reachable(_entry(graph, cls, "label_tree"))
+        cycles = graph.cycles(reach)
+        assert len(cycles) == 1
+        assert {key[0][1] for key in cycles[0]} == {"descend", "revisit"}
+
+    def test_acyclic_entry_has_no_cycles(self, schemeproj):
+        graph = _graph(schemeproj)
+        cls = _cls(schemeproj, "repro.schemes.flat", "FlatScheme")
+        reach = graph.reachable(_entry(graph, cls, "label_tree"))
+        assert graph.cycles(reach) == []
+
+    def test_insert_path_recursion_is_still_found_by_the_graph(
+        self, schemeproj
+    ):
+        # The verifier narrows recursion to label_tree; the graph itself
+        # must still see _shift's self-loop when asked from insert_sibling.
+        graph = _graph(schemeproj)
+        cls = _cls(schemeproj, "repro.schemes.flat", "FlatScheme")
+        reach = graph.reachable(_entry(graph, cls, "insert_sibling"))
+        cycles = graph.cycles(reach)
+        assert len(cycles) == 1
+        assert [key[0][1] for key in cycles[0]] == ["FlatScheme._shift"]

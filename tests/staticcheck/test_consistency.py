@@ -1,0 +1,42 @@
+"""Consistency-checker tests: structural drifts on the scheme fixture."""
+
+from __future__ import annotations
+
+from repro.staticcheck.consistency import check_consistency, structural_drifts
+from repro.staticcheck.verifier import verify_all
+
+
+def test_structural_drifts_name_each_failure_mode(schemeproj):
+    drifts = structural_drifts(verify_all(schemeproj))
+    by_kind = {}
+    for drift in drifts:
+        by_kind.setdefault(drift.kind, []).append(drift)
+    assert set(by_kind) == {
+        "uninstrumented-division",
+        "phantom-recursion-marker",
+        "counter-tampering",
+    }
+    (division,) = by_kind["uninstrumented-division"]
+    assert division.scheme == "mutual"
+    assert division.path.endswith("mutual.py")
+    (phantom,) = by_kind["phantom-recursion-marker"]
+    assert phantom.scheme == "phantom"
+    (tamper,) = by_kind["counter-tampering"]
+    assert tamper.scheme == "tamper"
+
+
+def test_clean_schemes_produce_no_drifts(schemeproj):
+    verdicts = verify_all(schemeproj)
+    drifted = {drift.scheme
+               for drift in structural_drifts(verdicts)}
+    assert "flat" not in drifted
+    assert "looping" not in drifted
+
+
+def test_report_payload_and_consistent_flag(schemeproj):
+    report = check_consistency(project=schemeproj, include_dynamic=False)
+    assert not report.consistent
+    payload = report.to_payload()
+    assert payload["consistent"] is False
+    assert len(payload["drifts"]) == len(report.drifts)
+    assert set(payload["schemes"]) == set(report.verdicts)

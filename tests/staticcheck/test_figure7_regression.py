@@ -1,0 +1,96 @@
+"""Satellite regression: static == dynamic == Figure 7, all 17 schemes.
+
+Three independent sources must agree on the Division and Recursion
+columns: the AST verifier, the runtime instrumentation counters, and
+the grades published in the survey's Figure 7 (extension schemes have
+no published row and are checked static-vs-dynamic only).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matrix import division_recursion_grades
+from repro.core.properties import Compliance
+from repro.staticcheck.consistency import check_consistency
+from repro.staticcheck.verifier import verify_all
+
+#: Figure 7's Division column: the schemes that perform division.
+DIVISION_USERS = {"ordpath", "improved-binary", "qed", "cdqs"}
+
+#: Figure 7's Recursion column: the schemes that label recursively.
+RECURSION_USERS = {"sector", "improved-binary", "qed", "cdqs", "vector"}
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    return verify_all()
+
+
+@pytest.fixture(scope="module")
+def grades(verdicts):
+    return division_recursion_grades(sorted(verdicts))
+
+
+def test_all_seventeen_schemes_have_verdicts(verdicts):
+    assert len(verdicts) == 17
+
+
+def test_static_division_users_match_figure7(verdicts):
+    users = {name for name, verdict in verdicts.items()
+             if verdict.uses_division}
+    assert users == DIVISION_USERS
+
+
+def test_static_recursion_users_match_figure7(verdicts):
+    users = {name for name, verdict in verdicts.items()
+             if verdict.uses_recursion}
+    assert users == RECURSION_USERS
+
+
+def test_static_agrees_with_dynamic_counters(verdicts, grades):
+    for name, verdict in sorted(verdicts.items()):
+        row = grades[name]
+        assert verdict.uses_division == (
+            row["division"] is not Compliance.FULL
+        ), f"{name}: static/dynamic division disagreement"
+        assert verdict.uses_recursion == (
+            row["recursion"] is not Compliance.FULL
+        ), f"{name}: static/dynamic recursion disagreement"
+        # The counters back the grades: a division user counted at least
+        # one division, a free scheme counted exactly zero.
+        assert (row["divisions"] > 0) == verdict.uses_division, name
+        assert (row["recursive_calls"] > 0) == verdict.uses_recursion, name
+
+
+def test_static_agrees_with_published_grades(verdicts, grades):
+    published_rows = 0
+    for name, verdict in sorted(verdicts.items()):
+        row = grades[name]
+        if row["paper_division"] is not None:
+            published_rows += 1
+            assert verdict.uses_division == (
+                row["paper_division"] != Compliance.FULL.value
+            ), f"{name}: static verdict contradicts Figure 7 Division"
+        if row["paper_recursion"] is not None:
+            assert verdict.uses_recursion == (
+                row["paper_recursion"] != Compliance.FULL.value
+            ), f"{name}: static verdict contradicts Figure 7 Recursion"
+    assert published_rows == 12  # the paper grades 12 of the 17 schemes
+
+
+def test_full_consistency_check_reports_no_drift():
+    report = check_consistency()
+    assert report.consistent, [drift.to_payload()
+                               for drift in report.drifts]
+
+
+def test_division_evidence_is_instrumented_or_suppressed(verdicts):
+    """Every reachable division op is visible to the counters or carries
+    a justified noqa — the invariant the whole gate exists to protect."""
+    for name, verdict in verdicts.items():
+        for site in verdict.division_sites:
+            assert site.instrumented or site.suppressed or site.excluded, (
+                f"{name}: {site.path}:{site.line} `{site.op}` is invisible "
+                f"to the instrumentation"
+            )

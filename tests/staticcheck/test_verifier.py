@@ -1,0 +1,87 @@
+"""Verifier tests over the miniature scheme registry fixture."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import FrameworkError
+from repro.staticcheck.verifier import scheme_classes, verify_all
+
+
+@pytest.fixture(scope="module")
+def verdicts(schemeproj):
+    return verify_all(schemeproj)
+
+
+def test_registry_dict_literal_is_read_statically(schemeproj):
+    mapping = scheme_classes(schemeproj)
+    assert set(mapping) == {"flat", "looping", "mutual", "phantom", "tamper"}
+    assert mapping["looping"].name == "RecursiveScheme"
+
+
+def test_missing_registry_is_a_framework_error(ruleproj):
+    with pytest.raises(FrameworkError):
+        scheme_classes(ruleproj)
+
+
+def test_clean_scheme_is_free_on_both_axes(verdicts):
+    flat = verdicts["flat"]
+    assert not flat.uses_division
+    assert not flat.uses_recursion
+    assert flat.division_sites == []
+    assert flat.recursion_cycles == []
+
+
+def test_insert_path_recursion_does_not_flip_the_verdict(verdicts):
+    # _shift recurses, but only insert_sibling reaches it; the Recursion
+    # grade is about bulk labelling (label_tree), as in Figure 7.
+    assert not verdicts["flat"].uses_recursion
+
+
+def test_instrumented_division_counts_as_division(verdicts):
+    looping = verdicts["looping"]
+    assert looping.uses_division
+    assert any(site.instrumented for site in looping.division_sites)
+
+
+def test_direct_recursion_yields_a_self_cycle(verdicts):
+    looping = verdicts["looping"]
+    assert looping.uses_recursion
+    (cycle,) = looping.recursion_cycles
+    assert any("_walk" in name for name in cycle.functions)
+
+
+def test_raw_division_counts_with_evidence(verdicts):
+    mutual = verdicts["mutual"]
+    assert mutual.uses_division
+    (site,) = [s for s in mutual.division_sites if not s.instrumented]
+    assert site.op == "//"
+    assert site.path.endswith("mutual.py")
+    assert site.line > 0
+
+
+def test_mutual_recursion_yields_a_two_function_cycle(verdicts):
+    mutual = verdicts["mutual"]
+    assert mutual.uses_recursion
+    (cycle,) = mutual.recursion_cycles
+    assert len(cycle.functions) == 2
+
+
+def test_phantom_marker_without_cycle(verdicts):
+    phantom = verdicts["phantom"]
+    assert not phantom.uses_recursion
+    assert phantom.recursion_markers
+
+
+def test_counter_tampering_is_collected(verdicts):
+    tamper = verdicts["tamper"]
+    assert [attr for _p, _l, attr in tamper.counter_writes] == ["divisions"]
+
+
+def test_verdict_payloads_are_json_serialisable(verdicts):
+    for verdict in verdicts.values():
+        payload = json.loads(json.dumps(verdict.to_payload()))
+        assert payload["scheme"] == verdict.name
+        assert payload["uses_division"] == verdict.uses_division

@@ -352,3 +352,34 @@ class TestReportKindValidation:
     def test_unknown_kind_rejected(self):
         with pytest.raises(SystemExit):
             main(["report", "bogus"])
+
+
+class TestLint:
+    def test_clean_repo_exits_zero(self, capsys):
+        assert main(["lint", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert "static verdicts over 17 schemes" in out
+        assert "division: cdqs, improved-binary, ordpath, qed" in out
+        assert "recursion: cdqs, improved-binary, qed, sector, vector" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["lint", "--fast", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+        assert payload["summary"]["exit_code"] == 0
+        assert len(payload["schemes"]) == 17
+        assert payload["schemes"]["qed"]["uses_division"] is True
+        assert payload["schemes"]["dewey"]["uses_division"] is False
+
+    def test_list_rules_prints_the_catalogue(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP008", "REP100"):
+            assert rule_id in out
+
+    def test_select_and_ignore(self, capsys):
+        assert main(["lint", "--select", "REP003,REP008"]) == 0
+        assert main(["lint", "--fast", "--ignore", "REP002"]) == 0
