@@ -4,22 +4,39 @@ Measures total label storage for every Figure 7 scheme over the same
 synthetic document, after bulk loading and after each of the frequent
 random / frequent uniform / skewed workloads — the measurements behind
 the Compact Encoding column.
+
+A second section measures the pluggable storage backends themselves:
+ingest, cold load after a fresh open, and point-query cost per engine
+(``memory``, ``sqlite``, ``pagefile``), plus bytes at rest.  Set
+``REPRO_BENCH_BACKEND`` (or ``repro bench run --backend NAME``) to
+restrict the rows to one engine.
 """
+
+import os
+import tempfile
+import time
 
 from _common import bench_args
 from repro.analysis.storage import StorageSummary, compare_schemes
 from repro.schemes.registry import FIGURE7_ORDER
+from repro.store import open_repository
 from repro.updates.workloads import (
     random_insertions,
     skewed_insertions,
     uniform_insertions,
 )
 from repro.xmlmodel.generator import random_document
+from repro.xmlmodel.xmark import XMarkGenerator
 
 DOCUMENT_NODES = 400
 QUICK_DOCUMENT_NODES = 150
 UPDATES = 100
 QUICK_UPDATES = 30
+XMARK_SCALE = 1.0
+QUICK_XMARK_SCALE = 0.3
+BACKENDS = ["memory", "sqlite", "pagefile"]
+#: The point query of the backend section: XMark's most numerous element.
+POINT_QUERY_NAME = "item"
 
 
 def document_factory(nodes=DOCUMENT_NODES):
@@ -98,6 +115,92 @@ def bench_bulk_labelling_cost_prepost(benchmark):
     assert len(labels) == document.labeled_size()
 
 
+def selected_backends():
+    """The engines to measure; REPRO_BENCH_BACKEND narrows to one."""
+    chosen = os.environ.get("REPRO_BENCH_BACKEND", "").strip()
+    if chosen:
+        return [name for name in BACKENDS if name == chosen]
+    return list(BACKENDS)
+
+
+def _backend_url(name, workdir):
+    if name == "memory":
+        return "memory://"
+    if name == "sqlite":
+        return f"sqlite:///{workdir}/bench.db"
+    return f"pagefile:///{workdir}/bench.pages"
+
+
+def backend_rows(scale=XMARK_SCALE, backends=None):
+    """Ingest/cold-load/point-query cost per storage engine.
+
+    One XMark corpus, the same for every engine.  ``cold_load``
+    re-opens the store and materialises the document from rest;
+    ``point_query`` re-opens and asks for every ``item`` element —
+    the node-table engine answers without parsing the document, the
+    others pay materialisation, and the rows make that gap visible.
+    """
+    corpus = XMarkGenerator(scale=scale, seed=77).generate()
+    rows = []
+    for backend_name in (backends or selected_backends()):
+        with tempfile.TemporaryDirectory() as workdir:
+            url = _backend_url(backend_name, workdir)
+
+            started = time.perf_counter()
+            repository = open_repository(url)
+            repository.add("xmark", corpus, scheme="cdqs")
+            ingest_s = time.perf_counter() - started
+            stored_bytes = repository.backend.storage_bytes()
+            if backend_name == "memory":
+                # No disk state survives close: measure the live paths.
+                matches = len(repository.point_query(
+                    "xmark", POINT_QUERY_NAME
+                ))
+                cold_s = point_s = 0.0
+            else:
+                repository.close()
+
+                started = time.perf_counter()
+                with open_repository(url) as reopened:
+                    reopened.get("xmark")
+                cold_s = time.perf_counter() - started
+
+                started = time.perf_counter()
+                with open_repository(url) as reopened:
+                    matches = len(reopened.point_query(
+                        "xmark", POINT_QUERY_NAME
+                    ))
+                point_s = time.perf_counter() - started
+            if backend_name == "memory":
+                repository.close()
+            rows.append({
+                "backend": backend_name,
+                "ingest_s": round(ingest_s, 4),
+                "cold_load_s": round(cold_s, 4),
+                "point_query_s": round(point_s, 4),
+                "point_query_matches": matches,
+                "storage_bytes": stored_bytes,
+            })
+    return rows
+
+
+def bench_backend_point_query_beats_materialisation(benchmark):
+    """The node table answers point queries without a full parse."""
+    rows = benchmark.pedantic(
+        lambda: backend_rows(scale=QUICK_XMARK_SCALE,
+                             backends=["sqlite", "pagefile"]),
+        rounds=1, iterations=1,
+    )
+    by_name = {row["backend"]: row for row in rows}
+    assert by_name["sqlite"]["point_query_matches"] == (
+        by_name["pagefile"]["point_query_matches"]
+    )
+    # SQLite's point query skips materialisation; the page file cannot.
+    assert by_name["sqlite"]["point_query_s"] <= (
+        by_name["pagefile"]["point_query_s"]
+    )
+
+
 def main(argv=None):
     args = bench_args(__doc__, argv)
     nodes = QUICK_DOCUMENT_NODES if args.quick else DOCUMENT_NODES
@@ -115,6 +218,18 @@ def main(argv=None):
             rows.append({"workload": workload_name, "scheme": name,
                          "bits_per_label": round(summary.bits_per_label, 1),
                          "max_label_bits": summary.max_label_bits})
+
+    scale = QUICK_XMARK_SCALE if args.quick else XMARK_SCALE
+    engine_rows = backend_rows(scale)
+    print(f"\nStorage backends (XMark scale {scale}, point query "
+          f"'{POINT_QUERY_NAME}')")
+    print(f"  {'backend':10s} {'ingest s':>9s} {'cold load s':>12s} "
+          f"{'point query s':>14s} {'matches':>8s} {'bytes':>10s}")
+    for row in engine_rows:
+        print(f"  {row['backend']:10s} {row['ingest_s']:9.4f} "
+              f"{row['cold_load_s']:12.4f} {row['point_query_s']:14.4f} "
+              f"{row['point_query_matches']:8d} {row['storage_bytes']:10d}")
+    rows.extend(engine_rows)
     return rows
 
 

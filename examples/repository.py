@@ -2,14 +2,17 @@
 
 The survey's framing — "the adoption of XML repositories in mainstream
 industry" — as a working session: pick schemes with the section 5.2
-selection advice, ingest documents, answer pattern queries through
-structural joins over labels, and snapshot/restore with the bit-exact
-label codecs.
+selection advice, open a repository over a storage backend, ingest
+documents, answer pattern queries through structural joins over labels,
+and snapshot/restore with the bit-exact label codecs.
 
     python examples/repository.py
+
+Swap the ``memory://`` URL for ``sqlite:///catalog.db`` or
+``pagefile:///catalog.pages`` and the same session persists to disk.
 """
 
-from repro.store import XMLRepository, suggest_scheme
+from repro.store import open_repository, suggest_scheme
 
 CATALOG = """
 <catalog>
@@ -38,8 +41,9 @@ def main():
     print("requirements:", ", ".join(requirements))
     print("Figure 7 suggests:", ", ".join(suggested), "\n")
 
-    # 2. Ingest documents under the suggested scheme.
-    repo = XMLRepository(default_scheme=suggested[0])
+    # 2. Open a repository (in-RAM here; sqlite:/// or pagefile:///
+    #    for disk) and ingest documents under the suggested scheme.
+    repo = open_repository("memory://", default_scheme=suggested[0])
     repo.add("catalog", CATALOG)
     repo.add("orders", ORDERS, scheme="qed")
 

@@ -56,7 +56,12 @@ from repro.observability import (
     tracing_enabled,
     write_run,
 )
-from repro.store import XMLRepository, suggest_scheme
+from repro.store import (
+    StorageBackend,
+    XMLRepository,
+    open_repository,
+    suggest_scheme,
+)
 from repro.updates import (
     BatchResult,
     LabeledDocument,
@@ -85,6 +90,7 @@ __all__ = [
     "MetricsRegistry",
     "NodeKind",
     "SchemeMetadata",
+    "StorageBackend",
     "Thresholds",
     "Tracer",
     "Transaction",
@@ -102,6 +108,7 @@ __all__ = [
     "load_baseline",
     "load_run",
     "load_trace",
+    "open_repository",
     "render_comparison",
     "render_metrics",
     "render_span_tree",

@@ -14,7 +14,11 @@
     python -m repro trace --scheme ordpath --ops 200 # span tree + hotspots
     python -m repro journal inspect FILE            # list journal records
     python -m repro journal replay FILE --verify    # recover + verify
+    python -m repro store ingest URL NAME FILE      # load into a backend
+    python -m repro store ls URL                    # list stored documents
+    python -m repro store query URL NAME title      # point query from disk
     python -m repro bench run --quick               # BENCH_<sha>.json
+    python -m repro bench run --backend sqlite      # storage bench, one engine
     python -m repro bench compare                   # diff vs baseline
     python -m repro bench report                    # consolidated health
     python -m repro lint [--json]                   # static checks (CI gate)
@@ -358,6 +362,53 @@ def _cmd_journal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Operate a storage backend through ``open_repository``."""
+    from repro.store import open_repository
+
+    with open_repository(args.url) as repository:
+        if args.store_action == "ls":
+            names = repository.names()
+            for name in names:
+                snapshot = repository.snapshot(name)
+                print(f"{name:24s} scheme={snapshot.scheme_name:16s} "
+                      f"stream={len(snapshot.label_stream)}B "
+                      f"xml={len(snapshot.xml)}B")
+            print(f"-- {len(names)} document(s), "
+                  f"{repository.backend.storage_bytes()} bytes at rest "
+                  f"({repository.backend.url_scheme})")
+            return 0
+        if args.store_action == "ingest":
+            with open(args.file, encoding="utf-8") as handle:
+                xml = handle.read()
+            stored = repository.add(args.name, xml, scheme=args.scheme)
+            print(f"ingested {args.name!r}: {len(stored.ldoc.labels)} "
+                  f"labels under {stored.ldoc.scheme.metadata.name}, "
+                  f"{stored.storage_bits()} label bits")
+            return 0
+        if args.store_action == "get":
+            snapshot = repository.snapshot(args.name)
+            if args.xml:
+                print(snapshot.xml)
+            else:
+                print(f"{snapshot.name}: scheme={snapshot.scheme_name} "
+                      f"config={snapshot.scheme_config} "
+                      f"stream={len(snapshot.label_stream)}B "
+                      f"xml={len(snapshot.xml)}B")
+            return 0
+        if args.store_action == "query":
+            records = repository.point_query(args.name, args.node)
+            for record in records:
+                print(f"#{record.ordinal:<6d} {record.kind:9s} "
+                      f"{record.name}  value={record.value!r}  "
+                      f"label={record.label}")
+            print(f"-- {len(records)} node(s)")
+            return 0
+        repository.remove(args.name)
+        print(f"removed {args.name!r}")
+        return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark telemetry: machine-readable runs, baselines, health."""
     if args.bench_action == "run":
@@ -368,7 +419,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _bench_run(args: argparse.Namespace) -> int:
+    import os
+
     from repro.observability.benchtel import run_sections, write_run
+
+    if args.backend:
+        # The storage-growth section reads this to restrict its
+        # per-backend rows to one engine (CI runs one job per backend).
+        os.environ["REPRO_BENCH_BACKEND"] = args.backend
 
     def progress(section):
         mark = "ok" if section.status == "ok" else "FAILED"
@@ -653,6 +711,45 @@ def build_parser() -> argparse.ArgumentParser:
     journal.add_argument("--verify", action="store_true",
                          help="after replay, verify document order")
 
+    store = commands.add_parser(
+        "store", help="operate a storage backend (memory/sqlite/pagefile)"
+    )
+    store_actions = store.add_subparsers(dest="store_action", required=True)
+
+    store_ls = store_actions.add_parser(
+        "ls", help="list a backend's documents and storage size"
+    )
+    store_ls.add_argument("url", help="storage URL, e.g. sqlite:///x.db")
+
+    store_ingest = store_actions.add_parser(
+        "ingest", help="label an XML file and persist it"
+    )
+    store_ingest.add_argument("url")
+    store_ingest.add_argument("name", help="document name in the store")
+    store_ingest.add_argument("file", help="XML file to ingest")
+    store_ingest.add_argument("--scheme", default="cdqs")
+
+    store_get = store_actions.add_parser(
+        "get", help="show one stored document's snapshot"
+    )
+    store_get.add_argument("url")
+    store_get.add_argument("name")
+    store_get.add_argument("--xml", action="store_true",
+                           help="print the document text instead of a summary")
+
+    store_query = store_actions.add_parser(
+        "query", help="point-query nodes by name, straight from storage"
+    )
+    store_query.add_argument("url")
+    store_query.add_argument("name")
+    store_query.add_argument("node", help="element/attribute name to find")
+
+    store_rm = store_actions.add_parser(
+        "rm", help="remove one stored document"
+    )
+    store_rm.add_argument("url")
+    store_rm.add_argument("name")
+
     bench = commands.add_parser(
         "bench", help="benchmark telemetry: run / compare / report"
     )
@@ -677,6 +774,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "claim, extension")
     bench_run.add_argument("--verbose", action="store_true",
                            help="let sections print their reports")
+    bench_run.add_argument("--backend", default=None,
+                           choices=["memory", "sqlite", "pagefile"],
+                           help="restrict the storage-growth backend rows "
+                                "to one engine")
 
     bench_compare = bench_actions.add_parser(
         "compare", help="diff a bench run against the committed baseline"
@@ -750,6 +851,7 @@ _HANDLERS = {
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
     "journal": _cmd_journal,
+    "store": _cmd_store,
     "bench": _cmd_bench,
     "lint": _cmd_lint,
 }

@@ -26,6 +26,12 @@ point                     fires inside
                           bytes reach the file (a torn write)
 ``transaction.commit``    :meth:`Transaction.commit`, before the commit
                           marker is journalled
+``pagefile.commit``       :meth:`PageFileBackend._do_put`, after the payload
+                          pages are fsynced but before the directory record
+                          (the put must vanish on recovery)
+``pagefile.torn``         :meth:`PageFileBackend._do_put`, after *half* the
+                          directory record's bytes reach the log (a torn
+                          write; the discard rule must drop it)
 ========================  ====================================================
 
 Faults are strictly deterministic: ``arm(point, at=3)`` fires on exactly

@@ -38,10 +38,10 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.durability.faults import InjectedFault, get_injector, maybe_fail
-from repro.errors import JournalError, RecoveryError
+from repro.errors import JournalError, RecoveryError, StorageError
 from repro.observability.metrics import get_registry
 from repro.observability.tracing import get_tracer
-from repro.store.repository import (
+from repro.store.snapshots import (
     Snapshot,
     restore_snapshot,
     snapshot_document,
@@ -249,6 +249,11 @@ def _truncate_torn_tail(path) -> None:
         os.truncate(path, keep)
 
 
+#: Public alias: the page-file backend reattaches its directory log with
+#: the exact same discard rule the journal uses.
+truncate_torn_tail = _truncate_torn_tail
+
+
 def read_journal(path) -> Tuple[List[Dict[str, Any]], bool]:
     """Parse a journal file into records; tolerate one torn tail line.
 
@@ -322,7 +327,7 @@ def recover(path) -> RecoveryResult:
             ldoc = restore_snapshot(
                 snapshot, on_collision=base.get("on_collision", "raise")
             )
-        except (KeyError, ValueError) as error:
+        except (KeyError, ValueError, StorageError) as error:
             raise RecoveryError(f"unusable base record: {error}") from None
 
         pending: Dict[int, List[Operation]] = {}

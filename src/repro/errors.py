@@ -144,6 +144,39 @@ class TransactionError(UpdateError):
     """
 
 
+class StorageError(ReproError):
+    """A storage backend failed or was misused.
+
+    Raised by the :mod:`repro.store.backends` implementations for
+    missing documents, malformed URLs, refused concurrent opens,
+    corrupt payloads, and use-after-close; and by snapshot restore when
+    a persisted label stream cannot be reattached to its document.
+    """
+
+
+class SnapshotMismatchError(StorageError):
+    """A snapshot's label stream disagrees with its re-parsed document.
+
+    Carries the decoded label count and the re-parsed node count so
+    callers can report exactly how far the persisted state drifted.
+    """
+
+    def __init__(self, message: str, label_count: int = 0,
+                 node_count: int = 0):
+        super().__init__(message)
+        self.label_count = label_count
+        self.node_count = node_count
+
+
+class BackendLockedError(StorageError):
+    """A disk backend is already open in another connection or process.
+
+    The SQLite backend holds an exclusive lock for its whole session;
+    a second open is refused with this error instead of deadlocking or
+    silently interleaving writes.
+    """
+
+
 class JournalError(ReproError):
     """A write-ahead journal file is malformed or was misused.
 

@@ -1,0 +1,37 @@
+"""Pluggable storage engines behind the repository API.
+
+Importing this package registers the three built-in backends —
+``memory://`` (the original in-RAM behaviour), ``sqlite:///…`` (an
+edge-model node table that answers point queries without
+materialisation) and ``pagefile:///…`` (an append-only page file with
+journal-style crash safety) — with the URL dispatcher that
+:func:`repro.store.open_repository` uses.
+"""
+
+from repro.store.backends.base import (
+    NodeRecord,
+    StorageBackend,
+    backend_for_url,
+    node_records,
+    parse_storage_url,
+    register_backend,
+    registered_backends,
+)
+from repro.store.backends.memory import MemoryBackend
+from repro.store.backends.pagefile import PAGE_SIZE, PageFileBackend
+from repro.store.backends.sqlite import CHUNK_SIZE, SQLiteBackend
+
+__all__ = [
+    "CHUNK_SIZE",
+    "MemoryBackend",
+    "NodeRecord",
+    "PAGE_SIZE",
+    "PageFileBackend",
+    "SQLiteBackend",
+    "StorageBackend",
+    "backend_for_url",
+    "node_records",
+    "parse_storage_url",
+    "register_backend",
+    "registered_backends",
+]

@@ -1,0 +1,59 @@
+"""The in-RAM backend: the repository's original behaviour, as a plugin.
+
+Snapshots are held in a plain dict, exactly as the pre-protocol
+``XMLRepository`` held its documents.  Nothing survives the process;
+``storage_bytes`` reports the resident snapshot payloads so the
+storage-growth benchmark can still compare engines on one axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.store.backends.base import StorageBackend, register_backend
+from repro.store.snapshots import Snapshot
+from repro.updates.document import LabeledDocument
+
+
+class MemoryBackend(StorageBackend):
+    """Process-local snapshot storage in a dict."""
+
+    url_scheme = "memory"
+
+    def __init__(self, path: str = ""):
+        super().__init__()
+        self._snapshots: Dict[str, Snapshot] = {}
+
+    def _do_open(self) -> None:
+        pass
+
+    def _do_close(self) -> None:
+        self._snapshots.clear()
+
+    def _do_put(self, snapshot: Snapshot,
+                ldoc: Optional[LabeledDocument]) -> None:
+        self._snapshots[snapshot.name] = snapshot
+
+    def _do_get(self, name: str) -> Snapshot:
+        try:
+            return self._snapshots[name]
+        except KeyError:
+            raise self._missing(name) from None
+
+    def _do_delete(self, name: str) -> None:
+        try:
+            del self._snapshots[name]
+        except KeyError:
+            raise self._missing(name) from None
+
+    def _do_names(self) -> List[str]:
+        return list(self._snapshots)
+
+    def _do_storage_bytes(self) -> int:
+        return sum(
+            len(snapshot.xml.encode("utf-8")) + len(snapshot.label_stream)
+            for snapshot in self._snapshots.values()
+        )
+
+
+register_backend("memory", lambda path: MemoryBackend(path))

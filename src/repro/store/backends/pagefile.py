@@ -1,0 +1,253 @@
+"""The page-file backend: append-only pages plus a journal-style directory.
+
+Two files make one store:
+
+* ``<path>`` — the page file.  Every put appends one payload (XML text
+  and the bit-exact label stream, CRC-protected) zero-padded to a
+  4 KiB page boundary.  Pages are never rewritten or reclaimed:
+  append-only is what makes the commit protocol crash-safe.
+* ``<path>.log`` — the directory, a JSON-lines file in exactly the
+  write-ahead journal's format (one record per line, newline
+  terminated).  A ``put`` record names the payload's page range, byte
+  length, CRC and scheme configuration; a ``delete`` record retires a
+  name.  The *directory line is the commit point*: payload bytes are
+  fsynced before their record is appended, so a crash between the two
+  leaves an orphan payload that reattachment simply truncates away,
+  and a crash halfway through the record itself leaves a torn tail
+  that :func:`repro.durability.journal.truncate_torn_tail` discards —
+  the same rule, reused from the same module.
+
+Fault points ``pagefile.commit`` (crash after payload, before the
+directory record) and ``pagefile.torn`` (crash halfway through the
+directory record's bytes) plug into the shared
+:class:`~repro.durability.faults.FaultInjector`, so the conformance
+suite can prove recovery lands on bit-identical labels.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.durability.faults import InjectedFault, get_injector, maybe_fail
+from repro.errors import StorageError
+from repro.store.backends.base import StorageBackend, register_backend
+from repro.store.snapshots import Snapshot
+from repro.updates.document import LabeledDocument
+
+#: Payloads are padded to this boundary; directory records count pages.
+PAGE_SIZE = 4096
+
+_U32 = 4  # payload length fields are little-endian u32
+
+
+@dataclass(frozen=True)
+class _DirectoryEntry:
+    """Where one live document's payload sits in the page file."""
+
+    page_start: int
+    pages: int
+    length: int
+    crc: int
+    scheme: str
+    config: Dict[str, object]
+
+
+class PageFileBackend(StorageBackend):
+    """Crash-safe snapshot storage in an append-only page file."""
+
+    url_scheme = "pagefile"
+
+    def __init__(self, path: str):
+        super().__init__()
+        self.path = path
+        self.log_path = path + ".log"
+        self._directory: Dict[str, _DirectoryEntry] = {}
+        self._next_page = 0
+        self._data = None
+        self._log = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _do_open(self) -> None:
+        # Imported here, not at module top: the journal module itself
+        # imports the store package, so a top-level import would be
+        # circular during package initialisation.
+        from repro.durability.journal import read_journal, truncate_torn_tail
+
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if os.path.exists(self.log_path):
+            truncate_torn_tail(self.log_path)
+            records, _torn = read_journal(self.log_path)
+            self._replay_directory(records)
+        # Orphan payload pages — written, fsynced, but crashed before
+        # their directory record — sit past the last committed page.
+        # Cut them off so the next append lands on a clean boundary.
+        end = self._next_page * PAGE_SIZE
+        if os.path.exists(self.path) and os.path.getsize(self.path) > end:
+            os.truncate(self.path, end)
+        self._data = open(self.path, "a+b")
+        self._log = open(self.log_path, "a", encoding="utf-8")
+
+    def _do_close(self) -> None:
+        for handle in (self._data, self._log):
+            if handle is not None:
+                handle.close()
+        self._data = None
+        self._log = None
+        self._directory.clear()
+        self._next_page = 0
+
+    # -- documents -------------------------------------------------------
+
+    def _do_put(self, snapshot: Snapshot,
+                ldoc: Optional[LabeledDocument]) -> None:
+        payload = self._encode_payload(snapshot)
+        pages = max(1, -(-len(payload) // PAGE_SIZE))
+        entry = _DirectoryEntry(
+            page_start=self._next_page,
+            pages=pages,
+            length=len(payload),
+            crc=zlib.crc32(payload),
+            scheme=snapshot.scheme_name,
+            config=dict(snapshot.scheme_config),
+        )
+        # Step 1: payload first, padded and fsynced.  Until the
+        # directory record lands these pages are invisible orphans.
+        self._data.seek(entry.page_start * PAGE_SIZE)
+        self._data.write(payload)
+        self._data.write(b"\x00" * (pages * PAGE_SIZE - len(payload)))
+        self._data.flush()
+        os.fsync(self._data.fileno())
+        # Step 2: the directory record is the commit point.
+        maybe_fail("pagefile.commit")
+        record = json.dumps({
+            "type": "put",
+            "name": snapshot.name,
+            "scheme": entry.scheme,
+            "config": entry.config,
+            "page_start": entry.page_start,
+            "pages": entry.pages,
+            "length": entry.length,
+            "crc": entry.crc,
+        }, separators=(",", ":"))
+        if get_injector().fires("pagefile.torn"):
+            # Crash halfway through the record's physical write: half
+            # the bytes reach the log, no newline — reattachment must
+            # discard the line and the orphan payload both.
+            self._log.write(record[: max(1, len(record) // 2)])
+            self._log.flush()
+            raise InjectedFault("pagefile.torn")
+        self._log.write(record + "\n")
+        self._log.flush()
+        os.fsync(self._log.fileno())
+        self._directory[snapshot.name] = entry
+        self._next_page = entry.page_start + pages
+
+    def _do_get(self, name: str) -> Snapshot:
+        entry = self._directory.get(name)
+        if entry is None:
+            raise self._missing(name)
+        self._data.seek(entry.page_start * PAGE_SIZE)
+        payload = self._data.read(entry.length)
+        if len(payload) != entry.length or zlib.crc32(payload) != entry.crc:
+            raise StorageError(
+                f"pagefile payload for {name!r} fails its CRC "
+                f"(pages {entry.page_start}..."
+                f"{entry.page_start + entry.pages - 1})"
+            )
+        xml, label_stream = self._decode_payload(name, payload)
+        return Snapshot(
+            name=name,
+            scheme_name=entry.scheme,
+            xml=xml,
+            label_stream=label_stream,
+            scheme_config=dict(entry.config),
+        )
+
+    def _do_delete(self, name: str) -> None:
+        if name not in self._directory:
+            raise self._missing(name)
+        record = json.dumps({"type": "delete", "name": name},
+                            separators=(",", ":"))
+        self._log.write(record + "\n")
+        self._log.flush()
+        os.fsync(self._log.fileno())
+        del self._directory[name]
+
+    def _do_names(self) -> List[str]:
+        return list(self._directory)
+
+    def _do_storage_bytes(self) -> int:
+        total = 0
+        for path in (self.path, self.log_path):
+            if os.path.exists(path):
+                total += os.path.getsize(path)
+        return total
+
+    # -- internals -------------------------------------------------------
+
+    def _replay_directory(self, records: List[dict]) -> None:
+        for record in records:
+            kind = record.get("type")
+            if kind == "put":
+                try:
+                    entry = _DirectoryEntry(
+                        page_start=int(record["page_start"]),
+                        pages=int(record["pages"]),
+                        length=int(record["length"]),
+                        crc=int(record["crc"]),
+                        scheme=str(record["scheme"]),
+                        config=dict(record.get("config", {})),
+                    )
+                    name = record["name"]
+                except (KeyError, TypeError, ValueError) as error:
+                    raise StorageError(
+                        f"pagefile directory {self.log_path!r} has a "
+                        f"malformed put record: {error}"
+                    ) from error
+                self._directory[name] = entry
+                # Deleted documents still occupy their pages (append-
+                # only), so the high-water mark tracks every put.
+                self._next_page = max(self._next_page,
+                                      entry.page_start + entry.pages)
+            elif kind == "delete":
+                self._directory.pop(record.get("name"), None)
+            else:
+                raise StorageError(
+                    f"pagefile directory {self.log_path!r} has an "
+                    f"unknown record type {kind!r}"
+                )
+
+    @staticmethod
+    def _encode_payload(snapshot: Snapshot) -> bytes:
+        xml = snapshot.xml.encode("utf-8")
+        stream = snapshot.label_stream
+        return b"".join([
+            len(xml).to_bytes(_U32, "little"), xml,
+            len(stream).to_bytes(_U32, "little"), stream,
+        ])
+
+    def _decode_payload(self, name: str, payload: bytes):
+        try:
+            xml_len = int.from_bytes(payload[:_U32], "little")
+            xml_end = _U32 + xml_len
+            xml = payload[_U32:xml_end].decode("utf-8")
+            stream_len = int.from_bytes(payload[xml_end:xml_end + _U32],
+                                        "little")
+            stream = payload[xml_end + _U32:xml_end + _U32 + stream_len]
+            if len(stream) != stream_len:
+                raise ValueError("label stream shorter than declared")
+        except (ValueError, UnicodeDecodeError) as error:
+            raise StorageError(
+                f"pagefile payload for {name!r} is malformed: {error}"
+            ) from error
+        return xml, bytes(stream)
+
+
+register_backend("pagefile", PageFileBackend)

@@ -1,4 +1,4 @@
-"""A small multi-document XML repository over labelling schemes.
+"""A multi-document XML repository over pluggable storage backends.
 
 The survey frames its whole analysis around "the adoption of XML
 repositories in mainstream industry"; this module is that repository in
@@ -7,86 +7,89 @@ scheme, with secondary indexes, structural-join path queries, snapshot
 and restore through the bit-exact label codecs, and storage reporting.
 It is also where section 5.2's selection advice becomes executable —
 ``suggest_scheme`` turns a requirements profile into a Figure 7 lookup.
+
+Persistence is delegated entirely to a
+:class:`~repro.store.backends.StorageBackend`.  The repository keeps a
+*live* cache of materialised documents (parsed trees, labels, secondary
+indexes) for querying and mutation; every ``add``/``restore`` writes
+through to the backend, and documents found only in the backend are
+materialised on first access.  :func:`open_repository` is the public
+entry point — ``memory://`` reproduces the original in-RAM behaviour,
+``sqlite:///…`` and ``pagefile:///…`` put the store on disk.  The bare
+``XMLRepository()`` constructor survives as a quiet deprecation shim
+(see :func:`warn_on_legacy_repository`), mirroring the legacy update
+shims of :mod:`repro.updates.results`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.properties import PAPER_FIGURE_7, PROPERTY_ORDER, Property
-from repro.encoding.codec import codec_for
-from repro.errors import UpdateError
+from repro.errors import StorageError, UpdateError
 from repro.observability.metrics import get_registry
 from repro.schemes.registry import make_scheme
+from repro.store.backends import (
+    MemoryBackend,
+    NodeRecord,
+    StorageBackend,
+    backend_for_url,
+    node_records,
+)
 from repro.store.indexes import DocumentIndexes
 from repro.store.joins import path_join
+from repro.store.snapshots import (
+    Snapshot,
+    restore_snapshot,
+    snapshot_document,
+)
 from repro.updates.document import LabeledDocument
 from repro.xmlmodel.parser import parse
-from repro.xmlmodel.serializer import serialize
 from repro.xmlmodel.tree import Document, XMLNode
 
+__all__ = [
+    "REQUIREMENT_PROPERTIES",
+    "Snapshot",
+    "StoredDocument",
+    "XMLRepository",
+    "open_repository",
+    "restore_snapshot",
+    "snapshot_document",
+    "suggest_scheme",
+    "warn_on_legacy_repository",
+]
 
-@dataclass(frozen=True)
-class Snapshot:
-    """A frozen document state: text, scheme and the exact label bits.
 
-    Restoring re-parses the text and re-attaches the *decoded* labels by
-    document order, so persistent labels survive a round trip through
-    storage — the version-control property of section 5.2.
-    ``scheme_config`` records the constructor kwargs the scheme was made
-    with (``make_scheme(name, **kwargs)``): without it, restore would
-    silently rebuild a differently configured scheme — wrong component
-    widths, wrong overflow thresholds — under the same name.
+#: Whether the legacy bare ``XMLRepository()`` constructor warns.
+_WARN_LEGACY = False
+
+
+def warn_on_legacy_repository(enable: bool = True) -> None:
+    """Toggle :class:`DeprecationWarning` on the bare constructor.
+
+    ``XMLRepository()`` without an explicit backend is kept for
+    compatibility and behaves exactly as before (an in-RAM store);
+    enabling this surfaces every remaining call site so a codebase can
+    migrate to :func:`open_repository`.
     """
-
-    name: str
-    scheme_name: str
-    xml: str
-    label_stream: bytes
-    scheme_config: Dict[str, Any] = field(default_factory=dict)
+    global _WARN_LEGACY
+    _WARN_LEGACY = enable
 
 
-def snapshot_document(ldoc: LabeledDocument, name: str) -> Snapshot:
-    """Freeze any labelled document as a :class:`Snapshot`."""
-    codec = codec_for(ldoc.scheme)
-    data, _bits = codec.encode_labels(ldoc.labels_in_document_order())
-    return Snapshot(
-        name=name,
-        scheme_name=ldoc.scheme.metadata.name,
-        xml=serialize(ldoc.document),
-        label_stream=data,
-        scheme_config=dict(getattr(ldoc.scheme, "configuration", {})),
-    )
-
-
-def restore_snapshot(snapshot: Snapshot,
-                     on_collision: str = "raise") -> LabeledDocument:
-    """Rebuild a labelled document from a snapshot, labels included.
-
-    The label stream is decoded and re-attached to the re-parsed tree in
-    document order, and the scheme is reconstructed with the exact
-    configuration it was created with; a persistent scheme's labels
-    therefore come back bit-identical.
-    """
-    document = parse(snapshot.xml)
-    scheme = make_scheme(snapshot.scheme_name, **dict(snapshot.scheme_config))
-    codec = codec_for(scheme)
-    labels = codec.decode_labels(snapshot.label_stream)
-    nodes = list(document.labeled_nodes())
-    if len(labels) != len(nodes):
-        raise UpdateError(
-            "snapshot label stream does not match the document"
+def _maybe_warn_legacy() -> None:
+    if _WARN_LEGACY:
+        warnings.warn(
+            "XMLRepository() without a backend is deprecated; use "
+            "repro.store.open_repository('memory://') (or a sqlite:/// "
+            "or pagefile:/// URL) instead",
+            DeprecationWarning,
+            stacklevel=3,
         )
-    return LabeledDocument.from_labels(
-        document, scheme,
-        {node.node_id: label for node, label in zip(nodes, labels)},
-        on_collision=on_collision,
-    )
 
 
 class StoredDocument:
-    """One repository entry: labelled document + its indexes."""
+    """One materialised repository entry: labelled document + indexes."""
 
     def __init__(self, name: str, ldoc: LabeledDocument):
         self.name = name
@@ -141,18 +144,43 @@ class StoredDocument:
 
 
 class XMLRepository:
-    """Named documents, each labelled by a scheme of the caller's choice."""
+    """Named documents, each labelled by a scheme of the caller's choice.
 
-    def __init__(self, default_scheme: str = "cdqs"):
+    All persistence goes through ``self.backend``; the repository's own
+    state is only the live cache of materialised documents.  Mutating a
+    live document (through ``stored.ldoc`` or a transaction) does not
+    write through — call :meth:`persist` to push the current state back
+    to the backend, exactly as snapshotting always worked.
+    """
+
+    def __init__(self, default_scheme: str = "cdqs",
+                 backend: Optional[StorageBackend] = None):
+        if backend is None:
+            _maybe_warn_legacy()
+            backend = MemoryBackend().open()
         self.default_scheme = default_scheme
-        self._documents: Dict[str, StoredDocument] = {}
+        self.backend = backend
+        self._live: Dict[str, StoredDocument] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the backend (safe to call twice)."""
+        self._live.clear()
+        self.backend.close()
+
+    def __enter__(self) -> "XMLRepository":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # -- document management ----------------------------------------------
 
     def add(self, name: str, source: Union[str, Document],
             scheme: Optional[str] = None, **scheme_config) -> StoredDocument:
         """Ingest a document (XML text or an existing tree)."""
-        if name in self._documents:
+        if name in self:
             raise UpdateError(f"document {name!r} already exists")
         from repro.observability.tracing import get_tracer
 
@@ -166,36 +194,71 @@ class XMLRepository:
                 document, make_scheme(scheme_name, **scheme_config)
             )
             stored = StoredDocument(name, ldoc)
+            self.backend.put(snapshot_document(ldoc, name), ldoc)
             span.set_attribute("labels", len(ldoc.labels))
         registry.counter("repository.documents_added").increment()
-        self._documents[name] = stored
+        self._live[name] = stored
         return stored
 
     def get(self, name: str) -> StoredDocument:
+        """The live document, materialising from the backend if needed."""
+        stored = self._live.get(name)
+        if stored is not None:
+            return stored
         try:
-            return self._documents[name]
-        except KeyError:
+            snapshot = self.backend.get(name)
+        except StorageError:
             raise UpdateError(f"no document named {name!r}") from None
+        stored = StoredDocument(name, restore_snapshot(snapshot))
+        self._live[name] = stored
+        return stored
 
     def remove(self, name: str) -> None:
-        self.get(name)
-        del self._documents[name]
+        try:
+            self.backend.delete(name)
+        except StorageError:
+            raise UpdateError(f"no document named {name!r}") from None
+        self._live.pop(name, None)
 
     def names(self) -> List[str]:
-        return sorted(self._documents)
+        return self.backend.names()
+
+    def live_names(self) -> List[str]:
+        """The currently materialised documents, sorted."""
+        return sorted(self._live)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._documents
+        return self.backend.contains(name)
 
     def __len__(self) -> int:
-        return len(self._documents)
+        return len(self.backend.names())
 
     # -- persistence -------------------------------------------------------
 
     def snapshot(self, name: str) -> Snapshot:
-        """Freeze one document's state."""
+        """Freeze one document's state.
+
+        A live (possibly mutated) document is snapshotted as it stands;
+        a document known only to the backend is returned straight from
+        storage without materialising it.
+        """
         get_registry().counter("repository.snapshots").increment()
-        return self.get(name).snapshot()
+        stored = self._live.get(name)
+        if stored is not None:
+            return stored.snapshot()
+        try:
+            return self.backend.get(name)
+        except StorageError:
+            raise UpdateError(f"no document named {name!r}") from None
+
+    def persist(self, name: str) -> Snapshot:
+        """Write a live document's current state back to the backend."""
+        stored = self._live.get(name)
+        if stored is None:
+            raise UpdateError(f"document {name!r} is not materialised")
+        snapshot = stored.snapshot()
+        self.backend.put(snapshot, stored.ldoc)
+        return snapshot
 
     def restore(self, snapshot: Snapshot,
                 name: Optional[str] = None) -> StoredDocument:
@@ -203,15 +266,37 @@ class XMLRepository:
 
         The label stream is decoded and re-attached to the re-parsed
         tree in document order; a persistent scheme's labels therefore
-        come back bit-identical.
+        come back bit-identical.  The restored document is persisted to
+        the backend under its (possibly new) name.
         """
         get_registry().counter("repository.restores").increment()
         target = name or snapshot.name
-        if target in self._documents:
+        if target in self:
             raise UpdateError(f"document {target!r} already exists")
-        stored = StoredDocument(target, restore_snapshot(snapshot))
-        self._documents[target] = stored
+        ldoc = restore_snapshot(snapshot)
+        stored = StoredDocument(target, ldoc)
+        self.backend.put(snapshot_document(ldoc, target), ldoc)
+        self._live[target] = stored
         return stored
+
+    # -- point queries -----------------------------------------------------
+
+    def point_query(self, name: str, node_name: str) -> List[NodeRecord]:
+        """All nodes called ``node_name``, served from storage if possible.
+
+        Node-table backends (SQLite) answer without parsing the document
+        at all; others fall back to the materialised document's indexes.
+        """
+        if name not in self._live:
+            try:
+                records = self.backend.point_query(name, node_name)
+            except StorageError:
+                raise UpdateError(f"no document named {name!r}") from None
+            if records is not None:
+                return records
+        stored = self.get(name)
+        return [record for record in node_records(stored.ldoc)
+                if record.name == node_name]
 
     # -- transactions --------------------------------------------------------
 
@@ -240,13 +325,32 @@ class XMLRepository:
         """(name, scheme, labelled nodes, label bits) per document."""
         return [
             (
-                stored.name,
+                name,
                 stored.ldoc.scheme.metadata.name,
                 len(stored.ldoc.labels),
                 stored.storage_bits(),
             )
-            for stored in self._documents.values()
+            for name in self.names()
+            for stored in [self.get(name)]
         ]
+
+
+def open_repository(url_or_path: str = "memory://",
+                    default_scheme: str = "cdqs") -> XMLRepository:
+    """Open a repository over the backend a storage URL names.
+
+    ``memory://`` is the original in-RAM behaviour; ``sqlite:///file.db``
+    opens (creating if needed) an edge-model node table that can answer
+    point queries without materialisation; ``pagefile:///file.pages``
+    opens an append-only page file with journal-style crash safety.  A
+    bare path with a recognised suffix (``.db``, ``.sqlite``,
+    ``.sqlite3``, ``.pages``, ``.pagefile``) also works.  Close the
+    repository (or use it as a context manager) to release disk locks.
+    """
+    return XMLRepository(
+        default_scheme=default_scheme,
+        backend=backend_for_url(url_or_path).open(),
+    )
 
 
 #: Requirement keywords accepted by :func:`suggest_scheme`, mapped to the

@@ -1,0 +1,100 @@
+"""Frozen document states: the unit every storage backend persists.
+
+A :class:`Snapshot` is one document at rest — its XML text, the name and
+exact constructor configuration of its labelling scheme, and the
+bit-exact label stream produced by the :mod:`repro.encoding.codec`
+layer.  The repository, the write-ahead journal and every
+:class:`~repro.store.backends.StorageBackend` all speak this one type,
+which is what makes the storage engine pluggable: a backend only has to
+round-trip snapshots faithfully to inherit the version-control property
+of section 5.2.
+
+Restore failures are typed: a label stream that cannot be decoded, or
+one whose label count disagrees with the re-parsed document, raises
+:class:`~repro.errors.StorageError` /
+:class:`~repro.errors.SnapshotMismatchError` instead of leaking a bare
+``KeyError``/``ValueError`` from deep inside a codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.encoding.codec import codec_for
+from repro.errors import InvalidLabelError, SnapshotMismatchError, StorageError
+from repro.schemes.registry import make_scheme
+from repro.updates.document import LabeledDocument
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.serializer import serialize
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A frozen document state: text, scheme and the exact label bits.
+
+    Restoring re-parses the text and re-attaches the *decoded* labels by
+    document order, so persistent labels survive a round trip through
+    storage — the version-control property of section 5.2.
+    ``scheme_config`` records the constructor kwargs the scheme was made
+    with (``make_scheme(name, **kwargs)``): without it, restore would
+    silently rebuild a differently configured scheme — wrong component
+    widths, wrong overflow thresholds — under the same name.
+    """
+
+    name: str
+    scheme_name: str
+    xml: str
+    label_stream: bytes
+    scheme_config: Dict[str, Any] = field(default_factory=dict)
+
+
+def snapshot_document(ldoc: LabeledDocument, name: str) -> Snapshot:
+    """Freeze any labelled document as a :class:`Snapshot`."""
+    codec = codec_for(ldoc.scheme)
+    data, _bits = codec.encode_labels(ldoc.labels_in_document_order())
+    return Snapshot(
+        name=name,
+        scheme_name=ldoc.scheme.metadata.name,
+        xml=serialize(ldoc.document),
+        label_stream=data,
+        scheme_config=dict(getattr(ldoc.scheme, "configuration", {})),
+    )
+
+
+def restore_snapshot(snapshot: Snapshot,
+                     on_collision: str = "raise") -> LabeledDocument:
+    """Rebuild a labelled document from a snapshot, labels included.
+
+    The label stream is decoded and re-attached to the re-parsed tree in
+    document order, and the scheme is reconstructed with the exact
+    configuration it was created with; a persistent scheme's labels
+    therefore come back bit-identical.
+
+    An undecodable stream raises :class:`~repro.errors.StorageError`; a
+    stream whose label count disagrees with the re-parsed document
+    raises :class:`~repro.errors.SnapshotMismatchError` (a subclass).
+    """
+    document = parse(snapshot.xml)
+    scheme = make_scheme(snapshot.scheme_name, **dict(snapshot.scheme_config))
+    codec = codec_for(scheme)
+    try:
+        labels = codec.decode_labels(snapshot.label_stream)
+    except (KeyError, ValueError, IndexError, InvalidLabelError) as error:
+        raise StorageError(
+            f"snapshot {snapshot.name!r}: label stream is not decodable "
+            f"under scheme {snapshot.scheme_name!r}: {error}"
+        ) from error
+    nodes = list(document.labeled_nodes())
+    if len(labels) != len(nodes):
+        raise SnapshotMismatchError(
+            f"snapshot {snapshot.name!r}: label stream carries "
+            f"{len(labels)} label(s) but the document re-parses to "
+            f"{len(nodes)} labelled node(s)",
+            label_count=len(labels), node_count=len(nodes),
+        )
+    return LabeledDocument.from_labels(
+        document, scheme,
+        {node.node_id: label for node, label in zip(nodes, labels)},
+        on_collision=on_collision,
+    )

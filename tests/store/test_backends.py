@@ -1,0 +1,304 @@
+"""Backend conformance: one suite, every storage engine.
+
+Each test in ``TestConformance`` runs against all three built-in
+backends through one parametrised fixture, so a new backend earns its
+place by passing the identical contract: snapshot round-trips across
+every codec-supported scheme (all registry schemes except ``prime``,
+which has no stream codec), upsert/delete/name semantics, typed
+:class:`~repro.errors.StorageError` failures, and restart persistence
+for the disk engines.  Engine-specific guarantees — SQLite's
+concurrent-open refusal and materialisation-free point queries, the
+page file's crash-safe commit protocol — get their own classes below.
+"""
+
+import os
+
+import pytest
+
+from repro.data.sample import SAMPLE_XML
+from repro.durability.faults import InjectedFault, get_injector
+from repro.encoding.codec import supported_codec_schemes
+from repro.errors import BackendLockedError, StorageError
+from repro.store import open_repository
+from repro.store.backends import (
+    MemoryBackend,
+    PageFileBackend,
+    SQLiteBackend,
+    backend_for_url,
+    parse_storage_url,
+    registered_backends,
+)
+from repro.store.snapshots import Snapshot, snapshot_document
+from repro.updates.document import LabeledDocument
+from repro.schemes.registry import make_scheme
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.xmark import XMarkGenerator
+
+BACKENDS = ["memory", "sqlite", "pagefile"]
+
+LIBRARY = (
+    "<library><shelf><book><title>Dune</title></book>"
+    "<book><title>Neuromancer</title></book></shelf></library>"
+)
+
+
+def make_url(backend: str, tmp_path) -> str:
+    if backend == "memory":
+        return "memory://"
+    if backend == "sqlite":
+        return f"sqlite:///{tmp_path}/store.db"
+    return f"pagefile:///{tmp_path}/store.pages"
+
+
+def sample_snapshot(scheme_name: str = "qed", xml: str = SAMPLE_XML,
+                    name: str = "doc") -> Snapshot:
+    ldoc = LabeledDocument(parse(xml), make_scheme(scheme_name))
+    return snapshot_document(ldoc, name)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, tmp_path):
+    engine = backend_for_url(make_url(request.param, tmp_path)).open()
+    yield engine
+    engine.close()
+
+
+class TestConformance:
+    def test_put_get_round_trip(self, backend):
+        snapshot = sample_snapshot()
+        backend.put(snapshot)
+        loaded = backend.get("doc")
+        assert loaded.xml == snapshot.xml
+        assert loaded.label_stream == snapshot.label_stream
+        assert loaded.scheme_name == snapshot.scheme_name
+        assert loaded.scheme_config == snapshot.scheme_config
+
+    @pytest.mark.parametrize("scheme_name", supported_codec_schemes())
+    def test_round_trip_every_codec_scheme(self, backend, scheme_name):
+        snapshot = sample_snapshot(scheme_name)
+        backend.put(snapshot)
+        loaded = backend.get("doc")
+        assert loaded.label_stream == snapshot.label_stream
+        assert loaded.scheme_name == scheme_name
+
+    def test_scheme_config_round_trips(self, backend):
+        ldoc = LabeledDocument(
+            parse(SAMPLE_XML), make_scheme("dewey", component_bits=4)
+        )
+        backend.put(snapshot_document(ldoc, "narrow"))
+        assert backend.get("narrow").scheme_config == {"component_bits": 4}
+
+    def test_put_is_upsert(self, backend):
+        backend.put(sample_snapshot(xml="<a><b/></a>"))
+        backend.put(sample_snapshot(xml="<a><b/><c/></a>"))
+        assert backend.names() == ["doc"]
+        assert "<c" in backend.get("doc").xml
+
+    def test_names_and_contains(self, backend):
+        backend.put(sample_snapshot(name="beta"))
+        backend.put(sample_snapshot(name="alpha"))
+        assert backend.names() == ["alpha", "beta"]
+        assert backend.contains("alpha")
+        assert not backend.contains("gamma")
+
+    def test_delete(self, backend):
+        backend.put(sample_snapshot())
+        backend.delete("doc")
+        assert backend.names() == []
+        with pytest.raises(StorageError):
+            backend.get("doc")
+
+    def test_missing_document_is_typed(self, backend):
+        with pytest.raises(StorageError):
+            backend.get("ghost")
+        with pytest.raises(StorageError):
+            backend.delete("ghost")
+
+    def test_use_after_close_is_typed(self, backend):
+        backend.close()
+        with pytest.raises(StorageError):
+            backend.names()
+
+    def test_storage_bytes_grows(self, backend):
+        backend.put(sample_snapshot())
+        assert backend.storage_bytes() > 0
+
+    def test_repository_round_trip_over_backend(self, backend):
+        from repro.store.repository import XMLRepository
+
+        repository = XMLRepository(backend=backend)
+        repository.add("lib", LIBRARY, scheme="qed")
+        snapshot = repository.snapshot("lib")
+        restored = repository.restore(snapshot, name="copy")
+        assert restored.ldoc.labels_in_document_order() == (
+            repository.get("lib").ldoc.labels_in_document_order()
+        )
+
+
+class TestDiskPersistence:
+    @pytest.mark.parametrize("engine", ["sqlite", "pagefile"])
+    def test_snapshot_survives_restart(self, engine, tmp_path):
+        url = make_url(engine, tmp_path)
+        snapshot = sample_snapshot("cdqs")
+        with backend_for_url(url) as first:
+            first.put(snapshot)
+        with backend_for_url(url) as second:
+            loaded = second.get("doc")
+        assert loaded.label_stream == snapshot.label_stream
+        assert loaded.xml == snapshot.xml
+
+    @pytest.mark.parametrize("engine", ["sqlite", "pagefile"])
+    def test_delete_survives_restart(self, engine, tmp_path):
+        url = make_url(engine, tmp_path)
+        with backend_for_url(url) as first:
+            first.put(sample_snapshot(name="keep"))
+            first.put(sample_snapshot(name="drop"))
+            first.delete("drop")
+        with backend_for_url(url) as second:
+            assert second.names() == ["keep"]
+
+
+class TestSQLite:
+    def test_concurrent_open_refused(self, tmp_path):
+        url = make_url("sqlite", tmp_path)
+        with backend_for_url(url) as holder:
+            holder.put(sample_snapshot())
+            with pytest.raises(BackendLockedError):
+                backend_for_url(url).open()
+
+    def test_xmark_restart_point_query_without_parse(self, tmp_path):
+        """The acceptance path: ingest XMark, restart, point-query.
+
+        After the restart nothing is materialised — the answer comes
+        off the node table, labels decoded per row — and it matches a
+        full materialisation exactly.
+        """
+        url = make_url("sqlite", tmp_path)
+        corpus = XMarkGenerator(scale=0.5, seed=7).generate()
+        with open_repository(url) as repository:
+            repository.add("xmark", corpus, scheme="cdqs")
+        with open_repository(url) as repository:
+            records = repository.point_query("xmark", "item")
+            assert repository.live_names() == []
+            assert records, "XMark always has items"
+            materialised = repository.get("xmark")
+            expected = [
+                materialised.ldoc.labels[node.node_id]
+                for node in materialised.find("item")
+            ]
+            assert [record.label for record in records] == expected
+
+    def test_point_query_orders_and_types_rows(self, tmp_path):
+        with open_repository(make_url("sqlite", tmp_path)) as repository:
+            repository.add(
+                "doc", "<a><b id='1'>x</b><c/><b>y</b></a>", scheme="qed"
+            )            # still live: drop the cache to force the backend path
+            repository._live.clear()
+            records = repository.point_query("doc", "b")
+            assert [r.value for r in records] == ["x", "y"]
+            assert [r.kind for r in records] == ["element", "element"]
+            assert records[0].ordinal < records[1].ordinal
+            assert all(r.parent_ordinal == 0 for r in records)
+
+    def test_point_query_missing_document(self, tmp_path):
+        with backend_for_url(make_url("sqlite", tmp_path)) as engine:
+            with pytest.raises(StorageError):
+                engine.point_query("ghost", "b")
+
+
+class TestPageFileCrashSafety:
+    def test_crash_before_directory_record(self, tmp_path):
+        """Payload fsynced but no directory line: the put never happened."""
+        url = make_url("pagefile", tmp_path)
+        stable = sample_snapshot("qed", name="stable")
+        engine = backend_for_url(url).open()
+        engine.put(stable)
+        get_injector().arm("pagefile.commit")
+        with pytest.raises(InjectedFault):
+            engine.put(sample_snapshot(name="victim"))
+        engine.close()
+
+        with backend_for_url(url) as recovered:
+            assert recovered.names() == ["stable"]
+            assert recovered.get("stable").label_stream == (
+                stable.label_stream
+            )
+
+    def test_crash_mid_directory_record(self, tmp_path):
+        """Torn directory line: discarded by the journal's tail rule."""
+        url = make_url("pagefile", tmp_path)
+        stable = sample_snapshot("cdqs", name="stable")
+        engine = backend_for_url(url).open()
+        engine.put(stable)
+        get_injector().arm("pagefile.torn")
+        with pytest.raises(InjectedFault):
+            engine.put(sample_snapshot(name="victim"))
+        engine.close()
+
+        with backend_for_url(url) as recovered:
+            assert recovered.names() == ["stable"]
+            assert recovered.get("stable").label_stream == (
+                stable.label_stream
+            )
+            # The next put after recovery must not collide with the
+            # truncated orphan pages.
+            after = sample_snapshot(name="after")
+            recovered.put(after)
+            assert recovered.get("after").xml == after.xml
+            assert recovered.names() == ["after", "stable"]
+
+    def test_orphan_pages_truncated_on_reattach(self, tmp_path):
+        url = make_url("pagefile", tmp_path)
+        path = parse_storage_url(url)[1]
+        engine = backend_for_url(url).open()
+        engine.put(sample_snapshot(name="stable"))
+        get_injector().arm("pagefile.commit")
+        with pytest.raises(InjectedFault):
+            engine.put(sample_snapshot(name="victim"))
+        engine.close()
+        orphaned = os.path.getsize(path)
+
+        backend_for_url(url).open().close()
+        assert os.path.getsize(path) < orphaned
+
+    def test_corrupt_payload_detected(self, tmp_path):
+        url = make_url("pagefile", tmp_path)
+        path = parse_storage_url(url)[1]
+        with backend_for_url(url) as engine:
+            engine.put(sample_snapshot())
+        with open(path, "r+b") as handle:
+            handle.seek(10)
+            handle.write(b"\xff\xff\xff")
+        with backend_for_url(url) as engine:
+            with pytest.raises(StorageError, match="CRC"):
+                engine.get("doc")
+
+
+class TestStorageURLs:
+    def test_registered_backends(self):
+        assert registered_backends() == ["memory", "pagefile", "sqlite"]
+
+    @pytest.mark.parametrize("url, expected", [
+        ("memory://", ("memory", "")),
+        ("sqlite:///x.db", ("sqlite", "x.db")),
+        ("sqlite:///var/x.db", ("sqlite", "var/x.db")),
+        ("sqlite:////var/x.db", ("sqlite", "/var/x.db")),
+        ("pagefile://rel/x.pages", ("pagefile", "rel/x.pages")),
+        ("corpus.sqlite3", ("sqlite", "corpus.sqlite3")),
+        ("corpus.pagefile", ("pagefile", "corpus.pagefile")),
+    ])
+    def test_parse(self, url, expected):
+        assert parse_storage_url(url) == expected
+
+    def test_unknown_scheme(self):
+        with pytest.raises(StorageError, match="unknown storage scheme"):
+            parse_storage_url("carrier-pigeon://nest")
+
+    def test_disk_scheme_needs_path(self):
+        with pytest.raises(StorageError, match="needs a file path"):
+            parse_storage_url("sqlite://")
+
+    def test_backend_classes_expose_their_scheme(self):
+        assert MemoryBackend.url_scheme == "memory"
+        assert SQLiteBackend.url_scheme == "sqlite"
+        assert PageFileBackend.url_scheme == "pagefile"

@@ -3,8 +3,14 @@
 import pytest
 
 from repro.data.sample import SAMPLE_XML
-from repro.errors import UpdateError
-from repro.store.repository import Snapshot, XMLRepository, suggest_scheme
+from repro.errors import SnapshotMismatchError, StorageError, UpdateError
+from repro.store.repository import (
+    Snapshot,
+    XMLRepository,
+    open_repository,
+    suggest_scheme,
+    warn_on_legacy_repository,
+)
 
 LIBRARY = (
     "<library><shelf><book><title>Dune</title></book>"
@@ -127,7 +133,20 @@ class TestSnapshots:
             xml="<tiny/>",
             label_stream=snapshot.label_stream,
         )
-        with pytest.raises(UpdateError):
+        with pytest.raises(SnapshotMismatchError) as excinfo:
+            repo.restore(broken)
+        assert excinfo.value.label_count > excinfo.value.node_count == 1
+
+    def test_restore_rejects_undecodable_stream(self, repo):
+        snapshot = repo.snapshot("sample")
+        broken = Snapshot(
+            name="broken",
+            scheme_name=snapshot.scheme_name,
+            xml=snapshot.xml,
+            label_stream=snapshot.label_stream[: len(snapshot.label_stream)
+                                               // 2],
+        )
+        with pytest.raises(StorageError):
             repo.restore(broken)
 
     @pytest.mark.parametrize("scheme_name", [
@@ -175,6 +194,78 @@ class TestStorageReport:
         for name, scheme, nodes, bits in report:
             assert nodes > 0
             assert bits > 0
+
+
+class TestOpenRepository:
+    def test_memory_url(self):
+        repository = open_repository("memory://")
+        repository.add("doc", LIBRARY)
+        assert repository.backend.url_scheme == "memory"
+        assert repository.names() == ["doc"]
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(StorageError):
+            open_repository("carrier-pigeon://nest")
+
+    def test_bare_path_needs_known_suffix(self):
+        with pytest.raises(StorageError):
+            open_repository("/tmp/unknowable.xyz")
+
+    def test_context_manager_closes_backend(self):
+        with open_repository("memory://") as repository:
+            repository.add("doc", LIBRARY)
+        with pytest.raises(StorageError):
+            repository.backend.names()
+
+    def test_persist_writes_live_edits_through(self):
+        repository = open_repository("memory://")
+        repository.add("doc", LIBRARY)
+        stored = repository.get("doc")
+        shelf = stored.find("shelf")[0]
+        stored.ldoc.append_child(shelf, "magazine")
+        assert b"magazine" not in repository.backend.get("doc").xml.encode()
+        repository.persist("doc")
+        assert "magazine" in repository.backend.get("doc").xml
+
+    def test_persist_requires_materialised_document(self):
+        repository = open_repository("memory://")
+        with pytest.raises(UpdateError):
+            repository.persist("ghost")
+
+    def test_point_query_falls_back_to_materialisation(self):
+        repository = open_repository("memory://")
+        repository.add("doc", LIBRARY)
+        records = repository.point_query("doc", "title")
+        assert [record.value for record in records] == [
+            "Dune", "Neuromancer",
+        ]
+        assert repository.live_names() == ["doc"]
+
+
+class TestLegacyConstructorShim:
+    def test_quiet_by_default(self, recwarn):
+        XMLRepository()
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_warns_when_enabled(self):
+        warn_on_legacy_repository(True)
+        try:
+            with pytest.warns(DeprecationWarning, match="open_repository"):
+                XMLRepository()
+        finally:
+            warn_on_legacy_repository(False)
+
+    def test_explicit_backend_never_warns(self, recwarn):
+        from repro.store.backends import MemoryBackend
+
+        warn_on_legacy_repository(True)
+        try:
+            XMLRepository(backend=MemoryBackend().open())
+        finally:
+            warn_on_legacy_repository(False)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
 
 
 class TestSuggestScheme:

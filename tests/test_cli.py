@@ -162,6 +162,66 @@ class TestJournal:
         assert main(["journal", "inspect", "/nonexistent.journal"]) == 1
 
 
+class TestStoreCommand:
+    @pytest.fixture
+    def library_file(self, tmp_path):
+        path = tmp_path / "library.xml"
+        path.write_text(
+            "<library><shelf><book><title>Dune</title></book>"
+            "<book><title>Neuromancer</title></book></shelf></library>"
+        )
+        return str(path)
+
+    @pytest.fixture
+    def store_url(self, tmp_path):
+        return f"sqlite:///{tmp_path}/store.db"
+
+    def test_ingest_ls_round_trip(self, store_url, library_file, capsys):
+        assert main(["store", "ingest", store_url, "library",
+                     library_file, "--scheme", "cdqs"]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 'library'" in out
+        assert main(["store", "ls", store_url]) == 0
+        out = capsys.readouterr().out
+        assert "library" in out
+        assert "scheme=cdqs" in out
+        assert "(sqlite)" in out
+
+    def test_point_query_across_processes(self, store_url, library_file,
+                                          capsys):
+        assert main(["store", "ingest", store_url, "library",
+                     library_file]) == 0
+        capsys.readouterr()
+        # A fresh invocation = a fresh connection: the query is served
+        # from the node table, not from anything in this process.
+        assert main(["store", "query", store_url, "library", "title"]) == 0
+        out = capsys.readouterr().out
+        assert "'Dune'" in out
+        assert "'Neuromancer'" in out
+        assert "2 node(s)" in out
+
+    def test_get_and_rm(self, store_url, library_file, capsys):
+        main(["store", "ingest", store_url, "doc", library_file])
+        capsys.readouterr()
+        assert main(["store", "get", store_url, "doc", "--xml"]) == 0
+        assert "<title>Dune</title>" in capsys.readouterr().out
+        assert main(["store", "rm", store_url, "doc"]) == 0
+        capsys.readouterr()
+        assert main(["store", "get", store_url, "doc"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_pagefile_backend_via_cli(self, tmp_path, library_file, capsys):
+        url = f"pagefile:///{tmp_path}/store.pages"
+        assert main(["store", "ingest", url, "doc", library_file]) == 0
+        capsys.readouterr()
+        assert main(["store", "ls", url]) == 0
+        assert "(pagefile)" in capsys.readouterr().out
+
+    def test_unknown_url_scheme_fails(self, capsys):
+        assert main(["store", "ls", "gopher://hole"]) == 1
+        assert "unknown storage scheme" in capsys.readouterr().err
+
+
 class TestMetricsCommand:
     def test_synthetic_workload_prints_metrics(self, capsys):
         assert main(["metrics", "--scheme", "qed", "--ops", "20"]) == 0
