@@ -47,6 +47,7 @@ SECTIONS = [
     ("extension", "bench_structural_join"),
     ("extension", "bench_twig_queries"),
     ("extension", "bench_plane_queries"),
+    ("extension", "bench_accelerator"),
     ("extension", "bench_xmark_auctions"),
     ("extension", "bench_query_axes"),
     ("extension", "bench_batch_updates"),

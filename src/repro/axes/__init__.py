@@ -1,5 +1,6 @@
 """XPath axes: relationship decisions, axis evaluation, location paths."""
 
+from repro.axes.accelerator import ACCELERATED_AXES, AxisAccelerator
 from repro.axes.evaluator import AXES, AxisEvaluator
 from repro.axes.plane import PrePostPlane
 from repro.axes.relationships import (
@@ -12,7 +13,9 @@ from repro.axes.relationships import (
 from repro.axes.xpath import Step, XPathEvaluator, parse_path, xpath
 
 __all__ = [
+    "ACCELERATED_AXES",
     "AXES",
+    "AxisAccelerator",
     "AxisEvaluator",
     "PrePostPlane",
     "Relationship",

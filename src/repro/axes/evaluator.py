@@ -41,13 +41,22 @@ class AxisEvaluator:
     be answered from tree pointers instead (with the fallback counted),
     so the same evaluator runs on every scheme while the benchmarks can
     report how often labels sufficed.
+
+    ``accelerator`` (an :class:`~repro.axes.accelerator.AxisAccelerator`
+    over the same document) reroutes every axis it covers to window
+    range scans instead of the O(n) label-table scan; axes it does not
+    cover, and any caller passing ``accelerator=None``, take the scan
+    path unchanged — which is also the benchmark baseline.
     """
 
-    def __init__(self, ldoc: LabeledDocument, allow_fallback: bool = False):
+    def __init__(self, ldoc: LabeledDocument, allow_fallback: bool = False,
+                 accelerator=None):
         self.ldoc = ldoc
         self.scheme = ldoc.scheme
         self.allow_fallback = allow_fallback
+        self.accelerator = accelerator
         self.fallbacks = 0
+        self.accelerated_hits = 0
 
     # ------------------------------------------------------------------
 
@@ -55,6 +64,10 @@ class AxisEvaluator:
         """All nodes on ``axis`` from ``node``, in document order."""
         if axis not in AXES:
             raise UnsupportedRelationshipError(f"unknown axis {axis!r}")
+        if (self.accelerator is not None
+                and axis in self.accelerator.ACCELERATED_AXES):
+            self.accelerated_hits += 1
+            return self.accelerator.evaluate(axis, node)
         handler = getattr(self, "_axis_" + axis.replace("-", "_"))
         return handler(node)
 
@@ -143,7 +156,10 @@ class AxisEvaluator:
 
         return self._filter_by_label(
             node, predicate,
-            fallback=lambda: list(node.preceding_siblings())[::-1],
+            fallback=lambda: [
+                sibling for sibling in node.preceding_siblings()
+                if sibling.kind.is_labeled
+            ][::-1],
         )
 
     def _axis_attribute(self, node: XMLNode) -> List[XMLNode]:

@@ -2,19 +2,21 @@
 
 Section 3.1.1: "the evaluation of a location step on a major XPath axis
 (ancestor, descendant, following, preceding) amounts to a rectangular
-region query in the pre/post labelled plane".  This module builds that
-plane — nodes sorted by preorder rank with binary-searchable bounds —
-and answers the four major axes as window queries instead of full label
-scans, which is the XPath Accelerator's actual acceleration.
+region query in the pre/post labelled plane".  This module keeps that
+historical interface — nodes sorted by preorder rank, binary-searchable
+pre bounds, the four major axes as window queries — but the machinery
+now lives in the scheme-generic :class:`~repro.axes.accelerator.
+AxisAccelerator`; :class:`PrePostPlane` is its PrePost specialisation,
+adding only the label arrays that make raw ``(pre, post)`` rectangle
+access possible.
 
-Axis windows for a context node v (half-open pre ranges, post filters):
-
-* descendant: pre in (v.pre, ...] with post < v.post — and because a
-  node's descendants are exactly the following pre ranks until the
-  first post greater than v.post, the scan can stop early;
-* ancestor:   pre < v.pre and post > v.post;
-* following:  pre > v.pre and post > v.post;
-* preceding:  pre < v.pre and post < v.post.
+The plane is a *static* snapshot (``attach=False``): it labels its own
+internal PrePost document and cannot consume another scheme's delta
+stream, so after any structural update its queries raise
+:class:`~repro.errors.StaleIndexError` until :meth:`refresh` relabels
+and rebuilds — an explicit failure where the plane previously served
+stale windows silently.  For an index that follows updates by itself,
+use :class:`AxisAccelerator` attached to the live document.
 """
 
 from __future__ import annotations
@@ -22,105 +24,63 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List
 
-from repro.errors import UnsupportedRelationshipError
+from repro.axes.accelerator import AxisAccelerator
 from repro.schemes.containment.prepost import PrePostLabel, PrePostScheme
 from repro.updates.document import LabeledDocument
 from repro.xmlmodel.tree import Document, XMLNode
 
 
-class PrePostPlane:
+class PrePostPlane(AxisAccelerator):
     """A queryable pre/post plane over one document."""
 
     def __init__(self, document: Document):
-        self.document = document
-        self.ldoc = LabeledDocument(document, PrePostScheme())
-        self._rebuild()
-
-    def _rebuild(self) -> None:
-        entries = sorted(
-            (
-                (self.ldoc.label_of(node), node)
-                for node in self.document.labeled_nodes()
-            ),
-            key=lambda item: item[0].pre,
-        )
-        self._labels: List[PrePostLabel] = [label for label, _ in entries]
-        self._nodes: List[XMLNode] = [node for _, node in entries]
-        self._pres: List[int] = [label.pre for label in self._labels]
-        self._by_id: Dict[int, int] = {
-            node.node_id: index for index, node in enumerate(self._nodes)
-        }
+        super().__init__(LabeledDocument(document, PrePostScheme()),
+                         attach=False)
 
     def refresh(self) -> None:
-        """Rebuild after updates (pre/post is a static accelerator)."""
-        self._rebuild()
+        """Relabel and rebuild after updates (the plane is static)."""
+        # Updates may have come through any LabeledDocument over this
+        # tree; the internal PrePost labelling is recomputed wholesale
+        # (global ranks leave no room for local repair) before the
+        # order index and label arrays are rebuilt.
+        self.ldoc.relabel_document()
+        super().refresh()
+
+    def _build(self) -> None:
+        super()._build()
+        self._labels: List[PrePostLabel] = [
+            self.ldoc.label_of(node) for node in self._nodes
+        ]
+        self._pres: List[int] = [label.pre for label in self._labels]
 
     # ------------------------------------------------------------------
 
-    def _position(self, node: XMLNode) -> int:
-        try:
-            return self._by_id[node.node_id]
-        except KeyError:
-            raise UnsupportedRelationshipError(
-                f"node {node.node_id} is not on the plane (refresh needed?)"
-            ) from None
-
     def label_of(self, node: XMLNode) -> PrePostLabel:
+        self._ensure_current()
         return self._labels[self._position(node)]
 
     def descendants(self, node: XMLNode) -> List[XMLNode]:
-        """Window: pre > v.pre until the first post > v.post.
-
-        Descendants occupy a *contiguous* pre range, so the scan stops
-        at the first non-descendant — output-sensitive cost.
-        """
-        position = self._position(node)
-        post = self._labels[position].post
-        result: List[XMLNode] = []
-        for index in range(position + 1, len(self._labels)):
-            if self._labels[index].post > post:
-                break
-            result.append(self._nodes[index])
-        return result
+        """Window: the contiguous pre range below v — one slice."""
+        return self.evaluate("descendant", node)
 
     def ancestors(self, node: XMLNode) -> List[XMLNode]:
         """Window: pre < v.pre and post > v.post."""
-        position = self._position(node)
-        post = self._labels[position].post
-        return [
-            self._nodes[index]
-            for index in range(position)
-            if self._labels[index].post > post
-        ]
+        return self.evaluate("ancestor", node)
 
     def following(self, node: XMLNode) -> List[XMLNode]:
         """Window: pre > v.pre and post > v.post.
 
-        Everything after the last descendant, found by bisecting the
-        pre axis — a pure range copy.
+        Everything after the last descendant — a pure range copy.
         """
-        position = self._position(node)
-        post = self._labels[position].post
-        index = position + 1
-        while index < len(self._labels) and self._labels[index].post < post:
-            index += 1
-        return self._nodes[index:]
+        return self.evaluate("following", node)
 
     def preceding(self, node: XMLNode) -> List[XMLNode]:
         """Window: pre < v.pre and post < v.post."""
-        position = self._position(node)
-        post = self._labels[position].post
-        return [
-            self._nodes[index]
-            for index in range(position)
-            if self._labels[index].post < post
-        ]
+        return self.evaluate("preceding", node)
 
     def window(self, pre_low: int, pre_high: int) -> List[XMLNode]:
         """Raw rectangle access: nodes with pre in [pre_low, pre_high)."""
+        self._ensure_current()
         start = bisect.bisect_left(self._pres, pre_low)
         stop = bisect.bisect_left(self._pres, pre_high)
         return self._nodes[start:stop]
-
-    def size(self) -> int:
-        return len(self._nodes)

@@ -36,6 +36,13 @@ _PRED_EQUALS_RE = re.compile(
 )
 _PRED_EXISTS_RE = re.compile(r"^(?P<attr>@)?(?P<name>[A-Za-z_][\w.-]*)$")
 
+#: Axes whose positional predicates count in *reverse* document order
+#: (proximity order): ``ancestor::*[1]`` is the nearest ancestor, not
+#: the root.
+_REVERSE_AXES = frozenset(
+    ("ancestor", "ancestor-or-self", "preceding", "preceding-sibling")
+)
+
 
 @dataclass
 class Step:
@@ -65,10 +72,17 @@ def parse_path(path: str) -> (bool, List[Step]):
         else:
             end = index
             depth = 0
-            while end < len(text) and (text[end] != "/" or depth):
-                if text[end] == "[":
+            quote = None
+            while end < len(text) and (text[end] != "/" or depth or quote):
+                char = text[end]
+                if quote:
+                    if char == quote:
+                        quote = None
+                elif char in "'\"":
+                    quote = char
+                elif char == "[":
                     depth += 1
-                elif text[end] == "]":
+                elif char == "]":
                     depth -= 1
                 end += 1
             pieces.append(text[index:end])
@@ -137,18 +151,42 @@ def _parse_step(piece: str) -> Step:
     while rest:
         if not rest.startswith("["):
             raise XPathError(f"unexpected trailing text in step {piece!r}")
-        end = rest.index("]")
+        depth = 0
+        quote = None
+        end = -1
+        for position, char in enumerate(rest):
+            if quote:
+                if char == quote:
+                    quote = None
+            elif char in "'\"":
+                quote = char
+            elif char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+                if depth == 0:
+                    end = position
+                    break
+        if end < 0:
+            raise XPathError(f"unterminated predicate in step {piece!r}")
         predicates.append(rest[1:end].strip())
         rest = rest[end + 1 :]
     return Step(axis=axis, name_test=name, predicates=predicates)
 
 
 class XPathEvaluator:
-    """Evaluates parsed paths against a :class:`LabeledDocument`."""
+    """Evaluates parsed paths against a :class:`LabeledDocument`.
 
-    def __init__(self, ldoc: LabeledDocument, allow_fallback: bool = True):
+    ``accelerator`` (see :class:`~repro.axes.accelerator.AxisAccelerator`)
+    reroutes the axis steps it covers to window range scans; without one,
+    every step takes the label-table scan path.
+    """
+
+    def __init__(self, ldoc: LabeledDocument, allow_fallback: bool = True,
+                 accelerator=None):
         self.ldoc = ldoc
-        self.axes = AxisEvaluator(ldoc, allow_fallback=allow_fallback)
+        self.axes = AxisEvaluator(ldoc, allow_fallback=allow_fallback,
+                                  accelerator=accelerator)
 
     def evaluate(self, path: str,
                  context: Optional[XMLNode] = None) -> List[XMLNode]:
@@ -169,13 +207,19 @@ class XPathEvaluator:
     def _split_union(path: str) -> List[str]:
         pieces: List[str] = []
         depth = 0
+        quote = None
         current: List[str] = []
         for char in path:
-            if char == "[":
+            if quote:
+                if char == quote:
+                    quote = None
+            elif char in "'\"":
+                quote = char
+            elif char == "[":
                 depth += 1
             elif char == "]":
                 depth -= 1
-            if char == "|" and depth == 0:
+            if char == "|" and depth == 0 and quote is None:
                 pieces.append("".join(current))
                 current = []
             else:
@@ -208,10 +252,14 @@ class XPathEvaluator:
         else:
             current = [context or root]
         for step in steps:
+            # Predicates are evaluated once per context node, over that
+            # node's own axis result — XPath 1.0 semantics: /a/b/c[1] is
+            # the first c of *each* b, not the first of the merged set.
             gathered: List[XMLNode] = []
             for node in current:
-                gathered.extend(self.axes.evaluate(step.axis, node))
-            current = self._apply_tests(step, self._dedupe(gathered))
+                candidates = self.axes.evaluate(step.axis, node)
+                gathered.extend(self._apply_tests(step, candidates))
+            current = self._dedupe(gathered)
         return self._dedupe(current)
 
     # ------------------------------------------------------------------
@@ -228,6 +276,11 @@ class XPathEvaluator:
         elif step.axis != "attribute":
             # '*' on a non-attribute axis selects elements, per XPath.
             nodes = [node for node in nodes if node.is_element]
+        if step.predicates and step.axis in _REVERSE_AXES:
+            # Reverse axes number in proximity order: position 1 is the
+            # node nearest the context.  The final merge re-sorts the
+            # survivors into document order.
+            nodes = nodes[::-1]
         for predicate in step.predicates:
             nodes = self._apply_predicate(predicate, nodes)
         return nodes
@@ -290,6 +343,9 @@ class XPathEvaluator:
 
 
 def xpath(ldoc: LabeledDocument, path: str,
-          context: Optional[XMLNode] = None) -> List[XMLNode]:
+          context: Optional[XMLNode] = None,
+          accelerator=None) -> List[XMLNode]:
     """Module-level shortcut: evaluate ``path`` over ``ldoc``."""
-    return XPathEvaluator(ldoc).evaluate(path, context)
+    return XPathEvaluator(ldoc, accelerator=accelerator).evaluate(
+        path, context
+    )

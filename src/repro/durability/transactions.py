@@ -97,8 +97,13 @@ class UndoRecord:
         ldoc.last_batch_result = self._last_batch_result
         # The rollback itself is observable: it versions the secondary
         # indexes (their refresh stamp includes it) and memoized
-        # comparisons of labels that no longer exist are dropped.
+        # comparisons of labels that no longer exist are dropped.  The
+        # tree swap bypasses insert_child/remove_child, so the structure
+        # version is bumped by hand and delta subscribers are told to
+        # rebuild.
         ldoc.log.record("rollbacks")
+        document.note_structural_change()
+        ldoc._publish_rebuild("rollback")
         comparison_cache_for(ldoc.scheme).invalidate()
 
 

@@ -28,6 +28,7 @@ class DocumentIndexes:
         self._stamp: Optional[Tuple[int, int, int, int]] = None
         self._by_name: Dict[str, List[Entry]] = {}
         self._by_value: Dict[str, List[Entry]] = {}
+        self._accelerator = None
 
     # ------------------------------------------------------------------
 
@@ -63,6 +64,20 @@ class DocumentIndexes:
         self._by_name = by_name
         self._by_value = by_value
         self._stamp = stamp
+
+    def axis_accelerator(self):
+        """The document's axis accelerator, built on first use.
+
+        Attached to the document's structural-delta stream, so it stays
+        current through per-operation updates by positional splicing and
+        over batch consolidations by lazy rebuild — repository XPath
+        queries route their axis steps through it.
+        """
+        if self._accelerator is None:
+            from repro.axes.accelerator import AxisAccelerator
+
+            self._accelerator = AxisAccelerator(self.ldoc)
+        return self._accelerator
 
     # ------------------------------------------------------------------
 

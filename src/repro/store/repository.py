@@ -129,10 +129,17 @@ class StoredDocument:
             return matches
 
     def xpath(self, path: str) -> List[XMLNode]:
-        """Full mini-XPath over this document."""
+        """Full mini-XPath over this document.
+
+        Axis steps route through the document's attached
+        :class:`~repro.axes.accelerator.AxisAccelerator` (built on first
+        query), so the major axes are window range scans rather than
+        label-table scans.
+        """
         from repro.axes.xpath import xpath as evaluate
 
-        return evaluate(self.ldoc, path)
+        return evaluate(self.ldoc, path,
+                        accelerator=self.indexes.axis_accelerator())
 
     # -- persistence -------------------------------------------------------
 

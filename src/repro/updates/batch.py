@@ -219,6 +219,7 @@ class UpdateBatch:
             label = ldoc.labels.pop(node_id, None)
             if label is not None and ldoc._label_index.get(label) == node_id:
                 del ldoc._label_index[label]
+        ldoc._publish_delete(node.node_id, moved_ids)
         self._pending.difference_update(moved_ids)
         combined = UpdateResult(kind="move", node=node)
         if relabeled:
@@ -308,6 +309,7 @@ class UpdateBatch:
                     get_registry().histogram(
                         f"scheme.{scheme_name}.relabel_extent"
                     ).observe(relabeled_nodes)
+                ldoc._publish_rebuild("batch-apply")
                 passes = 1
                 self._pending.clear()
             span.set_attribute("relabel_passes", passes)
@@ -451,6 +453,7 @@ class UpdateBatch:
             ldoc.log.record("overflow_events")
             self._overflow_events += 1
         ldoc._assign(node.node_id, outcome.label)
+        ldoc._publish_insert(node)
         self._metric_fast.value += 1
         return UpdateResult(
             kind="insert", node=node, label=outcome.label, labels_assigned=1,

@@ -29,6 +29,38 @@ from repro.xmlmodel.tree import Document, NodeKind, XMLNode
 
 
 @dataclass
+class StructuralDelta:
+    """One published structural change, as consumed by derived indexes.
+
+    ``kind`` is one of:
+
+    * ``"insert"`` — ``node`` was just labelled in place (its labelled
+      descendants, if any in the tree, are not labelled yet — subtree
+      grafts and moves publish one insert per node, in preorder);
+    * ``"delete"`` — the subtree rooted at ``node_id`` was detached;
+      ``removed_ids`` lists every labelled-kind node id that went with it;
+    * ``"relabel"`` — ``count`` existing nodes changed label without any
+      node changing document-order position;
+    * ``"rebuild"`` — the label space was replaced wholesale (batch
+      consolidation, transaction rollback); incremental repair is not
+      possible and subscribers must rebuild.
+
+    ``structure_version`` is the document's
+    :attr:`~repro.xmlmodel.tree.Document.structure_version` at publish
+    time — subscribers stamp themselves with it after consuming the
+    delta.
+    """
+
+    kind: str
+    node: Optional[XMLNode] = None
+    node_id: Optional[int] = None
+    removed_ids: Optional[List[int]] = None
+    count: int = 0
+    reason: str = ""
+    structure_version: int = 0
+
+
+@dataclass
 class UpdateLog:
     """Running totals of update activity and its labelling cost.
 
@@ -99,6 +131,7 @@ class LabeledDocument:
         self._label_index: Dict[Any, int] = {}
         self._active_batch = None
         self._active_txn = None
+        self._delta_listeners: List[Any] = []
         self.last_batch_result = None
         self._rebuild_label_index()
 
@@ -119,9 +152,78 @@ class LabeledDocument:
         instance._label_index = {}
         instance._active_batch = None
         instance._active_txn = None
+        instance._delta_listeners = []
         instance.last_batch_result = None
         instance._rebuild_label_index()
         return instance
+
+    # ------------------------------------------------------------------
+    # Structural delta stream (derived-index maintenance)
+    # ------------------------------------------------------------------
+
+    def subscribe_deltas(self, listener: Any) -> None:
+        """Attach a structural-delta subscriber.
+
+        ``listener.apply_delta(delta)`` is called with a
+        :class:`StructuralDelta` after every structural mutation this
+        document performs — the axis accelerator consumes the stream to
+        stay current without rebuilding.  Subscribers see deltas in the
+        order the mutations happened.
+        """
+        if listener not in self._delta_listeners:
+            self._delta_listeners.append(listener)
+
+    def unsubscribe_deltas(self, listener: Any) -> None:
+        """Detach a previously subscribed delta listener (idempotent)."""
+        if listener in self._delta_listeners:
+            self._delta_listeners.remove(listener)
+
+    def _publish(self, delta: StructuralDelta) -> None:
+        delta.structure_version = self.document.structure_version
+        for listener in list(self._delta_listeners):
+            listener.apply_delta(delta)
+
+    def _publish_insert(self, node: XMLNode) -> None:
+        if self._delta_listeners:
+            self._publish(StructuralDelta(kind="insert", node=node))
+
+    def _publish_delete(self, node_id: int, removed_ids: List[int]) -> None:
+        if self._delta_listeners:
+            self._publish(StructuralDelta(
+                kind="delete", node_id=node_id, removed_ids=removed_ids
+            ))
+
+    def _publish_relabel(self, count: int) -> None:
+        if self._delta_listeners:
+            self._publish(StructuralDelta(kind="relabel", count=count))
+
+    def _publish_rebuild(self, reason: str) -> None:
+        if self._delta_listeners:
+            self._publish(StructuralDelta(kind="rebuild", reason=reason))
+
+    def relabel_document(self) -> int:
+        """Replace every label with the scheme's canonical labelling.
+
+        The maintenance entry point for static derived indexes (the
+        pre/post plane relabels its internal document this way on
+        ``refresh()``).  Unlike an update-driven relabelling it records
+        nothing in the update log — no update happened — but it does
+        publish a ``relabel`` delta and invalidate the comparison
+        cache.  Returns how many nodes changed label.
+        """
+        from repro.schemes.cache import comparison_cache_for
+
+        old = self.labels
+        new = self.scheme.label_tree(self.document)
+        changed = sum(
+            1 for node_id, label in new.items()
+            if old.get(node_id) != label
+        )
+        self.labels = new
+        self._rebuild_label_index()
+        comparison_cache_for(self.scheme).invalidate()
+        self._publish_relabel(changed)
+        return changed
 
     # ------------------------------------------------------------------
     # The unified update surface
@@ -357,6 +459,7 @@ class LabeledDocument:
             label = self.labels.pop(node_id, None)
             if label is not None and self._label_index.get(label) == node_id:
                 del self._label_index[label]
+        self._publish_delete(node.node_id, removed_ids)
         result = UpdateResult(kind="delete", node=None,
                               nodes_detached=len(removed_ids))
         if relabeled:
@@ -417,6 +520,7 @@ class LabeledDocument:
             label = self.labels.pop(node_id, None)
             if label is not None and self._label_index.get(label) == node_id:
                 del self._label_index[label]
+        self._publish_delete(node.node_id, moved_ids)
         combined = UpdateResult(kind="move", node=node,
                                 nodes_detached=len(moved_ids))
         if relabeled:
@@ -564,6 +668,7 @@ class LabeledDocument:
             result.relabeled_nodes = len(outcome.relabeled)
             result.relabel_events = 1
         self._assign(node.node_id, outcome.label)
+        self._publish_insert(node)
         result.label = outcome.label
         return result
 
@@ -625,6 +730,7 @@ class LabeledDocument:
         # scheme's memoized comparisons rather than let results for
         # recycled values linger past the state change.
         comparison_cache_for(self.scheme).invalidate()
+        self._publish_relabel(len(relabeled))
 
     def _assign(self, node_id: int, label: Any) -> None:
         key = self._hashable(label)

@@ -210,6 +210,8 @@ class XMLNode:
         child.parent = self
         self.children.insert(index, child)
         self._check_attribute_ordering(child, index)
+        if child.kind.is_labeled:
+            self.document.note_structural_change()
         return child
 
     def remove_child(self, child: "XMLNode") -> "XMLNode":
@@ -217,6 +219,8 @@ class XMLNode:
         index = self.child_index(child)
         del self.children[index]
         child.parent = None
+        if child.kind.is_labeled:
+            self.document.note_structural_change()
         return child
 
     def _validate_new_child(self, child: "XMLNode") -> None:
@@ -261,6 +265,24 @@ class Document:
     def __init__(self):
         self._next_id = itertools.count()
         self.root: Optional[XMLNode] = None
+        self._structure_version = 0
+
+    @property
+    def structure_version(self) -> int:
+        """Monotonic counter of structural (labelled-node) mutations.
+
+        Bumped whenever a labelled node is attached to or detached from
+        the tree (text/comment/PI churn never moves it), and manually by
+        state restorers that replace the tree wholesale (transaction
+        rollback).  Derived indexes stamp themselves with this value so
+        a stale index can refuse to answer instead of silently serving
+        results for a shape the document no longer has.
+        """
+        return self._structure_version
+
+    def note_structural_change(self) -> None:
+        """Advance the structure version (labelled shape changed)."""
+        self._structure_version += 1
 
     # ------------------------------------------------------------------
     # Node factory
@@ -298,6 +320,7 @@ class Document:
         if not root.is_element:
             raise TreeStructureError("the document root must be an element")
         self.root = root
+        self.note_structural_change()
         return root
 
     # ------------------------------------------------------------------

@@ -1,0 +1,248 @@
+"""Axis accelerator: window-index answers versus the scan path.
+
+The contract under test: an attached accelerator answers every
+accelerated axis identically to ``AxisEvaluator``'s label-table scan —
+across all 17 schemes, before and after every mutation kind — and a
+detached one refuses with :class:`StaleIndexError` instead of serving
+stale windows.
+"""
+
+import pytest
+
+from conftest import all_scheme_names, fresh_random_document, labeled
+from repro.axes.accelerator import ACCELERATED_AXES, AxisAccelerator
+from repro.axes.evaluator import AxisEvaluator
+from repro.errors import StaleIndexError
+from repro.store.repository import open_repository
+from repro.xmlmodel.parser import parse
+
+AXES = sorted(ACCELERATED_AXES)
+
+
+def ids(nodes):
+    return [node.node_id for node in nodes]
+
+
+def assert_equivalent(ldoc, accelerator, limit=None):
+    scan = AxisEvaluator(ldoc, allow_fallback=True)
+    fast = AxisEvaluator(ldoc, allow_fallback=True, accelerator=accelerator)
+    contexts = list(ldoc.document.labeled_nodes())
+    if limit is not None:
+        contexts = contexts[:limit]
+    for node in contexts:
+        for axis in AXES:
+            expected = ids(scan.evaluate(axis, node))
+            got = ids(fast.evaluate(axis, node))
+            assert got == expected, (axis, node.name, expected, got)
+
+
+def small_ldoc(scheme_name="dewey"):
+    return labeled(
+        parse("<a><b i='1'><c/><c/></b><b i='2'><c/></b><d/></a>"),
+        scheme_name,
+    )
+
+
+@pytest.mark.parametrize("scheme_name", all_scheme_names())
+class TestEquivalenceAcrossSchemes:
+    def test_static_document(self, scheme_name):
+        ldoc = labeled(fresh_random_document(60, seed=7), scheme_name)
+        assert_equivalent(ldoc, AxisAccelerator(ldoc), limit=20)
+
+    def test_after_mixed_updates(self, scheme_name):
+        # Insert, delete and move through the live update surface; the
+        # attached accelerator must keep agreeing with the scan path.
+        ldoc = labeled(fresh_random_document(40, seed=11), scheme_name)
+        accelerator = AxisAccelerator(ldoc)
+        document = ldoc.document
+        root = document.root
+        ldoc.updates.append_child(root, "fresh")
+        first = next(iter(root.labeled_children()))
+        ldoc.updates.insert_after(first, "neighbour")
+        victim = list(document.labeled_nodes())[-1]
+        if victim.parent is not None:
+            ldoc.updates.delete(victim)
+        movable = next(
+            node for node in document.labeled_nodes()
+            if node.parent is not None and node.is_element
+        )
+        ldoc.updates.move(movable, root, len(root.attributes()))
+        assert_equivalent(ldoc, accelerator, limit=20)
+
+    def test_after_batch_apply(self, scheme_name):
+        ldoc = labeled(fresh_random_document(30, seed=3), scheme_name)
+        accelerator = AxisAccelerator(ldoc)
+        root = ldoc.document.root
+        first = next(iter(root.labeled_children()))
+        with ldoc.batch() as batch:
+            for index in range(4):
+                batch.append_child(root, f"tail{index}")
+            batch.insert_before(first, "head")
+        assert_equivalent(ldoc, accelerator, limit=20)
+
+
+class TestIncrementalMaintenance:
+    def test_insert_splices_without_rebuild(self):
+        ldoc = small_ldoc()
+        accelerator = AxisAccelerator(ldoc)
+        builds = accelerator._metric_builds.value
+        ldoc.updates.append_child(ldoc.document.root, "new")
+        assert not accelerator.stale
+        assert_equivalent(ldoc, accelerator)
+        assert accelerator._metric_builds.value == builds
+
+    def test_delete_splices_without_rebuild(self):
+        ldoc = small_ldoc()
+        accelerator = AxisAccelerator(ldoc)
+        builds = accelerator._metric_builds.value
+        doomed = next(
+            node for node in ldoc.document.labeled_nodes() if node.name == "b"
+        )
+        ldoc.updates.delete(doomed)
+        assert not accelerator.stale
+        assert_equivalent(ldoc, accelerator)
+        assert accelerator._metric_builds.value == builds
+
+    def test_move_stays_current(self):
+        ldoc = small_ldoc()
+        accelerator = AxisAccelerator(ldoc)
+        node = next(
+            node for node in ldoc.document.labeled_nodes() if node.name == "d"
+        )
+        target = next(
+            node for node in ldoc.document.labeled_nodes() if node.name == "b"
+        )
+        ldoc.updates.move(node, target, len(target.children))
+        assert_equivalent(ldoc, accelerator)
+
+    def test_batch_apply_rebuilds_lazily(self):
+        ldoc = small_ldoc()
+        accelerator = AxisAccelerator(ldoc)
+        root = ldoc.document.root
+        first = next(iter(root.labeled_children()))
+        with ldoc.batch() as batch:
+            batch.insert_before(first, "head")  # forces a deferral on dewey
+        assert_equivalent(ldoc, accelerator)
+
+    def test_mid_batch_query_refused(self):
+        ldoc = small_ldoc()
+        accelerator = AxisAccelerator(ldoc)
+        root = ldoc.document.root
+        first = next(iter(root.labeled_children()))
+        batch = ldoc.batch()
+        batch.insert_before(first, "head")
+        assert batch.pending > 0
+        with pytest.raises(StaleIndexError, match="batch"):
+            accelerator.evaluate("descendant", root)
+        batch.apply()
+        assert_equivalent(ldoc, accelerator)
+
+    def test_rollback_publishes_rebuild(self):
+        ldoc = small_ldoc()
+        accelerator = AxisAccelerator(ldoc)
+        root = ldoc.document.root
+        with pytest.raises(RuntimeError):
+            with ldoc.transaction():
+                ldoc.updates.append_child(root, "doomed")
+                raise RuntimeError("abort")
+        assert_equivalent(ldoc, accelerator)
+
+    def test_detach_stops_maintenance(self):
+        ldoc = small_ldoc()
+        accelerator = AxisAccelerator(ldoc)
+        accelerator.detach()
+        ldoc.updates.append_child(ldoc.document.root, "late")
+        with pytest.raises(StaleIndexError):
+            accelerator.evaluate("descendant", ldoc.document.root)
+
+    def test_unindexed_node_refused(self):
+        ldoc = small_ldoc()
+        other = small_ldoc()
+        accelerator = AxisAccelerator(ldoc)
+        with pytest.raises(StaleIndexError):
+            accelerator.evaluate("descendant", other.document.root)
+
+
+class TestStalenessPerMutationKind:
+    """A detached index notices every structural mutation kind."""
+
+    def detached(self):
+        ldoc = small_ldoc()
+        return ldoc, AxisAccelerator(ldoc, attach=False)
+
+    def assert_stale(self, ldoc, accelerator):
+        with pytest.raises(StaleIndexError):
+            accelerator.evaluate("descendant", ldoc.document.root)
+        accelerator.refresh()
+        assert_equivalent(ldoc, accelerator)
+
+    def test_insert(self):
+        ldoc, accelerator = self.detached()
+        ldoc.updates.append_child(ldoc.document.root, "new")
+        self.assert_stale(ldoc, accelerator)
+
+    def test_delete(self):
+        ldoc, accelerator = self.detached()
+        doomed = next(
+            node for node in ldoc.document.labeled_nodes() if node.name == "d"
+        )
+        ldoc.updates.delete(doomed)
+        self.assert_stale(ldoc, accelerator)
+
+    def test_move(self):
+        ldoc, accelerator = self.detached()
+        node = next(
+            node for node in ldoc.document.labeled_nodes() if node.name == "d"
+        )
+        ldoc.updates.move(node, ldoc.document.root, 0)
+        self.assert_stale(ldoc, accelerator)
+
+    def test_batch(self):
+        ldoc, accelerator = self.detached()
+        with ldoc.batch() as batch:
+            batch.append_child(ldoc.document.root, "new")
+        self.assert_stale(ldoc, accelerator)
+
+    def test_rollback(self):
+        ldoc, accelerator = self.detached()
+        with pytest.raises(RuntimeError):
+            with ldoc.transaction():
+                ldoc.updates.append_child(ldoc.document.root, "doomed")
+                raise RuntimeError("abort")
+        self.assert_stale(ldoc, accelerator)
+
+    def test_content_updates_do_not_stale(self):
+        ldoc, accelerator = self.detached()
+        element = next(
+            node for node in ldoc.document.labeled_nodes() if node.name == "d"
+        )
+        ldoc.updates.set_text(element, "payload")
+        ldoc.updates.rename(element, "renamed")
+        assert not accelerator.stale
+        assert_equivalent(ldoc, accelerator)
+
+    def test_auto_refresh_rebuilds_silently(self):
+        ldoc = small_ldoc()
+        accelerator = AxisAccelerator(ldoc, attach=False, auto_refresh=True)
+        ldoc.updates.append_child(ldoc.document.root, "new")
+        assert_equivalent(ldoc, accelerator)
+
+
+class TestEvaluatorRouting:
+    def test_accelerated_axes_counted(self):
+        ldoc = small_ldoc()
+        fast = AxisEvaluator(ldoc, accelerator=AxisAccelerator(ldoc))
+        fast.evaluate("descendant", ldoc.document.root)
+        fast.evaluate("self", ldoc.document.root)
+        assert fast.accelerated_hits == 1
+
+    def test_repository_xpath_uses_accelerator(self):
+        repository = open_repository("memory://")
+        stored = repository.add(
+            "doc", "<a><b><c/><c/></b><b><c/></b></a>", scheme="dewey"
+        )
+        assert len(stored.xpath("//c")) == 3
+        assert stored.indexes._accelerator is not None
+        # Updates flow through the attached accelerator transparently.
+        stored.ldoc.updates.append_child(stored.ldoc.document.root, "b")
+        assert len(stored.xpath("/a/b")) == 3

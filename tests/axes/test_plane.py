@@ -5,7 +5,7 @@ import pytest
 from conftest import fresh_random_document
 from repro.axes.plane import PrePostPlane
 from repro.data.sample import sample_document
-from repro.errors import UnsupportedRelationshipError
+from repro.errors import StaleIndexError
 
 
 @pytest.fixture
@@ -82,8 +82,12 @@ class TestPlaneMechanics:
     def test_stale_node_rejected_until_refresh(self, plane):
         root = plane.document.root
         fresh_node = plane.ldoc.append_child(root, "late")
-        with pytest.raises(UnsupportedRelationshipError):
+        with pytest.raises(StaleIndexError):
             plane.descendants(fresh_node)
+        # The whole plane is stale now, not just the new node: querying
+        # from an old node refuses too instead of serving dead windows.
+        with pytest.raises(StaleIndexError):
+            plane.descendants(root)
         plane.refresh()
         assert plane.ancestors(fresh_node) == [root]
 

@@ -159,3 +159,62 @@ def test_same_answers_across_schemes(scheme_name):
     assert names(xpath(ldoc, "//name/ancestor::*")) == [
         "book", "publisher", "editor",
     ]
+
+
+class TestConfirmedBugs:
+    """Regression tests for the four confirmed evaluation bugs."""
+
+    def _parsed(self, text, scheme_name="dewey"):
+        from repro.xmlmodel.parser import parse
+
+        return labeled(parse(text), scheme_name)
+
+    def test_unterminated_predicate_raises_xpath_error(self):
+        # Used to escape as ValueError('substring not found') from
+        # rest.index("]").
+        ldoc = self._parsed("<a><b/></a>")
+        with pytest.raises(XPathError, match="unterminated predicate"):
+            xpath(ldoc, "/a/b[")
+
+    def test_positional_predicate_is_per_context_node(self):
+        # /a/b/c[1] selects the first c of *each* b (XPath 1.0), not the
+        # first of the merged node-set.
+        ldoc = self._parsed("<a><b><c i='1'/><c i='2'/></b><b><c i='3'/></b></a>")
+        result = xpath(ldoc, "/a/b/c[1]")
+        assert [node.attribute("i").value for node in result] == ["1", "3"]
+
+    def test_reverse_axis_counts_in_proximity_order(self):
+        # ancestor::*[1] is the nearest ancestor, not the root.
+        ldoc = self._parsed("<a><b><c><d/></c></b></a>")
+        leaf = xpath(ldoc, "//d")[0]
+        assert names(xpath(ldoc, "ancestor::*[1]", context=leaf)) == ["c"]
+        assert names(xpath(ldoc, "ancestor::*[3]", context=leaf)) == ["a"]
+        assert names(
+            xpath(ldoc, "preceding-sibling::*[1]",
+                  context=xpath(ldoc, "//b")[0])
+        ) == []
+
+    def test_preceding_positional_counts_backwards(self):
+        ldoc = self._parsed("<a><x/><y/><z/></a>")
+        z = xpath(ldoc, "//z")[0]
+        assert names(xpath(ldoc, "preceding-sibling::*[1]", context=z)) == ["y"]
+        assert names(xpath(ldoc, "preceding::*[2]", context=z)) == ["x"]
+
+    def test_bracket_inside_quoted_literal(self):
+        # A ']' inside a predicate string literal must not close the
+        # predicate during bracket scanning.
+        ldoc = self._parsed("<a><b x=']'/><b x='other'/></a>")
+        result = xpath(ldoc, "/a/b[@x=']']")
+        assert len(result) == 1
+        assert result[0].attribute("x").value == "]"
+
+    def test_union_bar_inside_quoted_literal(self):
+        ldoc = self._parsed("<a><b x='|'/><b x='other'/></a>")
+        result = xpath(ldoc, "/a/b[@x='|']")
+        assert len(result) == 1
+        assert result[0].attribute("x").value == "|"
+
+    def test_slash_inside_quoted_literal(self):
+        ldoc = self._parsed("<a><b x='p/q'/></a>")
+        result = xpath(ldoc, "/a/b[@x='p/q']")
+        assert len(result) == 1
