@@ -35,22 +35,33 @@ from repro.schemes import (
 from repro.observability import (
     BenchRun,
     ComparisonReport,
+    HealthReport,
     InMemorySpanExporter,
+    IntervalSampler,
     JSONLinesSpanExporter,
     MetricsRegistry,
+    OpEvent,
+    OpLog,
     Thresholds,
     Tracer,
     compare_runs,
+    configure_oplog,
     find_latest_run,
+    get_oplog,
     get_registry,
     get_tracer,
     load_baseline,
     load_run,
     load_trace,
+    oplog_enabled,
     render_comparison,
+    render_health,
     render_metrics,
+    render_openmetrics,
     render_span_tree,
+    run_health,
     run_sections,
+    start_metrics_server,
     summarize_trace,
     traced,
     tracing_enabled,
@@ -82,13 +93,17 @@ __all__ = [
     "Document",
     "FIGURE7_ORDER",
     "FaultInjector",
+    "HealthReport",
     "InMemorySpanExporter",
+    "IntervalSampler",
     "JSONLinesSpanExporter",
     "Journal",
     "LabeledDocument",
     "LabelingScheme",
     "MetricsRegistry",
     "NodeKind",
+    "OpEvent",
+    "OpLog",
     "SchemeMetadata",
     "StorageBackend",
     "Thresholds",
@@ -102,17 +117,24 @@ __all__ = [
     "apply_batch",
     "available_schemes",
     "compare_runs",
+    "configure_oplog",
     "find_latest_run",
+    "get_oplog",
     "get_registry",
     "get_tracer",
     "load_baseline",
     "load_run",
     "load_trace",
     "open_repository",
+    "oplog_enabled",
     "render_comparison",
+    "render_health",
     "render_metrics",
+    "render_openmetrics",
     "render_span_tree",
+    "run_health",
     "run_sections",
+    "start_metrics_server",
     "suggest_scheme",
     "summarize_trace",
     "traced",

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import StaleIndexError, UnsupportedRelationshipError
 from repro.observability.metrics import get_registry
+from repro.observability.ops import get_oplog
 from repro.observability.tracing import get_tracer
 from repro.updates.document import LabeledDocument, StructuralDelta
 from repro.xmlmodel.tree import XMLNode
@@ -117,13 +118,21 @@ class AxisAccelerator:
     def refresh(self) -> None:
         """Rebuild the whole index from the document and resync the stamp."""
         tracer = get_tracer()
-        if not tracer.enabled:
+        oplog = get_oplog()
+        if not tracer.enabled and not oplog.enabled:
             self._build()
             return
-        with tracer.span("accelerator.build",
-                         scheme=self.ldoc.scheme.metadata.name) as span:
-            self._build()
-            span.set_attribute("nodes", len(self._nodes))
+        with oplog.op("accelerator.build",
+                      scheme=self.ldoc.scheme.metadata.name) as op:
+            if tracer.enabled:
+                with tracer.span("accelerator.build",
+                                 scheme=self.ldoc.scheme.metadata.name) as span:
+                    self._build()
+                    span.set_attribute("nodes", len(self._nodes))
+                    op.link(span)
+            else:
+                self._build()
+            op.set(nodes=len(self._nodes))
 
     def _build(self) -> None:
         # Nodes a batch has deferred are structurally present but carry
@@ -180,15 +189,28 @@ class AxisAccelerator:
     def apply_delta(self, delta: StructuralDelta) -> None:
         """Fold one structural change into the index."""
         if not self._dirty:
-            if delta.kind == "insert":
-                self._splice_insert(delta.node)
-            elif delta.kind == "delete":
-                self._splice_delete(delta.node_id, delta.removed_ids or [])
+            if delta.kind in ("insert", "delete"):
+                oplog = get_oplog()
+                if not oplog.enabled:
+                    self._apply_splice(delta)
+                else:
+                    with oplog.op("accelerator.splice",
+                                  scheme=self.ldoc.scheme.metadata.name
+                                  ) as op:
+                        self._apply_splice(delta)
+                        op.set(nodes=1 + len(delta.removed_ids or ()),
+                               kind=delta.kind)
             elif delta.kind == "relabel":
                 self._on_relabel(delta.count)
             else:  # rebuild
                 self._dirty = True
         self._stamp = delta.structure_version
+
+    def _apply_splice(self, delta: StructuralDelta) -> None:
+        if delta.kind == "insert":
+            self._splice_insert(delta.node)
+        else:
+            self._splice_delete(delta.node_id, delta.removed_ids or [])
 
     def _splice_insert(self, node: XMLNode) -> None:
         """Insert one freshly labelled node at its document-order position.
@@ -274,11 +296,21 @@ class AxisAccelerator:
     # Staleness gate
     # ------------------------------------------------------------------
 
+    def _refuse_stale(self, message: str) -> StaleIndexError:
+        """Count and op-log one staleness refusal; returns the error."""
+        self._metric_stale.increment()
+        get_oplog().record(
+            "accelerator.stale_refusal", outcome="error",
+            error_type="StaleIndexError",
+            scheme=self.ldoc.scheme.metadata.name,
+            attributes={"message": message},
+        )
+        return StaleIndexError(message)
+
     def _ensure_current(self) -> None:
         batch = self.ldoc._active_batch
         if batch is not None and batch.pending:
-            self._metric_stale.increment()
-            raise StaleIndexError(
+            raise self._refuse_stale(
                 "document has a batch with unlabelled pending nodes; "
                 "apply the batch before querying the accelerator"
             )
@@ -286,16 +318,14 @@ class AxisAccelerator:
             if self._attached or self.auto_refresh:
                 self.refresh()
                 return
-            self._metric_stale.increment()
-            raise StaleIndexError(
+            raise self._refuse_stale(
                 "accelerator index marked for rebuild; call refresh()"
             )
         if self._stamp != self.document.structure_version:
             if self.auto_refresh:
                 self.refresh()
                 return
-            self._metric_stale.increment()
-            raise StaleIndexError(
+            raise self._refuse_stale(
                 f"document structure version "
                 f"{self.document.structure_version} is ahead of index "
                 f"stamp {self._stamp}; the index missed structural "
@@ -308,8 +338,7 @@ class AxisAccelerator:
         # can collide with a live id.
         position = self._pos.get(node.node_id)
         if position is None or self._nodes[position] is not node:
-            self._metric_stale.increment()
-            raise StaleIndexError(
+            raise self._refuse_stale(
                 f"node {node.node_id} is not on the index "
                 f"(refresh needed?)"
             )

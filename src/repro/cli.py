@@ -21,6 +21,11 @@
     python -m repro bench run --backend sqlite      # storage bench, one engine
     python -m repro bench compare                   # diff vs baseline
     python -m repro bench report                    # consolidated health
+    python -m repro health --workload --json        # watchdog verdict
+    python -m repro health --inject transaction.commit  # fault drill
+    python -m repro serve-metrics --port 9464       # /metrics + /health
+    python -m repro top --interval 1                # live ops dashboard
+    python -m repro metrics --watch 5 --samples 3   # JSONL snapshots
     python -m repro lint [--json]                   # static checks (CI gate)
 
 Every command prints plain text and exits non-zero on failure, so the
@@ -224,6 +229,31 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         ldoc.verify_order()
         summary = (f"per-op: {args.ops} ops, "
                    f"{ldoc.log.relabel_events} relabel event(s)")
+    if args.watch is not None:
+        import json
+        import time
+
+        from repro.observability.export import IntervalSampler
+
+        sampler = IntervalSampler(interval_s=args.watch, registry=registry)
+        emitted = 0
+        try:
+            while args.samples is None or emitted < args.samples:
+                if emitted:
+                    time.sleep(args.watch)
+                sample = sampler.sample_once()
+                if args.prefix:
+                    sample["metrics"] = {
+                        name: value
+                        for name, value in sample["metrics"].items()
+                        if name.startswith(args.prefix)
+                    }
+                print(json.dumps(sample, sort_keys=True))
+                sys.stdout.flush()
+                emitted += 1
+        except KeyboardInterrupt:
+            pass
+        return 0
     if args.json:
         values = {
             name: value for name, value in registry.snapshot().items()
@@ -234,6 +264,174 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     print(summary)
     print()
     print(render_metrics(registry, prefix=args.prefix))
+    return 0
+
+
+def _observed_workload(args: argparse.Namespace) -> None:
+    """A transaction stream under the op-log, with optional faults.
+
+    Populates the global metrics registry and op-log so the health
+    probes and the exporter report live evidence.  ``--inject POINT``
+    arms the named fault point every ``--inject-every`` transactions;
+    each firing rolls one transaction back, which is exactly the
+    telemetry the rollback-rate and op-error-rate probes watch.
+    """
+    import random
+
+    from repro.durability.faults import InjectedFault, get_injector
+    from repro.observability.metrics import get_registry
+    from repro.observability.ops import configure_oplog, get_oplog
+    from repro.schemes.registry import make_scheme
+    from repro.updates.document import LabeledDocument
+
+    # The verdict should describe *this* workload, so start from zero —
+    # exactly like `repro metrics` does.
+    get_registry().reset()
+    configure_oplog(enabled=True)
+    get_oplog().clear()
+    document = _workload_document(args)
+    ldoc = LabeledDocument(document, make_scheme(args.scheme))
+    rng = random.Random(args.seed)
+    injector = get_injector()
+    points = args.inject or []
+    every = max(1, args.inject_every)
+    try:
+        for index in range(args.ops):
+            if points and index % every == 0:
+                for point in points:
+                    injector.arm(point)
+            # Rollback swaps the live tree, so node references must be
+            # re-resolved from the document each round.
+            targets = [
+                node for node in ldoc.document.all_nodes() if node.is_element
+            ]
+            try:
+                with ldoc.transaction() as txn:
+                    txn.append_child(rng.choice(targets), f"n{index}")
+            except (InjectedFault, ReproError):
+                continue
+    finally:
+        injector.reset()
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Evaluate the watchdog probes; optionally run a workload first."""
+    from repro.observability.health import render_health, run_health
+    from repro.observability.jsonio import emit_json
+
+    if args.workload or args.inject:
+        _observed_workload(args)
+    report = run_health()
+    if args.json:
+        emit_json(report.to_payload())
+    else:
+        print(render_health(report))
+    return report.exit_code
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    """Expose /metrics (OpenMetrics) and /health over HTTP, blocking."""
+    from repro.observability.export import serve_metrics
+    from repro.observability.ops import configure_oplog
+
+    configure_oplog(enabled=True)
+    if args.workload or args.inject:
+        _observed_workload(args)
+    print(f"serving OpenMetrics on http://{args.host}:{args.port}/metrics "
+          f"(health at /health; Ctrl-C to stop)")
+    serve_metrics(host=args.host, port=args.port)
+    return 0
+
+
+def _render_top_frame(window_s: float) -> str:
+    """One dashboard frame: op rates, per-kind latency, probe verdicts."""
+    from repro.observability.health import run_health
+    from repro.observability.metrics import get_registry
+    from repro.observability.ops import get_oplog
+
+    oplog = get_oplog()
+    snapshot = get_registry().snapshot()
+    rates = oplog.rates(window_s)
+    recorded = snapshot.get("ops.recorded", 0)
+    errors = snapshot.get("ops.errors", 0)
+    slow = snapshot.get("ops.slow", 0)
+    lines = [
+        f"repro top — {recorded:.0f} ops recorded, {errors:.0f} errors, "
+        f"{slow:.0f} slow, {len(oplog)} buffered",
+        f"{'kind':28s} {'ops/s':>8s} {'p50 ms':>9s} {'p95 ms':>9s} "
+        f"{'p99 ms':>9s} {'count':>8s}",
+    ]
+    kinds = sorted(
+        name[len("ops."):-len(".ms.count")]
+        for name in snapshot
+        if name.startswith("ops.") and name.endswith(".ms.count")
+    )
+    for kind in kinds:
+        base = f"ops.{kind}.ms"
+
+        def _cell(stat: str) -> str:
+            value = snapshot.get(f"{base}.{stat}")
+            return f"{value:9.3f}" if value is not None else f"{'-':>9s}"
+
+        lines.append(
+            f"{kind:28s} {rates.get(kind, 0.0):8.1f} {_cell('p50')} "
+            f"{_cell('p95')} {_cell('p99')} "
+            f"{snapshot.get(f'{base}.count', 0):8.0f}"
+        )
+    report = run_health()
+    lines.append("")
+    lines.append(f"health: {report.status}")
+    for result in report.results:
+        if result.status != "ok":
+            lines.append(f"  {result.probe}: {result.status} — "
+                         f"{result.evidence}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live operations dashboard over an XMark ingest/bidding loop."""
+    import threading
+    import time
+
+    from repro.observability.ops import configure_oplog
+    from repro.store.repository import open_repository
+    from repro.xmlmodel.xmark import bidding_stream, xmark_document
+
+    configure_oplog(enabled=True)
+    stop = threading.Event()
+
+    def worker() -> None:
+        with open_repository("memory://") as repository:
+            round_no = 0
+            while not stop.is_set():
+                name = f"auctions-{round_no}"
+                stored = repository.add(
+                    name, xmark_document(scale=args.scale, seed=round_no),
+                    scheme=args.scheme,
+                )
+                bidding_stream(stored.ldoc, args.ops, seed=round_no)
+                stored.xpath("//bidder")
+                repository.remove(name)
+                round_no += 1
+
+    thread = threading.Thread(target=worker, name="repro-top-workload",
+                              daemon=True)
+    thread.start()
+    frames = 0
+    try:
+        while args.iterations == 0 or frames < args.iterations:
+            time.sleep(args.interval)
+            frames += 1
+            frame = _render_top_frame(window_s=max(5 * args.interval, 1.0))
+            if not args.plain:
+                print("\x1b[2J\x1b[H", end="")
+            print(frame)
+            sys.stdout.flush()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        thread.join(timeout=5.0)
     return 0
 
 
@@ -484,6 +682,8 @@ def _bench_report(args: argparse.Namespace) -> int:
     from repro.observability.benchtel import find_latest_run, load_run
     from repro.observability.jsonio import emit_json
 
+    from repro.observability.health import health_from_snapshot
+
     bench_path = args.bench or find_latest_run()
     payload = load_run(bench_path)
     trace_rows = []
@@ -494,11 +694,13 @@ def _bench_report(args: argparse.Namespace) -> int:
         )
 
         trace_rows = summarize_trace(load_trace(args.trace))
+    health = health_from_snapshot(payload.get("metrics_snapshot") or {})
 
     if args.json:
         document = {
             "bench": payload,
             "trace_hotspots": [dict(row) for row in trace_rows],
+            "health": health.to_payload(),
         }
         emit_json(document)
         return 1 if payload["totals"]["failed"] else 0
@@ -555,6 +757,12 @@ def _bench_report(args: argparse.Namespace) -> int:
         print("\n  metrics snapshot (cache + histogram counts)")
         for name in sorted(interesting):
             print(f"    {name:44s} {interesting[name]:12.0f}")
+
+    print(f"\n  watchdog verdict over the run's metrics: {health.status}")
+    for result in health.results:
+        if result.status != "ok":
+            print(f"    {result.probe}: {result.status} — "
+                  f"{result.evidence}")
     return 1 if failed else 0
 
 
@@ -677,6 +885,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="apply the workload through an UpdateBatch")
     metrics.add_argument("--prefix", default="",
                          help="only show metrics whose name starts with this")
+    metrics.add_argument("--watch", type=float, metavar="SECONDS",
+                         default=None,
+                         help="after the workload, emit a JSON-lines "
+                              "snapshot every SECONDS (Ctrl-C to stop)")
+    metrics.add_argument("--samples", type=int, default=None,
+                         help="with --watch, stop after this many samples")
     metrics.add_argument("--json", action="store_true",
                          help="emit the snapshot as JSON (machine-readable)")
 
@@ -814,6 +1028,63 @@ def build_parser() -> argparse.ArgumentParser:
     bench_report.add_argument("--json", action="store_true",
                               help="emit the health document as JSON")
 
+    def _add_workload_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument("file", nargs="?", default=None,
+                             help="XML file for the workload "
+                                  "(default: a built-in document)")
+        command.add_argument("--scheme", default="dewey")
+        command.add_argument("--ops", type=int, default=60,
+                             help="transactions in the workload "
+                                  "(default 60)")
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument("--inject", action="append", metavar="POINT",
+                             default=None,
+                             help="arm this fault point during the "
+                                  "workload (repeatable; e.g. "
+                                  "transaction.commit)")
+        command.add_argument("--inject-every", type=int, default=2,
+                             help="re-arm --inject points every N "
+                                  "transactions (default 2)")
+
+    health = commands.add_parser(
+        "health",
+        help="evaluate the health watchdog probes",
+    )
+    _add_workload_options(health)
+    health.add_argument("--workload", action="store_true",
+                        help="run an op-logged update workload before "
+                             "evaluating (implied by --inject)")
+    health.add_argument("--json", action="store_true",
+                        help="emit the health document as JSON")
+
+    serve = commands.add_parser(
+        "serve-metrics",
+        help="serve /metrics (OpenMetrics) and /health over HTTP",
+    )
+    _add_workload_options(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9464)
+    serve.add_argument("--workload", action="store_true",
+                       help="run an op-logged workload before serving "
+                            "(implied by --inject)")
+
+    top = commands.add_parser(
+        "top",
+        help="live op-rate/latency/health dashboard over an XMark loop",
+    )
+    top.add_argument("--scheme", default="dewey")
+    top.add_argument("--scale", type=float, default=0.1,
+                     help="XMark document scale per round (default 0.1)")
+    top.add_argument("--ops", type=int, default=100,
+                     help="bids per XMark round (default 100)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between frames (default 1)")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="frames to render then exit (default 0: "
+                          "run until Ctrl-C)")
+    top.add_argument("--plain", action="store_true",
+                     help="append frames instead of clearing the screen")
+
     lint = commands.add_parser(
         "lint",
         help="static property verifier + repo lint (CI gate)",
@@ -853,6 +1124,9 @@ _HANDLERS = {
     "journal": _cmd_journal,
     "store": _cmd_store,
     "bench": _cmd_bench,
+    "health": _cmd_health,
+    "serve-metrics": _cmd_serve_metrics,
+    "top": _cmd_top,
     "lint": _cmd_lint,
 }
 

@@ -143,10 +143,14 @@ class Journal:
         self._require_base()
         if self._open_txn is None:
             self.begin()
-        with get_tracer().span("journal.append",
-                               kind=operation.kind.value,
-                               sync=self.sync_policy), \
+        from repro.observability.ops import get_oplog
+
+        with get_oplog().op("journal.append") as op, \
+                get_tracer().span("journal.append",
+                                  kind=operation.kind.value,
+                                  sync=self.sync_policy), \
                 self._timer_append.time():
+            op.set(kind=operation.kind.value, sync=self.sync_policy)
             record = {"type": "op", "txn": self._open_txn}
             record.update(operation.to_dict())
             line = json.dumps(record, separators=(",", ":"))
@@ -222,7 +226,10 @@ class Journal:
             self._fsync()
 
     def _fsync(self) -> None:
-        with get_tracer().span("journal.fsync", sync=self.sync_policy):
+        from repro.observability.ops import get_oplog
+
+        with get_oplog().op("journal.fsync"), \
+                get_tracer().span("journal.fsync", sync=self.sync_policy):
             os.fsync(self._file.fileno())
         self._metric_syncs.increment()
 
@@ -306,9 +313,12 @@ def recover(path) -> RecoveryResult:
     always a commit boundary: the base state, or the state after some
     prefix of the committed transactions — never a half-applied update.
     """
+    from repro.observability.ops import get_oplog
+
     registry = get_registry()
     registry.counter("durability.recoveries").increment()
-    with get_tracer().span("journal.recover") as span, \
+    with get_oplog().op("journal.recover") as op, \
+            get_tracer().span("journal.recover") as span, \
             registry.timer("durability.recover").time():
         records, torn_tail = read_journal(path)
         if not records or records[0]["type"] != "base":
@@ -365,6 +375,10 @@ def recover(path) -> RecoveryResult:
         span.set_attribute("records_replayed", operations)
         span.set_attribute("records_discarded", discarded_ops)
         span.set_attribute("torn_tail", torn_tail)
+        op.link(span)
+        op.set(nodes=operations, document=base["name"],
+               scheme=base["scheme"], transactions_applied=applied,
+               records_discarded=discarded_ops, torn_tail=torn_tail)
 
     return RecoveryResult(
         ldoc=ldoc,

@@ -195,29 +195,40 @@ class Transaction:
             raise TransactionError(
                 "cannot commit while a batch has unapplied operations"
             )
-        with get_tracer().span("transaction.commit",
-                               scheme=ldoc.scheme.metadata.name,
-                               journaled=self._journal is not None):
-            try:
-                maybe_fail("transaction.commit")
-                if self._journal is not None:
-                    self._journal.commit()
-            except Exception:
-                self.rollback()
-                raise
-            self._state = "committed"
-            self._undo = None
-            ldoc._active_txn = None
-            self._metric_commits.increment()
+        from repro.observability.ops import get_oplog
+
+        with get_oplog().op("transaction.commit",
+                            scheme=ldoc.scheme.metadata.name) as op:
+            with get_tracer().span("transaction.commit",
+                                   scheme=ldoc.scheme.metadata.name,
+                                   journaled=self._journal is not None) as span:
+                op.link(span)
+                try:
+                    maybe_fail("transaction.commit")
+                    if self._journal is not None:
+                        self._journal.commit()
+                except Exception:
+                    self.rollback()
+                    raise
+                self._state = "committed"
+                self._undo = None
+                ldoc._active_txn = None
+                self._metric_commits.increment()
 
     def rollback(self) -> None:
         """Restore the document to its pre-transaction state."""
         if self._state != "active":
             return
+        from repro.observability.ops import get_oplog
+
         ldoc = self._ldoc
-        with get_tracer().span("transaction.rollback",
-                               scheme=ldoc.scheme.metadata.name,
-                               journaled=self._journal is not None):
+        oplog = get_oplog()
+        with oplog.op("transaction.rollback",
+                      scheme=ldoc.scheme.metadata.name) as op, \
+                get_tracer().span("transaction.rollback",
+                                  scheme=ldoc.scheme.metadata.name,
+                                  journaled=self._journal is not None):
+            op.set(outcome="rollback")
             # A batch opened inside the scope and still live at rollback
             # time is subsumed: the undo record predates it.  Close it
             # too, so a caller still holding the reference cannot keep

@@ -20,7 +20,17 @@ its currency.  This package turns those measurements into two layers:
   under a timed, metrics-capturing harness into schema-versioned
   ``BENCH_*.json`` documents, and a **regression comparator**
   (:mod:`repro.observability.regression`) that diffs a run against a
-  committed baseline — both behind ``python -m repro bench``.
+  committed baseline — both behind ``python -m repro bench``;
+* a structured **operations log** (:mod:`repro.observability.ops`) —
+  a bounded ring of typed per-operation events with outcome, duration
+  and trace correlation, behind the same zero-cost-when-disabled
+  switch as the tracer;
+* a **health watchdog** (:mod:`repro.observability.health`) — pluggable
+  probes reading the metrics snapshot and the op-log, aggregated into
+  one ok/warn/critical document behind ``python -m repro health``;
+* a continuous **exporter** (:mod:`repro.observability.export`) —
+  OpenMetrics text rendering, an interval JSONL sampler, and the
+  stdlib HTTP endpoint behind ``python -m repro serve-metrics``.
 """
 
 from repro.observability.benchtel import (
@@ -31,6 +41,26 @@ from repro.observability.benchtel import (
     run_sections,
     write_run,
 )
+from repro.observability.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    IntervalSampler,
+    MetricsHTTPServer,
+    openmetrics_name,
+    render_openmetrics,
+    serve_metrics,
+    start_metrics_server,
+)
+from repro.observability.health import (
+    HEALTH_SCHEMA_VERSION,
+    HealthContext,
+    HealthProbe,
+    HealthReport,
+    ProbeResult,
+    default_probes,
+    health_from_snapshot,
+    render_health,
+    run_health,
+)
 from repro.observability.metrics import (
     Counter,
     Histogram,
@@ -38,6 +68,14 @@ from repro.observability.metrics import (
     Timer,
     get_registry,
     render_metrics,
+)
+from repro.observability.ops import (
+    OpEvent,
+    OpLog,
+    configure_oplog,
+    get_oplog,
+    oplog_enabled,
+    render_oplog,
 )
 from repro.observability.regression import (
     ComparisonReport,
@@ -72,10 +110,20 @@ __all__ = [
     "BenchRun",
     "ComparisonReport",
     "Counter",
+    "HEALTH_SCHEMA_VERSION",
+    "HealthContext",
+    "HealthProbe",
+    "HealthReport",
     "Histogram",
     "InMemorySpanExporter",
+    "IntervalSampler",
     "JSONLinesSpanExporter",
+    "MetricsHTTPServer",
     "MetricsRegistry",
+    "OPENMETRICS_CONTENT_TYPE",
+    "OpEvent",
+    "OpLog",
+    "ProbeResult",
     "RatioSampler",
     "SectionComparison",
     "SectionResult",
@@ -85,18 +133,30 @@ __all__ = [
     "Timer",
     "Tracer",
     "compare_runs",
+    "configure_oplog",
     "configure_tracing",
+    "default_probes",
     "find_latest_run",
+    "get_oplog",
     "get_registry",
     "get_tracer",
+    "health_from_snapshot",
     "load_baseline",
     "load_run",
     "load_trace",
+    "openmetrics_name",
+    "oplog_enabled",
     "render_comparison",
+    "render_health",
     "render_metrics",
+    "render_oplog",
+    "render_openmetrics",
     "render_span_tree",
     "render_summary",
+    "run_health",
     "run_sections",
+    "serve_metrics",
+    "start_metrics_server",
     "summarize_trace",
     "traced",
     "tracing_enabled",

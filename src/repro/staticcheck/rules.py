@@ -343,17 +343,29 @@ class MetricNameRule:
     metrics module), and literal names follow the dotted-lowercase
     convention (``"updates.insertions"``) so dashboards and baselines
     sort stably.  F-string names must carry a dotted literal prefix.
+    The leading segment must also be a *known family* (see
+    ``KNOWN_FAMILIES``) so the OpenMetrics exposition and the health
+    probes see every instrument under a namespace they cover — a typo'd
+    family (``op.`` for ``ops.``) would otherwise vanish from both.
     """
 
     id = "REP006"
     name = "metric-name"
     severity = "error"
     description = ("metric instruments must come from MetricsRegistry "
-                   "with dotted lowercase names")
+                   "with dotted lowercase names in a known family")
 
     _METHODS = ("counter", "timer", "histogram")
     _CLASSES = ("Counter", "Timer", "Histogram")
     _HOME = "repro.observability.metrics"
+
+    #: The metric families dashboards, probes and baselines know about.
+    #: Extending the observability surface means extending this set —
+    #: deliberately, in the same change that teaches the consumers.
+    KNOWN_FAMILIES = frozenset({
+        "axes", "batch", "compare_cache", "durability", "health", "ops",
+        "repository", "scheme", "store", "updates",
+    })
 
     @staticmethod
     def _is_registry_receiver(node: ast.expr) -> bool:
@@ -382,6 +394,14 @@ class MetricNameRule:
                     f"metric name {arg.value!r} is not dotted lowercase "
                     f"(like 'updates.insertions')",
                 )
+            elif arg.value.split(".", 1)[0] not in self.KNOWN_FAMILIES:
+                yield ctx.finding(
+                    self, module, arg.lineno, arg.col_offset,
+                    f"metric family {arg.value.split('.', 1)[0]!r} is not "
+                    f"a known family "
+                    f"({', '.join(sorted(self.KNOWN_FAMILIES))}); extend "
+                    f"MetricNameRule.KNOWN_FAMILIES when adding one",
+                )
         elif isinstance(arg, ast.JoinedStr):
             head = arg.values[0] if arg.values else None
             if not (isinstance(head, ast.Constant)
@@ -391,6 +411,14 @@ class MetricNameRule:
                     self, module, arg.lineno, arg.col_offset,
                     "f-string metric name must start with a dotted "
                     "lowercase literal prefix (like f\"scheme.{name}...\")",
+                )
+            elif head.value.split(".", 1)[0] not in self.KNOWN_FAMILIES:
+                yield ctx.finding(
+                    self, module, arg.lineno, arg.col_offset,
+                    f"metric family {head.value.split('.', 1)[0]!r} is not "
+                    f"a known family "
+                    f"({', '.join(sorted(self.KNOWN_FAMILIES))}); extend "
+                    f"MetricNameRule.KNOWN_FAMILIES when adding one",
                 )
 
     def check(self, ctx: RuleContext) -> Iterator[Finding]:

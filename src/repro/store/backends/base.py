@@ -24,8 +24,9 @@ import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import StorageError
+from repro.errors import BackendLockedError, StorageError
 from repro.observability.metrics import get_registry
+from repro.observability.ops import get_oplog
 from repro.observability.tracing import get_tracer
 from repro.store.snapshots import Snapshot, restore_snapshot
 from repro.updates.document import LabeledDocument
@@ -89,6 +90,12 @@ class StorageBackend(abc.ABC):
         self._metric_puts = registry.counter("store.backend.puts")
         self._metric_gets = registry.counter("store.backend.gets")
         self._metric_deletes = registry.counter("store.backend.deletes")
+        self._metric_point_queries = registry.counter(
+            "store.backend.point_queries"
+        )
+        self._metric_lock_refusals = registry.counter(
+            "store.backend.lock_refusals"
+        )
         self._timer_put = registry.timer("store.backend.put")
         self._timer_get = registry.timer("store.backend.get")
 
@@ -100,7 +107,19 @@ class StorageBackend(abc.ABC):
             return self
         with get_tracer().span("store.backend.open",
                                backend=self.url_scheme):
-            self._do_open()
+            try:
+                self._do_open()
+            except BackendLockedError:
+                # Contention evidence for the health watchdog: another
+                # process (or another handle in this one) holds the
+                # engine's single-writer lock.
+                self._metric_lock_refusals.increment()
+                get_oplog().record(
+                    "backend.open", outcome="error",
+                    error_type="BackendLockedError",
+                    scheme=self.url_scheme,
+                )
+                raise
         self._opened = True
         return self
 
@@ -128,9 +147,11 @@ class StorageBackend(abc.ABC):
         edge-model rows without re-parsing ``snapshot.xml``.
         """
         self._require_open()
-        with get_tracer().span("store.backend.put",
-                               backend=self.url_scheme,
-                               document=snapshot.name), \
+        with get_oplog().op("backend.put", document=snapshot.name,
+                            scheme=self.url_scheme), \
+                get_tracer().span("store.backend.put",
+                                  backend=self.url_scheme,
+                                  document=snapshot.name), \
                 self._timer_put.time():
             self._do_put(snapshot, ldoc)
         self._metric_puts.increment()
@@ -138,9 +159,11 @@ class StorageBackend(abc.ABC):
     def get(self, name: str) -> Snapshot:
         """Load one document state; :class:`StorageError` when absent."""
         self._require_open()
-        with get_tracer().span("store.backend.get",
-                               backend=self.url_scheme,
-                               document=name), \
+        with get_oplog().op("backend.get", document=name,
+                            scheme=self.url_scheme), \
+                get_tracer().span("store.backend.get",
+                                  backend=self.url_scheme,
+                                  document=name), \
                 self._timer_get.time():
             snapshot = self._do_get(name)
         self._metric_gets.increment()
@@ -149,8 +172,10 @@ class StorageBackend(abc.ABC):
     def delete(self, name: str) -> None:
         """Forget one document; :class:`StorageError` when absent."""
         self._require_open()
-        with get_tracer().span("store.backend.delete",
-                               backend=self.url_scheme, document=name):
+        with get_oplog().op("backend.delete", document=name,
+                            scheme=self.url_scheme), \
+                get_tracer().span("store.backend.delete",
+                                  backend=self.url_scheme, document=name):
             self._do_delete(name)
         self._metric_deletes.increment()
 
@@ -178,11 +203,26 @@ class StorageBackend(abc.ABC):
 
         Returns ``None`` when this backend keeps no queryable node
         table — the repository then falls back to materialising the
-        document.  Backends that do answer return the matching
+        document.  Backends that do answer (override
+        :meth:`_do_point_query`) return the matching
         :class:`NodeRecord` rows in document order, decoded labels
         included, without re-parsing the document text.
         """
         self._require_open()
+        with get_oplog().op("backend.point_query", document=document,
+                            scheme=self.url_scheme) as op, \
+                get_tracer().span("store.backend.point_query",
+                                  backend=self.url_scheme,
+                                  document=document, node_name=node_name):
+            records = self._do_point_query(document, node_name)
+            if records is not None:
+                self._metric_point_queries.increment()
+                op.set(nodes=len(records))
+        return records
+
+    def _do_point_query(self, document: str,
+                        node_name: str) -> Optional[List[NodeRecord]]:
+        """Engine hook for :meth:`point_query`; default: no node table."""
         return None
 
     # -- the backend contract -------------------------------------------

@@ -201,15 +201,16 @@ class SQLiteBackend(StorageBackend):
 
     # -- point queries ---------------------------------------------------
 
-    def point_query(self, document: str,
-                    node_name: str) -> Optional[List[NodeRecord]]:
+    def _do_point_query(self, document: str,
+                        node_name: str) -> Optional[List[NodeRecord]]:
         """Answer from the node table alone — no XML parse, ever.
 
         The matching rows come off the ``(doc_id, name, ord)`` index and
         each row's label bytes are decoded individually, so cost scales
-        with the number of hits, not with document size.
+        with the number of hits, not with document size.  The base
+        class's :meth:`~repro.store.backends.base.StorageBackend.
+        point_query` wrapper supplies the metrics, span and op event.
         """
-        self._require_open()
         conn = self._connection()
         doc = conn.execute(
             "SELECT doc_id, scheme, config FROM documents WHERE name = ?",

@@ -137,9 +137,14 @@ class StoredDocument:
         label-table scans.
         """
         from repro.axes.xpath import xpath as evaluate
+        from repro.observability.ops import get_oplog
 
-        return evaluate(self.ldoc, path,
-                        accelerator=self.indexes.axis_accelerator())
+        with get_oplog().op("repository.xpath", document=self.name,
+                            scheme=self.ldoc.scheme.metadata.name) as op:
+            matches = evaluate(self.ldoc, path,
+                               accelerator=self.indexes.axis_accelerator())
+            op.set(nodes=len(matches))
+        return matches
 
     # -- persistence -------------------------------------------------------
 
@@ -189,20 +194,25 @@ class XMLRepository:
         """Ingest a document (XML text or an existing tree)."""
         if name in self:
             raise UpdateError(f"document {name!r} already exists")
+        from repro.observability.ops import get_oplog
         from repro.observability.tracing import get_tracer
 
         registry = get_registry()
         document = parse(source) if isinstance(source, str) else source
         scheme_name = scheme or self.default_scheme
-        with get_tracer().span("repository.ingest", scheme=scheme_name,
-                               document=name) as span, \
+        with get_oplog().op("repository.ingest", document=name,
+                            scheme=scheme_name) as op, \
+                get_tracer().span("repository.ingest", scheme=scheme_name,
+                                  document=name) as span, \
                 registry.timer("repository.ingest").time():
+            op.link(span)
             ldoc = LabeledDocument(
                 document, make_scheme(scheme_name, **scheme_config)
             )
             stored = StoredDocument(name, ldoc)
             self.backend.put(snapshot_document(ldoc, name), ldoc)
             span.set_attribute("labels", len(ldoc.labels))
+            op.set(nodes=len(ldoc.labels))
         registry.counter("repository.documents_added").increment()
         self._live[name] = stored
         return stored

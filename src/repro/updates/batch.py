@@ -275,6 +275,7 @@ class UpdateBatch:
         context manager's exception path — restores the pre-batch state.
         """
         from repro.durability.faults import maybe_fail
+        from repro.observability.ops import get_oplog
         from repro.observability.tracing import get_tracer
         from repro.schemes.cache import comparison_cache_for
 
@@ -283,56 +284,63 @@ class UpdateBatch:
         ldoc = self._ldoc
         scheme_name = ldoc.scheme.metadata.name
         tracer = get_tracer()
-        with tracer.span("batch.apply", scheme=scheme_name,
-                         operations=self._operations,
-                         deferred=self._deferrals) as span:
-            passes = 0
-            relabeled_nodes = 0
-            if self._pending:
-                with tracer.span("document.relabel", scheme=scheme_name,
-                                 consolidated=True,
-                                 overflow=False) as relabel_span:
-                    old_labels = ldoc.labels
-                    new_labels = ldoc.scheme.label_tree(ldoc.document)
-                    relabeled_nodes = sum(
-                        1 for node_id, label in new_labels.items()
-                        if node_id in old_labels and old_labels[node_id] != label
-                    )
-                    ldoc.labels = new_labels
-                    maybe_fail("batch.relabel")
-                    ldoc._rebuild_label_index()
-                    ldoc.log.record("relabel_events")
-                    ldoc.log.record("relabeled_nodes", relabeled_nodes)
-                    comparison_cache_for(ldoc.scheme).invalidate()
-                    relabel_span.set_attribute("nodes", relabeled_nodes)
-                if tracer.enabled:
-                    get_registry().histogram(
-                        f"scheme.{scheme_name}.relabel_extent"
-                    ).observe(relabeled_nodes)
-                ldoc._publish_rebuild("batch-apply")
-                passes = 1
-                self._pending.clear()
-            span.set_attribute("relabel_passes", passes)
-            span.set_attribute("relabeled_nodes", relabeled_nodes)
-        for result in self._results:
-            if result.node is not None and result.kind != "delete":
-                result.label = ldoc.labels.get(result.node.node_id)
-                result.deferred = False
-        self._applied = True
-        ldoc._active_batch = None
-        batch_result = BatchResult(
-            operations=self._operations,
-            labels_assigned=sum(r.labels_assigned for r in self._results),
-            deferred_labels=self._deferrals,
-            relabel_passes=passes,
-            relabels_avoided=max(0, self._deferrals - passes),
-            relabeled_nodes=relabeled_nodes
-            + sum(r.relabeled_nodes for r in self._results),
-            overflow_events=self._overflow_events,
-            deletions=self._deletions,
-            content_updates=self._content_updates,
-            results=list(self._results),
-        )
+        with get_oplog().op("batch.apply", scheme=scheme_name) as op:
+            with tracer.span("batch.apply", scheme=scheme_name,
+                             operations=self._operations,
+                             deferred=self._deferrals) as span:
+                passes = 0
+                relabeled_nodes = 0
+                if self._pending:
+                    with tracer.span("document.relabel", scheme=scheme_name,
+                                     consolidated=True,
+                                     overflow=False) as relabel_span:
+                        old_labels = ldoc.labels
+                        new_labels = ldoc.scheme.label_tree(ldoc.document)
+                        relabeled_nodes = sum(
+                            1 for node_id, label in new_labels.items()
+                            if node_id in old_labels
+                            and old_labels[node_id] != label
+                        )
+                        ldoc.labels = new_labels
+                        maybe_fail("batch.relabel")
+                        ldoc._rebuild_label_index()
+                        ldoc.log.record("relabel_events")
+                        ldoc.log.record("relabeled_nodes", relabeled_nodes)
+                        comparison_cache_for(ldoc.scheme).invalidate()
+                        relabel_span.set_attribute("nodes", relabeled_nodes)
+                    if tracer.enabled:
+                        get_registry().histogram(
+                            f"scheme.{scheme_name}.relabel_extent"
+                        ).observe(relabeled_nodes)
+                    ldoc._publish_rebuild("batch-apply")
+                    passes = 1
+                    self._pending.clear()
+                span.set_attribute("relabel_passes", passes)
+                span.set_attribute("relabeled_nodes", relabeled_nodes)
+                op.link(span)
+            for result in self._results:
+                if result.node is not None and result.kind != "delete":
+                    result.label = ldoc.labels.get(result.node.node_id)
+                    result.deferred = False
+            self._applied = True
+            ldoc._active_batch = None
+            batch_result = BatchResult(
+                operations=self._operations,
+                labels_assigned=sum(r.labels_assigned for r in self._results),
+                deferred_labels=self._deferrals,
+                relabel_passes=passes,
+                relabels_avoided=max(0, self._deferrals - passes),
+                relabeled_nodes=relabeled_nodes
+                + sum(r.relabeled_nodes for r in self._results),
+                overflow_events=self._overflow_events,
+                deletions=self._deletions,
+                content_updates=self._content_updates,
+                results=list(self._results),
+            )
+            op.set(nodes=batch_result.labels_assigned
+                   + batch_result.relabeled_nodes,
+                   operations=batch_result.operations,
+                   deferred=batch_result.deferred_labels)
         ldoc.last_batch_result = batch_result
         self._undo = None
         return batch_result
@@ -347,16 +355,21 @@ class UpdateBatch:
         :meth:`apply` — committed work stays committed.  Used by the
         context manager on exception.
         """
+        from repro.observability.ops import get_oplog
+
         if self._applied:
             return
-        if self._undo is not None:
-            self._undo.rollback()
-            self._undo = None
-        get_registry().counter("batch.rollbacks").increment()
-        self._pending.clear()
-        self._results.clear()
-        self._applied = True
-        self._ldoc._active_batch = None
+        with get_oplog().op("batch.rollback",
+                            scheme=self._ldoc.scheme.metadata.name) as op:
+            op.set(nodes=self._operations, outcome="rollback")
+            if self._undo is not None:
+                self._undo.rollback()
+                self._undo = None
+            get_registry().counter("batch.rollbacks").increment()
+            self._pending.clear()
+            self._results.clear()
+            self._applied = True
+            self._ldoc._active_batch = None
 
     def abandon(self) -> None:
         """Deprecated name for :meth:`rollback`.

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import BatchError, LabelCollisionError, UpdateError
 from repro.observability.metrics import get_registry
+from repro.observability.ops import get_oplog
 from repro.observability.tracing import get_tracer
 from repro.schemes.base import LabelingScheme, SiblingInsertContext
 from repro.updates.results import UpdateResult, UpdateSurface, _maybe_warn_legacy
@@ -387,13 +388,23 @@ class LabeledDocument:
         # must not touch span machinery (grafts label every node through
         # the hottest call below).
         tracer = get_tracer()
-        if not tracer.enabled:
+        oplog = get_oplog()
+        if not tracer.enabled and not oplog.enabled:
             return self._do_insert_subtree_core(parent, index, fragment)
-        with tracer.span("document.insert_subtree",
-                         scheme=self.scheme.metadata.name) as span:
-            combined = self._do_insert_subtree_core(parent, index, fragment)
-            span.set_attribute("nodes", combined.labels_assigned)
-            return combined
+        scheme_name = self.scheme.metadata.name
+        with oplog.op("document.insert_subtree", scheme=scheme_name) as op:
+            if tracer.enabled:
+                with tracer.span("document.insert_subtree",
+                                 scheme=scheme_name) as span:
+                    combined = self._do_insert_subtree_core(
+                        parent, index, fragment)
+                    span.set_attribute("nodes", combined.labels_assigned)
+                    op.link(span)
+            else:
+                combined = self._do_insert_subtree_core(
+                    parent, index, fragment)
+            op.set(nodes=combined.labels_assigned)
+        return combined
 
     def _do_insert_subtree_core(self, parent: XMLNode, index: int,
                                 fragment: XMLNode) -> UpdateResult:
@@ -435,14 +446,25 @@ class LabeledDocument:
 
     def _do_delete(self, node: XMLNode) -> UpdateResult:
         tracer = get_tracer()
-        if not tracer.enabled:
+        oplog = get_oplog()
+        if not tracer.enabled and not oplog.enabled:
             return self._do_delete_core(node)
-        with tracer.span("document.delete",
-                         scheme=self.scheme.metadata.name) as span:
-            result = self._do_delete_core(node)
-            span.set_attribute("nodes_removed", result.nodes_detached)
-            span.set_attribute("relabeled_nodes", result.relabeled_nodes)
-            return result
+        scheme_name = self.scheme.metadata.name
+        with oplog.op("document.delete", scheme=scheme_name) as op:
+            if tracer.enabled:
+                with tracer.span("document.delete",
+                                 scheme=scheme_name) as span:
+                    result = self._do_delete_core(node)
+                    span.set_attribute("nodes_removed",
+                                       result.nodes_detached)
+                    span.set_attribute("relabeled_nodes",
+                                       result.relabeled_nodes)
+                    op.link(span)
+            else:
+                result = self._do_delete_core(node)
+            op.set(nodes=result.nodes_detached,
+                   relabeled=result.relabeled_nodes)
+        return result
 
     def _do_delete_core(self, node: XMLNode) -> UpdateResult:
         parent = self._parent_of(node)
@@ -496,14 +518,25 @@ class LabeledDocument:
         if node is new_parent or node.is_ancestor_of(new_parent):
             raise UpdateError("cannot move a node under itself")
         tracer = get_tracer()
-        if not tracer.enabled:
+        oplog = get_oplog()
+        if not tracer.enabled and not oplog.enabled:
             return self._do_move_core(node, new_parent, index)
-        with tracer.span("document.move",
-                         scheme=self.scheme.metadata.name) as span:
-            combined = self._do_move_core(node, new_parent, index)
-            span.set_attribute("nodes_moved", combined.nodes_detached)
-            span.set_attribute("relabeled_nodes", combined.relabeled_nodes)
-            return combined
+        scheme_name = self.scheme.metadata.name
+        with oplog.op("document.move", scheme=scheme_name) as op:
+            if tracer.enabled:
+                with tracer.span("document.move",
+                                 scheme=scheme_name) as span:
+                    combined = self._do_move_core(node, new_parent, index)
+                    span.set_attribute("nodes_moved",
+                                       combined.nodes_detached)
+                    span.set_attribute("relabeled_nodes",
+                                       combined.relabeled_nodes)
+                    op.link(span)
+            else:
+                combined = self._do_move_core(node, new_parent, index)
+            op.set(nodes=combined.nodes_detached,
+                   relabeled=combined.relabeled_nodes)
+        return combined
 
     def _do_move_core(self, node: XMLNode, new_parent: XMLNode,
                       index: int) -> UpdateResult:
@@ -637,22 +670,35 @@ class LabeledDocument:
     def _label_new_node(self, node: XMLNode) -> UpdateResult:
         # The hottest call in the package: every inserted node passes
         # through here.  The explicit enabled check keeps the disabled
-        # path free of any span machinery (the no-op overhead bound the
-        # tests assert); the traced path additionally feeds the
-        # per-scheme label-size profile.
+        # path free of any span/op machinery (the no-op overhead bound
+        # the tests assert); the traced path additionally feeds the
+        # per-scheme label-size profile, and the op-log path records one
+        # ``document.insert`` event.
         tracer = get_tracer()
-        if not tracer.enabled:
+        oplog = get_oplog()
+        if not tracer.enabled and not oplog.enabled:
             return self._label_new_node_core(node)
         scheme_name = self.scheme.metadata.name
-        with tracer.span("document.insert", scheme=scheme_name) as span:
-            result = self._label_new_node_core(node)
-            span.set_attribute("relabeled_nodes", result.relabeled_nodes)
-            span.set_attribute("overflow", bool(result.overflow_events))
-            if result.label is not None:
-                get_registry().histogram(
-                    f"scheme.{scheme_name}.label_bits"
-                ).observe(self.scheme.label_size_bits(result.label))
-            return result
+        with oplog.op("document.insert", scheme=scheme_name) as op:
+            if tracer.enabled:
+                with tracer.span("document.insert",
+                                 scheme=scheme_name) as span:
+                    result = self._label_new_node_core(node)
+                    span.set_attribute("relabeled_nodes",
+                                       result.relabeled_nodes)
+                    span.set_attribute("overflow",
+                                       bool(result.overflow_events))
+                    if result.label is not None:
+                        get_registry().histogram(
+                            f"scheme.{scheme_name}.label_bits"
+                        ).observe(self.scheme.label_size_bits(result.label))
+                    op.link(span)
+            else:
+                result = self._label_new_node_core(node)
+            op.set(nodes=1 + result.relabeled_nodes,
+                   relabeled=result.relabeled_nodes,
+                   overflow=bool(result.overflow_events))
+        return result
 
     def _label_new_node_core(self, node: XMLNode) -> UpdateResult:
         context = self._insert_context_for(node)
@@ -701,16 +747,24 @@ class LabeledDocument:
     def _apply_relabeling(self, relabeled: Dict[int, Any],
                           overflowed: bool = False) -> None:
         tracer = get_tracer()
-        if not tracer.enabled:
+        oplog = get_oplog()
+        if not tracer.enabled and not oplog.enabled:
             self._apply_relabeling_core(relabeled)
             return
         scheme_name = self.scheme.metadata.name
-        with tracer.span("document.relabel", scheme=scheme_name,
-                         nodes=len(relabeled), overflow=overflowed):
-            self._apply_relabeling_core(relabeled)
-        get_registry().histogram(
-            f"scheme.{scheme_name}.relabel_extent"
-        ).observe(len(relabeled))
+        with oplog.op("document.relabel", scheme=scheme_name) as op:
+            op.set(nodes=len(relabeled), overflow=overflowed)
+            if tracer.enabled:
+                with tracer.span("document.relabel", scheme=scheme_name,
+                                 nodes=len(relabeled),
+                                 overflow=overflowed) as span:
+                    self._apply_relabeling_core(relabeled)
+                    op.link(span)
+                get_registry().histogram(
+                    f"scheme.{scheme_name}.relabel_extent"
+                ).observe(len(relabeled))
+            else:
+                self._apply_relabeling_core(relabeled)
 
     def _apply_relabeling_core(self, relabeled: Dict[int, Any]) -> None:
         from repro.durability.faults import maybe_fail

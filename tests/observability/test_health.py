@@ -1,0 +1,229 @@
+"""The health watchdog: probe transitions, aggregation, fault drills."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability.faults import InjectedFault, get_injector
+from repro.observability.health import (
+    BackendLockProbe,
+    CacheHitRateProbe,
+    HealthContext,
+    HealthProbe,
+    JournalTailProbe,
+    OpErrorRateProbe,
+    RelabelStormProbe,
+    RollbackRateProbe,
+    StaleIndexProbe,
+    default_probes,
+    health_from_snapshot,
+    render_health,
+    run_health,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.ops import OpLog, oplog_enabled
+from repro.schemes.registry import make_scheme
+from repro.updates.document import LabeledDocument
+from repro.xmlmodel.parser import parse
+
+SAMPLE = "<library><shelf><book/><book/></shelf><shelf><book/></shelf></library>"
+
+
+def context(**metrics):
+    return HealthContext(metrics=metrics)
+
+
+class TestProbeTransitions:
+    def test_journal_tail_ok_warn_critical(self):
+        probe = JournalTailProbe(min_appends=10, warn_ratio=64,
+                                 critical_ratio=512)
+        ok = probe.evaluate(context(**{"durability.journal.appends": 64,
+                                       "durability.journal.syncs": 4}))
+        warn = probe.evaluate(context(**{"durability.journal.appends": 640,
+                                         "durability.journal.syncs": 4}))
+        critical = probe.evaluate(
+            context(**{"durability.journal.appends": 4096,
+                       "durability.journal.syncs": 4}))
+        assert [ok.status, warn.status, critical.status] == [
+            "ok", "warn", "critical"
+        ]
+
+    def test_journal_never_synced_is_critical(self):
+        probe = JournalTailProbe(min_appends=10)
+        result = probe.evaluate(
+            context(**{"durability.journal.appends": 50}))
+        assert result.status == "critical"
+
+    def test_rollback_rate_transitions(self):
+        probe = RollbackRateProbe(min_attempts=5, warn_rate=0.2,
+                                  critical_rate=0.5)
+        ok = probe.evaluate(context(**{"durability.commits": 99,
+                                       "durability.rollbacks": 1}))
+        warn = probe.evaluate(context(**{"durability.commits": 7,
+                                         "durability.rollbacks": 3}))
+        critical = probe.evaluate(context(**{"durability.commits": 3,
+                                             "durability.rollbacks": 7}))
+        assert [ok.status, warn.status, critical.status] == [
+            "ok", "warn", "critical"
+        ]
+
+    def test_rollback_rate_quiet_below_minimum(self):
+        probe = RollbackRateProbe(min_attempts=5)
+        result = probe.evaluate(context(**{"durability.rollbacks": 2}))
+        assert result.status == "ok"
+
+    def test_stale_index_rate_transitions(self):
+        probe = StaleIndexProbe(warn_rate=0.02, critical_rate=0.2)
+        ok = probe.evaluate(
+            context(**{"axes.accelerator.queries": 1000,
+                       "axes.accelerator.stale_errors": 0}))
+        warn = probe.evaluate(
+            context(**{"axes.accelerator.queries": 95,
+                       "axes.accelerator.stale_errors": 5}))
+        critical = probe.evaluate(
+            context(**{"axes.accelerator.queries": 5,
+                       "axes.accelerator.stale_errors": 5}))
+        assert [ok.status, warn.status, critical.status] == [
+            "ok", "warn", "critical"
+        ]
+
+    def test_relabel_storm_transitions(self):
+        probe = RelabelStormProbe(warn_at=1, critical_at=8)
+        ok = probe.evaluate(context())
+        warn = probe.evaluate(
+            context(**{"axes.accelerator.relabel_storms": 1}))
+        critical = probe.evaluate(
+            context(**{"axes.accelerator.relabel_storms": 9}))
+        assert [ok.status, warn.status, critical.status] == [
+            "ok", "warn", "critical"
+        ]
+
+    def test_cache_hit_rate_collapse(self):
+        probe = CacheHitRateProbe(min_lookups=100, warn_below=0.2,
+                                  critical_below=0.05)
+        ok = probe.evaluate(context(**{"compare_cache.hits": 900,
+                                       "compare_cache.misses": 100}))
+        warn = probe.evaluate(context(**{"compare_cache.hits": 10,
+                                         "compare_cache.misses": 90}))
+        critical = probe.evaluate(context(**{"compare_cache.hits": 1,
+                                             "compare_cache.misses": 99}))
+        assert [ok.status, warn.status, critical.status] == [
+            "ok", "warn", "critical"
+        ]
+
+    def test_backend_lock_transitions(self):
+        probe = BackendLockProbe(warn_at=1, critical_at=10)
+        ok = probe.evaluate(context())
+        warn = probe.evaluate(
+            context(**{"store.backend.lock_refusals": 1}))
+        critical = probe.evaluate(
+            context(**{"store.backend.lock_refusals": 10}))
+        assert [ok.status, warn.status, critical.status] == [
+            "ok", "warn", "critical"
+        ]
+
+    def test_op_error_rate_uses_oplog_evidence(self):
+        log = OpLog(enabled=True, registry=MetricsRegistry())
+        log.record("journal.append", 0.0, outcome="error",
+                   error_type="OSError")
+        probe = OpErrorRateProbe(min_ops=20, warn_rate=0.02,
+                                 critical_rate=0.2)
+        result = probe.evaluate(HealthContext(
+            metrics={"ops.recorded": 100, "ops.errors": 3}, oplog=log))
+        assert result.status == "warn"
+        assert "journal.append:OSError" in result.evidence
+
+
+class TestAggregation:
+    def test_worst_status_wins(self):
+        report = health_from_snapshot(
+            {"axes.accelerator.relabel_storms": 9},
+            registry=MetricsRegistry())
+        assert report.status == "critical"
+        assert report.exit_code == 1
+
+    def test_all_quiet_is_ok_with_exit_zero(self):
+        report = health_from_snapshot({}, registry=MetricsRegistry())
+        assert report.status == "ok"
+        assert report.exit_code == 0
+        assert len(report.results) == len(default_probes())
+
+    def test_raising_probe_reported_critical_not_raised(self):
+        class BrokenProbe(HealthProbe):
+            name = "broken"
+
+            def evaluate(self, ctx):
+                raise RuntimeError("watchdog bug")
+
+        registry = MetricsRegistry()
+        report = health_from_snapshot({}, probes=[BrokenProbe()],
+                                      registry=registry)
+        assert report.status == "critical"
+        assert "RuntimeError" in report.results[0].evidence
+        assert registry.snapshot()["health.probe_failures"] == 1
+
+    def test_payload_schema_versioned(self):
+        report = health_from_snapshot({}, registry=MetricsRegistry())
+        payload = report.to_payload()
+        assert payload["schema_version"] == 1
+        assert payload["status"] == "ok"
+        assert {probe["probe"] for probe in payload["probes"]} == {
+            probe.name for probe in default_probes()
+        }
+
+    def test_run_health_counts_evaluations(self):
+        registry = MetricsRegistry()
+        run_health(registry=registry,
+                   oplog=OpLog(registry=registry), probes=[])
+        assert registry.snapshot()["health.evaluations"] == 1
+
+    def test_render_health_marks_statuses(self):
+        report = health_from_snapshot(
+            {"axes.accelerator.relabel_storms": 1},
+            registry=MetricsRegistry())
+        text = render_health(report)
+        assert text.startswith("overall: warn")
+        assert "! relabel-storms" in text
+
+    def test_invalid_probe_status_rejected(self):
+        probe = RelabelStormProbe()
+        with pytest.raises(ValueError):
+            probe.result("fine", "nope")
+
+
+class TestFaultDrill:
+    """End-to-end: injected faults must surface as warn/critical."""
+
+    def test_injected_commit_faults_trip_the_watchdog(self):
+        registry = MetricsRegistry()
+        injector = get_injector()
+        with oplog_enabled() as log:
+            document = LabeledDocument(parse(SAMPLE), make_scheme("dewey"))
+            root = document.document.root
+            for index in range(10):
+                if index % 2 == 0:
+                    injector.arm("transaction.commit")
+                try:
+                    with document.transaction() as txn:
+                        txn.append_child(root, f"n{index}")
+                except InjectedFault:
+                    root = document.document.root
+            # Build the probe context from this run's own ring, so the
+            # drill is independent of whatever the global counters
+            # accumulated across the rest of the suite.
+            events = log.events()
+            errors = [event for event in events
+                      if event.outcome == "error"]
+            report = health_from_snapshot(
+                {
+                    "durability.commits": 5,
+                    "durability.rollbacks": 5,
+                    "ops.recorded": len(events),
+                    "ops.errors": len(errors),
+                },
+                oplog=log, registry=registry)
+        statuses = {result.probe: result.status
+                    for result in report.results}
+        assert statuses["rollback-rate"] == "critical"
+        assert statuses["op-error-rate"] in ("warn", "critical")
+        assert report.exit_code == 1

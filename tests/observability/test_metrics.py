@@ -96,8 +96,28 @@ class TestHistogram:
         for q in (0.0, 0.5, 0.95, 1.0):
             assert histogram.quantile(q) == 7
 
-    def test_quantile_of_empty_histogram(self, registry):
-        assert registry.histogram("h").quantile(0.5) == 0.0
+    def test_quantile_of_empty_histogram_is_none(self, registry):
+        histogram = registry.histogram("h")
+        assert histogram.quantile(0.5) is None
+        assert histogram.p50 is None
+        assert histogram.p95 is None
+        assert histogram.p99 is None
+
+    def test_empty_histogram_snapshot_omits_stats(self, registry):
+        registry.histogram("h")
+        values = registry.snapshot()
+        assert values["h.count"] == 0
+        assert values["h.sum"] == 0.0
+        for stat in ("mean", "min", "max", "p50", "p95", "p99"):
+            assert f"h.{stat}" not in values
+
+    def test_histogram_stats_reappear_after_observation(self, registry):
+        histogram = registry.histogram("h")
+        histogram.observe(0)
+        values = registry.snapshot()
+        # a real all-zero distribution *does* report its stats
+        assert values["h.min"] == 0.0
+        assert values["h.p50"] == 0.0
 
     def test_quantile_rejects_out_of_range(self, registry):
         with pytest.raises(ValueError):
@@ -145,6 +165,44 @@ class TestRegistry:
         registry.timer("t")
         registry.histogram("h")
         assert len(registry) == 3
+
+    def test_two_thread_hammer(self, registry):
+        """Registration + snapshot from concurrent threads must not race.
+
+        Without the registry lock this reliably dies with ``RuntimeError:
+        dictionary changed size during iteration`` — a writer thread
+        registering fresh instruments while a reader thread snapshots.
+        """
+        import threading
+
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for i in range(2000):
+                    registry.counter(f"hammer.c{i}").increment()
+                    registry.histogram(f"hammer.h{i}").observe(i)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    registry.snapshot()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert registry.snapshot()["hammer.c1999"] == 1
 
 
 class TestGlobalRegistry:

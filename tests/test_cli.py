@@ -443,3 +443,89 @@ class TestLint:
     def test_select_and_ignore(self, capsys):
         assert main(["lint", "--select", "REP003,REP008"]) == 0
         assert main(["lint", "--fast", "--ignore", "REP002"]) == 0
+
+
+@pytest.fixture
+def restore_oplog():
+    """health/top/serve-metrics flip the global op-log on; put it back."""
+    from repro.observability.ops import get_oplog
+
+    oplog = get_oplog()
+    saved = (oplog.enabled, oplog.capacity, oplog.slow_threshold_s)
+    yield oplog
+    (oplog.enabled, oplog.capacity, oplog.slow_threshold_s) = saved
+    oplog.clear()
+
+
+class TestHealthCommand:
+    def test_quiet_workload_is_ok_exit_zero(self, restore_oplog, capsys):
+        assert main(["health", "--workload", "--ops", "30"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("overall: ok")
+        assert "rollback-rate" in out
+
+    def test_injected_faults_exit_nonzero_with_evidence(self, restore_oplog,
+                                                        capsys):
+        assert main(["health", "--inject", "transaction.commit",
+                     "--ops", "30"]) == 1
+        out = capsys.readouterr().out
+        assert "overall: critical" in out
+        assert "rollback" in out
+        assert "InjectedFault" in out
+
+    def test_json_payload_reports_fault_scenario(self, restore_oplog,
+                                                 capsys):
+        import json
+
+        assert main(["health", "--inject", "transaction.commit",
+                     "--ops", "30", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["status"] == "critical"
+        by_probe = {probe["probe"]: probe for probe in payload["probes"]}
+        assert by_probe["rollback-rate"]["status"] == "critical"
+        assert "rollbacks" in by_probe["rollback-rate"]["evidence"]
+
+    def test_no_workload_evaluates_current_process(self, restore_oplog,
+                                                   capsys):
+        exit_code = main(["health"])
+        out = capsys.readouterr().out
+        assert exit_code in (0, 1)
+        assert out.startswith("overall:")
+
+
+class TestMetricsWatch:
+    def test_watch_emits_bounded_jsonl_samples(self, capsys):
+        import json
+
+        assert main(["metrics", "--scheme", "qed", "--ops", "10",
+                     "--watch", "0.01", "--samples", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            sample = json.loads(line)
+            assert set(sample) == {"ts", "elapsed_s", "metrics"}
+            assert sample["metrics"]["updates.insertions"] == 10
+
+    def test_watch_respects_prefix(self, capsys):
+        import json
+
+        assert main(["metrics", "--scheme", "qed", "--ops", "5",
+                     "--watch", "0.01", "--samples", "1",
+                     "--prefix", "updates."]) == 0
+        (line,) = capsys.readouterr().out.strip().splitlines()
+        sample = json.loads(line)
+        assert sample["metrics"]
+        assert all(name.startswith("updates.")
+                   for name in sample["metrics"])
+
+
+class TestTopCommand:
+    def test_bounded_plain_frames(self, restore_oplog, capsys):
+        assert main(["top", "--interval", "0.2", "--iterations", "2",
+                     "--plain", "--scale", "0.05", "--ops", "20"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top —") == 2
+        assert "ops/s" in out
+        assert "health:" in out
+        assert "repository.ingest" in out
