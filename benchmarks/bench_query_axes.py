@@ -81,6 +81,56 @@ def main(argv=None):
         rows.append({"scheme": scheme_name, "evaluations": 2 * contexts,
                      "elapsed_ms": round(elapsed, 3),
                      "fallbacks": evaluator.fallbacks})
+
+    # Flight-recorder overhead: the same workload bare vs. with the
+    # sampling profiler already running at the default rate (the
+    # steady-state cost a soak run pays — lifecycle excluded, as the
+    # recorder starts once, not per operation).  Each pair times a
+    # bare min-of-3 and a profiled min-of-3 back to back so
+    # machine-load drift cancels within the pair; the reported
+    # overhead is the median of the per-pair ratios, which a single
+    # noisy pair cannot skew.
+    from repro.observability.profiler import DEFAULT_HERTZ, SamplingProfiler
+
+    ldoc = build("qed")
+    evaluator = AxisEvaluator(ldoc, allow_fallback=True)
+    nodes = list(ldoc.document.labeled_nodes())[:contexts]
+
+    def workload():
+        for _ in range(20):
+            for node in nodes:
+                evaluator.evaluate("descendant", node)
+                evaluator.evaluate("ancestor", node)
+
+    def rep():
+        start = time.perf_counter()
+        workload()
+        return (time.perf_counter() - start) * 1000
+
+    profiler = SamplingProfiler(hertz=DEFAULT_HERTZ)
+    pairs = []
+    for _ in range(5):
+        workload()  # untimed warm rep before each timed pair
+        bare = min(rep() for _ in range(3))
+        profiler.start()
+        try:
+            workload()  # absorb thread-start perturbation untimed
+            pairs.append((bare, min(rep() for _ in range(3))))
+        finally:
+            profiler.stop()
+    pairs.sort(key=lambda pair: pair[1] / pair[0])
+    baseline_ms, profiled_ms = pairs[len(pairs) // 2]
+    overhead_pct = 100.0 * (profiled_ms - baseline_ms) / max(baseline_ms,
+                                                             1e-9)
+    print(f"  profiler overhead at {DEFAULT_HERTZ:g} Hz (qed workload): "
+          f"bare {baseline_ms:.1f} ms, profiled {profiled_ms:.1f} ms "
+          f"({overhead_pct:+.1f}%)")
+    rows.append({"scheme": "profiler-overhead",
+                 "evaluations": 2 * contexts * 20,
+                 "elapsed_ms": round(profiled_ms, 3),
+                 "fallbacks": evaluator.fallbacks,
+                 "baseline_ms": round(baseline_ms, 3),
+                 "overhead_pct": round(overhead_pct, 1)})
     return rows
 
 

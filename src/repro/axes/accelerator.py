@@ -85,6 +85,9 @@ class AxisAccelerator:
 
     ACCELERATED_AXES = ACCELERATED_AXES
 
+    #: EXPLAIN strategy label reported when this index answers a step.
+    STRATEGY = "accelerator-window"
+
     def __init__(self, ldoc: LabeledDocument, attach: bool = True,
                  auto_refresh: bool = False,
                  rebuild_threshold: float = 0.5):
@@ -181,6 +184,37 @@ class AxisAccelerator:
 
     def size(self) -> int:
         return len(self._nodes)
+
+    def explain_state(self) -> "tuple[str, str]":
+        """``(state, reason)`` a query issued right now would see.
+
+        Mirrors :meth:`_ensure_current` without side effects: ``ready``
+        (index current), ``rebuild`` (stale but rebuilt lazily at the
+        next query), or ``refuse`` (the query raises
+        :class:`~repro.errors.StaleIndexError`).  EXPLAIN routes
+        ``refuse`` steps to the scan path with this reason.
+        """
+        batch = self.ldoc._active_batch
+        if batch is not None and batch.pending:
+            return ("refuse",
+                    "document has a batch with unlabelled pending nodes")
+        if self._dirty:
+            if self._attached or self.auto_refresh:
+                return ("rebuild",
+                        "index marked for rebuild; rebuilt lazily at query")
+            return ("refuse",
+                    "index marked for rebuild while detached from deltas "
+                    "(a plain query raises StaleIndexError)")
+        if self._stamp != self.document.structure_version:
+            if self.auto_refresh:
+                return ("rebuild",
+                        "index stamp behind document; rebuilt lazily at "
+                        "query")
+            return ("refuse",
+                    f"index stamp {self._stamp} is behind document "
+                    f"structure version {self.document.structure_version} "
+                    "(a plain query raises StaleIndexError)")
+        return ("ready", "window index current")
 
     # ------------------------------------------------------------------
     # Delta consumption (incremental maintenance)

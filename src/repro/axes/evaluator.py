@@ -62,14 +62,45 @@ class AxisEvaluator:
 
     def evaluate(self, axis: str, node: XMLNode) -> List[XMLNode]:
         """All nodes on ``axis`` from ``node``, in document order."""
-        if axis not in AXES:
-            raise UnsupportedRelationshipError(f"unknown axis {axis!r}")
         if (self.accelerator is not None
                 and axis in self.accelerator.ACCELERATED_AXES):
+            if axis not in AXES:
+                raise UnsupportedRelationshipError(f"unknown axis {axis!r}")
             self.accelerated_hits += 1
             return self.accelerator.evaluate(axis, node)
+        return self.evaluate_scan(axis, node)
+
+    def evaluate_scan(self, axis: str, node: XMLNode) -> List[XMLNode]:
+        """``axis`` from ``node`` via the label-table scan path only.
+
+        Identical to :meth:`evaluate` with ``accelerator=None``; EXPLAIN
+        uses it to keep answering a query whose index has gone stale
+        while reporting the ``scan`` strategy (where a plain query would
+        surface :class:`~repro.errors.StaleIndexError`).
+        """
+        if axis not in AXES:
+            raise UnsupportedRelationshipError(f"unknown axis {axis!r}")
         handler = getattr(self, "_axis_" + axis.replace("-", "_"))
         return handler(node)
+
+    def strategy_for(self, axis: str) -> "tuple[str, str]":
+        """``(strategy, reason)`` describing how :meth:`evaluate` would
+        answer ``axis`` right now — the EXPLAIN routing decision.
+
+        Strategies: ``accelerator-window`` (PR 7 window range scans),
+        ``plane`` (a static :class:`~repro.axes.plane.PrePostPlane`),
+        ``scan`` (the O(n) label-table pass), with the reason stated.
+        """
+        accelerator = self.accelerator
+        if accelerator is None:
+            return ("scan", "no accelerator attached")
+        if axis not in accelerator.ACCELERATED_AXES:
+            return ("scan", f"axis {axis!r} is not accelerated")
+        state, reason = accelerator.explain_state()
+        if state == "refuse":
+            return ("scan", reason)
+        return (getattr(accelerator, "STRATEGY", "accelerator-window"),
+                reason)
 
     # -- axes ------------------------------------------------------------
 

@@ -33,6 +33,10 @@ from repro.xmlmodel.tree import Document, XMLNode
 class PrePostPlane(AxisAccelerator):
     """A queryable pre/post plane over one document."""
 
+    #: EXPLAIN reports plane-backed steps distinctly from the generic
+    #: accelerator: a rectangle query in the pre/post plane.
+    STRATEGY = "plane"
+
     def __init__(self, document: Document):
         super().__init__(LabeledDocument(document, PrePostScheme()),
                          attach=False)

@@ -18,6 +18,7 @@ eliminated — the XPath requirements Definition 1 exists to serve.
 from __future__ import annotations
 
 import re
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -180,13 +181,23 @@ class XPathEvaluator:
     ``accelerator`` (see :class:`~repro.axes.accelerator.AxisAccelerator`)
     reroutes the axis steps it covers to window range scans; without one,
     every step takes the label-table scan path.
+
+    ``recorder`` (a :class:`~repro.observability.explain.PlanRecorder`)
+    turns on EXPLAIN instrumentation: every location step reports its
+    routing strategy, context size, cardinality, and wall time.  The
+    default ``None`` keeps the evaluation loop byte-for-byte on its
+    uninstrumented path — no allocations, no clock reads.  In recorder
+    mode, steps whose index would refuse (stale detached accelerator)
+    are answered via the label-table scan instead of raising, so EXPLAIN
+    can always show the full plan.
     """
 
     def __init__(self, ldoc: LabeledDocument, allow_fallback: bool = True,
-                 accelerator=None):
+                 accelerator=None, recorder=None):
         self.ldoc = ldoc
         self.axes = AxisEvaluator(ldoc, allow_fallback=allow_fallback,
                                   accelerator=accelerator)
+        self.recorder = recorder
 
     def evaluate(self, path: str,
                  context: Optional[XMLNode] = None) -> List[XMLNode]:
@@ -233,6 +244,8 @@ class XPathEvaluator:
         root = self.ldoc.document.root
         if root is None:
             return []
+        if self.recorder is not None:
+            self.recorder.begin_branch(path)
         if absolute:
             current = [root]
             # An absolute path's first step evaluates from the virtual
@@ -241,13 +254,21 @@ class XPathEvaluator:
             if steps:
                 first = steps[0]
                 if first.axis == "child":
-                    current = self._apply_tests(first, [root])
+                    if self.recorder is None:
+                        current = self._apply_tests(first, [root])
+                    else:
+                        current = self._record_root_step(first, root)
                     steps = steps[1:]
                 elif first.axis == "descendant":
-                    candidates = self.axes.evaluate(
-                        "descendant-or-self", root
-                    )
-                    current = self._apply_tests(first, candidates)
+                    if self.recorder is None:
+                        candidates = self.axes.evaluate(
+                            "descendant-or-self", root
+                        )
+                        current = self._apply_tests(first, candidates)
+                    else:
+                        current = self._record_descendant_root_step(
+                            first, root
+                        )
                     steps = steps[1:]
         else:
             current = [context or root]
@@ -255,12 +276,66 @@ class XPathEvaluator:
             # Predicates are evaluated once per context node, over that
             # node's own axis result — XPath 1.0 semantics: /a/b/c[1] is
             # the first c of *each* b, not the first of the merged set.
+            if self.recorder is not None:
+                current = self._record_step(step, current)
+                continue
             gathered: List[XMLNode] = []
             for node in current:
                 candidates = self.axes.evaluate(step.axis, node)
                 gathered.extend(self._apply_tests(step, candidates))
             current = self._dedupe(gathered)
         return self._dedupe(current)
+
+    # -- EXPLAIN instrumentation (recorder mode only) --------------------
+
+    def _record_step(self, step: Step, current: List[XMLNode]) -> List[XMLNode]:
+        started = time.perf_counter()
+        strategy, reason = self.axes.strategy_for(step.axis)
+        axis_rows = 0
+        gathered: List[XMLNode] = []
+        for node in current:
+            if strategy == "scan":
+                candidates = self.axes.evaluate_scan(step.axis, node)
+            else:
+                candidates = self.axes.evaluate(step.axis, node)
+            axis_rows += len(candidates)
+            gathered.extend(self._apply_tests(step, candidates))
+        output = self._dedupe(gathered)
+        self.recorder.record_step(
+            step, strategy=strategy, reason=reason,
+            context_size=len(current), axis_rows=axis_rows,
+            actual_rows=len(output),
+            elapsed_s=time.perf_counter() - started,
+        )
+        return output
+
+    def _record_root_step(self, first: Step, root: XMLNode) -> List[XMLNode]:
+        started = time.perf_counter()
+        current = self._apply_tests(first, [root])
+        self.recorder.record_step(
+            first, strategy="scan",
+            reason="first step from the virtual document node (root test)",
+            context_size=1, axis_rows=1, actual_rows=len(current),
+            elapsed_s=time.perf_counter() - started,
+        )
+        return current
+
+    def _record_descendant_root_step(self, first: Step,
+                                     root: XMLNode) -> List[XMLNode]:
+        started = time.perf_counter()
+        strategy, reason = self.axes.strategy_for("descendant-or-self")
+        if strategy == "scan":
+            candidates = self.axes.evaluate_scan("descendant-or-self", root)
+        else:
+            candidates = self.axes.evaluate("descendant-or-self", root)
+        current = self._apply_tests(first, candidates)
+        self.recorder.record_step(
+            first, strategy=strategy, reason=reason,
+            context_size=1, axis_rows=len(candidates),
+            actual_rows=len(current),
+            elapsed_s=time.perf_counter() - started,
+        )
+        return current
 
     # ------------------------------------------------------------------
 

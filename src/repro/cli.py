@@ -6,6 +6,8 @@
     python -m repro label FILE --scheme qed         # label a document
     python -m repro table FILE --scheme prepost     # Figure 2-style table
     python -m repro query FILE '//book/title'       # mini XPath
+    python -m repro explain FILE '//book' --analyze # query plan + actuals
+    python -m repro stats FILE --scheme qed         # cardinality statistics
     python -m repro matrix [--extensions]           # regenerate Figure 7
     python -m repro figure N                        # reproduce figure N
     python -m repro growth --schemes qed,vector     # skewed growth series
@@ -20,12 +22,14 @@
     python -m repro bench run --quick               # BENCH_<sha>.json
     python -m repro bench run --backend sqlite      # storage bench, one engine
     python -m repro bench compare                   # diff vs baseline
-    python -m repro bench report                    # consolidated health
+    python -m repro bench report --profile P.collapsed  # + profile hotspots
     python -m repro health --workload --json        # watchdog verdict
     python -m repro health --inject transaction.commit  # fault drill
     python -m repro serve-metrics --port 9464       # /metrics + /health
     python -m repro top --interval 1                # live ops dashboard
     python -m repro metrics --watch 5 --samples 3   # JSONL snapshots
+    python -m repro profile query FILE '//item'     # flight-recorder run
+    python -m repro --profile out.collapsed top --iterations 3  # any command
     python -m repro lint [--json]                   # static checks (CI gate)
 
 Every command prints plain text and exits non-zero on failure, so the
@@ -104,6 +108,97 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"{ldoc.format_label(node)}  {serialize_node(node)}")
     print(f"-- {len(result)} node(s)")
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """EXPLAIN a mini-XPath query: per-step strategy and cardinality."""
+    from repro.observability.explain import explain_query
+    from repro.observability.jsonio import emit_json
+    from repro.observability.stats import StatsCollector
+
+    ldoc = _load(args)
+    accelerator = None
+    if not args.no_accelerator:
+        from repro.axes.accelerator import AxisAccelerator
+
+        accelerator = AxisAccelerator(ldoc)
+    plan = explain_query(ldoc, args.path, accelerator=accelerator,
+                         stats=StatsCollector.collect(ldoc),
+                         analyze=args.analyze)
+    if args.json:
+        emit_json(plan.to_payload())
+    else:
+        print(plan.render())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Collect and print one document's cardinality statistics."""
+    from repro.observability.jsonio import emit_json
+    from repro.observability.stats import StatsCollector, render_stats
+
+    ldoc = _load(args)
+    stats = StatsCollector.collect(ldoc)
+    if args.json:
+        emit_json(stats.to_payload())
+    else:
+        print(render_stats(stats))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run another repro command under the sampling flight recorder."""
+    import time
+
+    from repro.observability.profiler import (
+        DEFAULT_HERTZ,
+        SamplingProfiler,
+        render_top,
+        write_collapsed,
+    )
+
+    command = list(args.profile_command)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print("error: profile needs a command to run, e.g. "
+              "`repro profile query FILE '//item'`", file=sys.stderr)
+        return 2
+    if command[0] == "profile":
+        print("error: refusing to profile the profiler", file=sys.stderr)
+        return 2
+    hertz = args.hertz if args.hertz else DEFAULT_HERTZ
+    profiler = SamplingProfiler(hertz=hertz)
+    started = time.perf_counter()
+    with profiler:
+        code = main(command)
+    elapsed = time.perf_counter() - started
+    counts = profiler.collapsed()
+    out = args.out or "profile.collapsed"
+    stacks = write_collapsed(counts, out)
+    print(f"\n-- profile: {profiler.samples} samples at {hertz:g} Hz "
+          f"over {elapsed:.2f} s; {stacks} stack(s) -> {out}")
+    print(render_top(counts, limit=args.top,
+                     total_samples=profiler.samples))
+    return code
+
+
+def _run_profiled(args: argparse.Namespace) -> int:
+    """Dispatch one handler under ``--profile FILE`` (flight recorder)."""
+    from repro.observability.profiler import (
+        DEFAULT_HERTZ,
+        SamplingProfiler,
+        write_collapsed,
+    )
+
+    hertz = args.profile_hertz if args.profile_hertz else DEFAULT_HERTZ
+    profiler = SamplingProfiler(hertz=hertz)
+    with profiler:
+        code = _HANDLERS[args.command](args)
+    stacks = write_collapsed(profiler.collapsed(), args.profile_out)
+    print(f"-- profile: {profiler.samples} samples at {hertz:g} Hz; "
+          f"{stacks} stack(s) -> {args.profile_out}", file=sys.stderr)
+    return code
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
@@ -345,9 +440,11 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
 
 def _render_top_frame(window_s: float) -> str:
     """One dashboard frame: op rates, per-kind latency, probe verdicts."""
+    import time
+
     from repro.observability.health import run_health
     from repro.observability.metrics import get_registry
-    from repro.observability.ops import get_oplog
+    from repro.observability.ops import get_oplog, iso_ts
 
     oplog = get_oplog()
     snapshot = get_registry().snapshot()
@@ -356,7 +453,8 @@ def _render_top_frame(window_s: float) -> str:
     errors = snapshot.get("ops.errors", 0)
     slow = snapshot.get("ops.slow", 0)
     lines = [
-        f"repro top — {recorded:.0f} ops recorded, {errors:.0f} errors, "
+        f"repro top — {iso_ts(time.time())} — {recorded:.0f} ops recorded, "
+        f"{errors:.0f} errors, "
         f"{slow:.0f} slow, {len(oplog)} buffered",
         f"{'kind':28s} {'ops/s':>8s} {'p50 ms':>9s} {'p95 ms':>9s} "
         f"{'p99 ms':>9s} {'count':>8s}",
@@ -694,6 +792,11 @@ def _bench_report(args: argparse.Namespace) -> int:
         )
 
         trace_rows = summarize_trace(load_trace(args.trace))
+    profile_counts = {}
+    if args.profile:
+        from repro.observability.profiler import load_collapsed
+
+        profile_counts = load_collapsed(args.profile)
     health = health_from_snapshot(payload.get("metrics_snapshot") or {})
 
     if args.json:
@@ -702,6 +805,11 @@ def _bench_report(args: argparse.Namespace) -> int:
             "trace_hotspots": [dict(row) for row in trace_rows],
             "health": health.to_payload(),
         }
+        if profile_counts:
+            from repro.observability.profiler import top_functions
+
+            document["profile_hotspots"] = top_functions(profile_counts,
+                                                         limit=10)
         emit_json(document)
         return 1 if payload["totals"]["failed"] else 0
 
@@ -747,6 +855,15 @@ def _bench_report(args: argparse.Namespace) -> int:
         for row in trace_rows[:10]:
             print(f"    {row['name']:28s} {row['self_s']:8.4f} s  "
                   f"x{row['count']}")
+    if profile_counts:
+        from repro.observability.profiler import top_functions
+
+        total = max(1, sum(profile_counts.values()))
+        print(f"\n  profile hotspots ({args.profile}, {total} samples)")
+        for row in top_functions(profile_counts, limit=10):
+            print(f"    {row['function']:44s} {row['self']:6.0f} self "
+                  f"({100.0 * row['self'] / total:4.1f}%)  "
+                  f"{row['total']:6.0f} total")
 
     snapshot = payload.get("metrics_snapshot") or {}
     interesting = {
@@ -830,6 +947,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Dynamic XML labelling schemes and the "
                     "O'Connor/Roantree evaluation framework",
     )
+    parser.add_argument("--profile", dest="profile_out", metavar="FILE",
+                        default=None,
+                        help="run the command under the sampling profiler "
+                             "and write collapsed stacks to FILE")
+    parser.add_argument("--profile-hertz", type=float, default=None,
+                        metavar="HZ",
+                        help="sampling rate for --profile "
+                             "(default ~97 Hz)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("schemes", help="list implemented schemes")
@@ -846,6 +971,29 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("file")
     query.add_argument("path")
     query.add_argument("--scheme", default="cdqs")
+
+    explain = commands.add_parser(
+        "explain", help="EXPLAIN a mini-XPath query: strategy + cardinality"
+    )
+    explain.add_argument("file")
+    explain.add_argument("path")
+    explain.add_argument("--scheme", default="cdqs")
+    explain.add_argument("--analyze", action="store_true",
+                         help="execute the query and record actual "
+                              "cardinalities and per-step wall time")
+    explain.add_argument("--no-accelerator", action="store_true",
+                         help="plan against plain tree-walk scans "
+                              "(no window index)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the plan as JSON")
+
+    stats = commands.add_parser(
+        "stats", help="per-document cardinality statistics"
+    )
+    stats.add_argument("file")
+    stats.add_argument("--scheme", default="cdqs")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the statistics payload as JSON")
 
     matrix = commands.add_parser("matrix", help="regenerate Figure 7")
     matrix.add_argument("--extensions", action="store_true",
@@ -1025,6 +1173,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_report.add_argument("--trace", metavar="FILE", default=None,
                               help="also fold in a JSONL span export "
                                    "(from `repro trace --export`)")
+    bench_report.add_argument("--profile", metavar="FILE", default=None,
+                              help="fold a collapsed-stack profile (from "
+                                   "`repro profile` or --profile) into the "
+                                   "hotspot section")
     bench_report.add_argument("--json", action="store_true",
                               help="emit the health document as JSON")
 
@@ -1085,6 +1237,22 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--plain", action="store_true",
                      help="append frames instead of clearing the screen")
 
+    profile = commands.add_parser(
+        "profile",
+        help="run another repro command under the sampling profiler",
+    )
+    profile.add_argument("--hertz", type=float, default=None,
+                         help="sampling rate (default ~97 Hz)")
+    profile.add_argument("--out", metavar="FILE", default=None,
+                         help="collapsed-stack output path "
+                              "(default profile.collapsed)")
+    profile.add_argument("--top", type=int, default=10,
+                         help="hottest-function rows to print (default 10)")
+    profile.add_argument("profile_command", nargs=argparse.REMAINDER,
+                         metavar="command",
+                         help="the repro command line to profile, e.g. "
+                              "`query FILE '//item'`")
+
     lint = commands.add_parser(
         "lint",
         help="static property verifier + repo lint (CI gate)",
@@ -1114,6 +1282,8 @@ _HANDLERS = {
     "label": _cmd_label,
     "table": _cmd_table,
     "query": _cmd_query,
+    "explain": _cmd_explain,
+    "stats": _cmd_stats,
     "matrix": _cmd_matrix,
     "figure": _cmd_figure,
     "growth": _cmd_growth,
@@ -1127,6 +1297,7 @@ _HANDLERS = {
     "health": _cmd_health,
     "serve-metrics": _cmd_serve_metrics,
     "top": _cmd_top,
+    "profile": _cmd_profile,
     "lint": _cmd_lint,
 }
 
@@ -1134,6 +1305,8 @@ _HANDLERS = {
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if getattr(args, "profile_out", None) and args.command != "profile":
+            return _run_profiled(args)
         return _HANDLERS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -30,7 +30,20 @@ its currency.  This package turns those measurements into two layers:
   one ok/warn/critical document behind ``python -m repro health``;
 * a continuous **exporter** (:mod:`repro.observability.export`) —
   OpenMetrics text rendering, an interval JSONL sampler, and the
-  stdlib HTTP endpoint behind ``python -m repro serve-metrics``.
+  stdlib HTTP endpoint behind ``python -m repro serve-metrics``;
+* a decision-level **EXPLAIN** layer
+  (:mod:`repro.observability.explain`) — structured query plans with
+  per-step strategy, estimated vs. actual cardinality and wall time,
+  plus an update-batch explainer, behind ``python -m repro explain``;
+* per-document **cardinality statistics**
+  (:mod:`repro.observability.stats`) — tag counts, depth histogram,
+  fan-out and learned per-axis selectivities feeding the EXPLAIN
+  estimates, persisted through every storage backend, behind
+  ``python -m repro stats``;
+* a **flight-recorder profiler**
+  (:mod:`repro.observability.profiler`) — a sampling stack profiler
+  with collapsed-stack (flamegraph) output and a top-functions table,
+  behind ``--profile`` and ``python -m repro profile``.
 """
 
 from repro.observability.benchtel import (
@@ -40,6 +53,15 @@ from repro.observability.benchtel import (
     load_run,
     run_sections,
     write_run,
+)
+from repro.observability.explain import (
+    EXPLAIN_SCHEMA_VERSION,
+    PlanRecorder,
+    PlanStep,
+    QueryPlan,
+    UpdatePlan,
+    explain_batch,
+    explain_query,
 )
 from repro.observability.export import (
     OPENMETRICS_CONTENT_TYPE,
@@ -77,6 +99,15 @@ from repro.observability.ops import (
     oplog_enabled,
     render_oplog,
 )
+from repro.observability.profiler import (
+    DEFAULT_HERTZ,
+    SamplingProfiler,
+    load_collapsed,
+    merge_collapsed,
+    render_top,
+    top_functions,
+    write_collapsed,
+)
 from repro.observability.regression import (
     ComparisonReport,
     SectionComparison,
@@ -84,6 +115,11 @@ from repro.observability.regression import (
     compare_runs,
     load_baseline,
     render_comparison,
+)
+from repro.observability.stats import (
+    STATS_SCHEMA_VERSION,
+    StatsCollector,
+    render_stats,
 )
 from repro.observability.tracing import (
     AlwaysOffSampler,
@@ -110,6 +146,8 @@ __all__ = [
     "BenchRun",
     "ComparisonReport",
     "Counter",
+    "DEFAULT_HERTZ",
+    "EXPLAIN_SCHEMA_VERSION",
     "HEALTH_SCHEMA_VERSION",
     "HealthContext",
     "HealthProbe",
@@ -123,27 +161,38 @@ __all__ = [
     "OPENMETRICS_CONTENT_TYPE",
     "OpEvent",
     "OpLog",
+    "PlanRecorder",
+    "PlanStep",
     "ProbeResult",
+    "QueryPlan",
     "RatioSampler",
+    "STATS_SCHEMA_VERSION",
+    "SamplingProfiler",
     "SectionComparison",
     "SectionResult",
     "Span",
     "SpanRecord",
+    "StatsCollector",
     "Thresholds",
     "Timer",
     "Tracer",
+    "UpdatePlan",
     "compare_runs",
     "configure_oplog",
     "configure_tracing",
     "default_probes",
+    "explain_batch",
+    "explain_query",
     "find_latest_run",
     "get_oplog",
     "get_registry",
     "get_tracer",
     "health_from_snapshot",
     "load_baseline",
+    "load_collapsed",
     "load_run",
     "load_trace",
+    "merge_collapsed",
     "openmetrics_name",
     "oplog_enabled",
     "render_comparison",
@@ -152,13 +201,17 @@ __all__ = [
     "render_oplog",
     "render_openmetrics",
     "render_span_tree",
+    "render_stats",
     "render_summary",
+    "render_top",
     "run_health",
     "run_sections",
     "serve_metrics",
     "start_metrics_server",
     "summarize_trace",
+    "top_functions",
     "traced",
     "tracing_enabled",
+    "write_collapsed",
     "write_run",
 ]

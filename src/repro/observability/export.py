@@ -179,15 +179,31 @@ class IntervalSampler:
             self.sample_once()
 
     def stop(self) -> None:
-        """Stop the thread, take a final sample, close the file."""
-        if self._thread is not None:
+        """Stop the thread, take a final sample, close the file.
+
+        Idempotent, and the sampler is reusable afterwards: a later
+        :meth:`start` (or bare :meth:`sample_once`) reopens the file in
+        append mode, so earlier samples are never clobbered.  If the
+        thread refuses to die within the join timeout the sampler is
+        left running — closing the file underneath a live thread would
+        make its next sample race a dead handle — and a
+        :class:`RuntimeError` surfaces the hang instead.
+        """
+        thread = self._thread
+        if thread is not None:
             self._stop.set()
-            self._thread.join(timeout=self.interval_s + 5)
+            thread.join(timeout=self.interval_s + 5)
+            if thread.is_alive():  # pragma: no cover - defensive
+                raise RuntimeError(
+                    "metrics sampler thread did not stop within "
+                    f"{self.interval_s + 5:.1f}s; file left open"
+                )
             self._thread = None
             self.sample_once()
         if self._file is not None:
             self._file.close()
             self._file = None
+        self._started_ts = 0.0
 
     def __enter__(self) -> "IntervalSampler":
         return self.start()

@@ -52,6 +52,7 @@ __all__ = [
     "HealthReport",
     "JournalTailProbe",
     "RollbackRateProbe",
+    "ScanFallbackProbe",
     "StaleIndexProbe",
     "RelabelStormProbe",
     "CacheHitRateProbe",
@@ -230,6 +231,62 @@ class StaleIndexProbe(HealthProbe):
             stale_errors=stale, queries=queries, rate=rate)
 
 
+class ScanFallbackProbe(HealthProbe):
+    """Queries silently losing their index to the O(n) scan path.
+
+    EXPLAIN counts every planned step by strategy
+    (``explain.steps_accelerated`` vs. ``explain.steps_scan``), and the
+    accelerator counts the window queries it actually served
+    (``axes.accelerator.queries``) next to the refusals
+    (``axes.accelerator.stale_errors``).  When the scan share of
+    explained steps climbs past the threshold while an accelerator
+    exists (builds > 0), index maintenance is failing somewhere —
+    detached indexes, stale stamps — and every affected query quietly
+    pays the full label-table pass.
+    """
+
+    name = "scan-fallback-rate"
+
+    def __init__(self, min_steps: int = 8, warn_rate: float = 0.5,
+                 critical_rate: float = 0.95):
+        self.min_steps = min_steps
+        self.warn_rate = warn_rate
+        self.critical_rate = critical_rate
+
+    def evaluate(self, context: HealthContext) -> ProbeResult:
+        scan = context.value("explain.steps_scan")
+        accelerated = context.value("explain.steps_accelerated")
+        builds = context.value("axes.accelerator.builds")
+        stale = context.value("axes.accelerator.stale_errors")
+        steps = scan + accelerated
+        if steps < self.min_steps:
+            return self.result(
+                "ok", f"too few explained steps to judge ({steps:.0f})",
+                scan_steps=scan, accelerated_steps=accelerated)
+        rate = scan / steps
+        if builds == 0:
+            # No index was ever built; scanning is the intended path,
+            # not a silent loss.
+            return self.result(
+                "ok",
+                f"scan-only workload (no accelerator built), "
+                f"{scan:.0f}/{steps:.0f} steps scanned",
+                scan_steps=scan, accelerated_steps=accelerated, rate=rate)
+        if rate >= self.critical_rate:
+            status = "critical"
+        elif rate >= self.warn_rate:
+            status = "warn"
+        else:
+            status = "ok"
+        return self.result(
+            status,
+            f"{scan:.0f} of {steps:.0f} explained steps ({rate:.0%}) fell "
+            f"back to the scan path despite a built accelerator "
+            f"({stale:.0f} stale refusals recorded)",
+            scan_steps=scan, accelerated_steps=accelerated, rate=rate,
+            builds=builds, stale_errors=stale)
+
+
 class RelabelStormProbe(HealthProbe):
     """Wide relabel cascades forcing accelerator rebuilds."""
 
@@ -355,6 +412,7 @@ def default_probes() -> List[HealthProbe]:
         JournalTailProbe(),
         RollbackRateProbe(),
         StaleIndexProbe(),
+        ScanFallbackProbe(),
         RelabelStormProbe(),
         CacheHitRateProbe(),
         BackendLockProbe(),

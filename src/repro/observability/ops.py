@@ -54,9 +54,22 @@ __all__ = [
     "OpLog",
     "get_oplog",
     "configure_oplog",
+    "iso_ts",
     "oplog_enabled",
     "render_oplog",
 ]
+
+
+def iso_ts(epoch: float) -> str:
+    """Render an epoch-seconds float as ISO-8601 UTC (second precision).
+
+    Human-facing renderers (``render_oplog``, ``repro top``) use this;
+    JSON payloads keep the numeric ``ts`` for machine consumers.
+    """
+    from datetime import datetime, timezone
+
+    return datetime.fromtimestamp(epoch, tz=timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ")
 
 #: Outcomes an operation can report.
 OUTCOMES = ("ok", "error", "rollback")
@@ -441,8 +454,8 @@ def render_oplog(oplog: Optional[OpLog] = None, limit: int = 20) -> str:
     events = oplog.events(limit=limit)
     if not events:
         return "(no operations recorded)"
-    lines = [f"{'seq':>6s} {'kind':28s} {'ms':>9s} {'nodes':>6s} "
-             f"{'outcome':8s} {'scheme':10s} detail"]
+    lines = [f"{'time (UTC)':20s} {'seq':>6s} {'kind':28s} {'ms':>9s} "
+             f"{'nodes':>6s} {'outcome':8s} {'scheme':10s} detail"]
     for event in events:
         detail = event.error_type or ""
         if event.slow:
@@ -450,6 +463,7 @@ def render_oplog(oplog: Optional[OpLog] = None, limit: int = 20) -> str:
         if event.document:
             detail = (detail + f" doc={event.document}").strip()
         lines.append(
+            f"{iso_ts(event.ts):20s} "
             f"{event.seq:6d} {event.kind:28s} {event.duration_s * 1e3:9.3f} "
             f"{event.nodes:6d} {event.outcome:8s} "
             f"{(event.scheme or '-'):10s} {detail}"

@@ -363,8 +363,9 @@ class MetricNameRule:
     #: Extending the observability surface means extending this set —
     #: deliberately, in the same change that teaches the consumers.
     KNOWN_FAMILIES = frozenset({
-        "axes", "batch", "compare_cache", "durability", "health", "ops",
-        "repository", "scheme", "store", "updates",
+        "axes", "batch", "compare_cache", "durability", "explain",
+        "health", "ops", "profiler", "repository", "scheme", "store",
+        "updates",
     })
 
     @staticmethod

@@ -54,6 +54,10 @@ class _DirectoryEntry:
     crc: int
     scheme: str
     config: Dict[str, object]
+    #: Cardinality-statistics payload; rides in the directory record
+    #: (it is small, JSON, and versioned) rather than the page payload
+    #: so pre-statistics page files replay unchanged.
+    stats: Optional[Dict[str, object]] = None
 
 
 class PageFileBackend(StorageBackend):
@@ -116,6 +120,7 @@ class PageFileBackend(StorageBackend):
             crc=zlib.crc32(payload),
             scheme=snapshot.scheme_name,
             config=dict(snapshot.scheme_config),
+            stats=None if snapshot.stats is None else dict(snapshot.stats),
         )
         # Step 1: payload first, padded and fsynced.  Until the
         # directory record lands these pages are invisible orphans.
@@ -126,7 +131,7 @@ class PageFileBackend(StorageBackend):
         os.fsync(self._data.fileno())
         # Step 2: the directory record is the commit point.
         maybe_fail("pagefile.commit")
-        record = json.dumps({
+        fields = {
             "type": "put",
             "name": snapshot.name,
             "scheme": entry.scheme,
@@ -135,7 +140,10 @@ class PageFileBackend(StorageBackend):
             "pages": entry.pages,
             "length": entry.length,
             "crc": entry.crc,
-        }, separators=(",", ":"))
+        }
+        if entry.stats is not None:
+            fields["stats"] = entry.stats
+        record = json.dumps(fields, separators=(",", ":"))
         if get_injector().fires("pagefile.torn"):
             # Crash halfway through the record's physical write: half
             # the bytes reach the log, no newline — reattachment must
@@ -168,6 +176,7 @@ class PageFileBackend(StorageBackend):
             xml=xml,
             label_stream=label_stream,
             scheme_config=dict(entry.config),
+            stats=None if entry.stats is None else dict(entry.stats),
         )
 
     def _do_delete(self, name: str) -> None:
@@ -204,6 +213,8 @@ class PageFileBackend(StorageBackend):
                         crc=int(record["crc"]),
                         scheme=str(record["scheme"]),
                         config=dict(record.get("config", {})),
+                        stats=(dict(record["stats"])
+                               if record.get("stats") is not None else None),
                     )
                     name = record["name"]
                 except (KeyError, TypeError, ValueError) as error:

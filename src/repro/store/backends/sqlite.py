@@ -54,7 +54,8 @@ CREATE TABLE IF NOT EXISTS documents (
     scheme       TEXT NOT NULL,
     config       TEXT NOT NULL,
     xml          TEXT NOT NULL,
-    label_stream BLOB NOT NULL
+    label_stream BLOB NOT NULL,
+    stats        TEXT
 );
 CREATE TABLE IF NOT EXISTS nodes (
     doc_id     INTEGER NOT NULL REFERENCES documents(doc_id),
@@ -93,6 +94,13 @@ class SQLiteBackend(StorageBackend):
         try:
             conn.execute("PRAGMA locking_mode=EXCLUSIVE")
             conn.executescript(_SCHEMA)
+            # Files created before the statistics column existed migrate
+            # in place; NULL stats read back as "never collected".
+            columns = [
+                row[1] for row in conn.execute("PRAGMA table_info(documents)")
+            ]
+            if "stats" not in columns:
+                conn.execute("ALTER TABLE documents ADD COLUMN stats TEXT")
             # With locking_mode=EXCLUSIVE the first write takes the
             # file's exclusive lock and keeps it until close; this
             # write is what makes a second open fail fast instead of
@@ -137,10 +145,12 @@ class SQLiteBackend(StorageBackend):
                 conn.execute("DELETE FROM documents WHERE doc_id = ?", old)
             cursor = conn.execute(
                 "INSERT INTO documents (name, scheme, config, xml, "
-                "label_stream) VALUES (?, ?, ?, ?, ?)",
+                "label_stream, stats) VALUES (?, ?, ?, ?, ?, ?)",
                 (snapshot.name, snapshot.scheme_name,
                  json.dumps(snapshot.scheme_config, sort_keys=True),
-                 snapshot.xml, snapshot.label_stream),
+                 snapshot.xml, snapshot.label_stream,
+                 None if snapshot.stats is None
+                 else json.dumps(snapshot.stats, sort_keys=True)),
             )
             doc_id = cursor.lastrowid
             rows = [
@@ -164,18 +174,19 @@ class SQLiteBackend(StorageBackend):
 
     def _do_get(self, name: str) -> Snapshot:
         row = self._connection().execute(
-            "SELECT scheme, config, xml, label_stream FROM documents "
+            "SELECT scheme, config, xml, label_stream, stats FROM documents "
             "WHERE name = ?", (name,),
         ).fetchone()
         if row is None:
             raise self._missing(name)
-        scheme_name, config, xml, label_stream = row
+        scheme_name, config, xml, label_stream, stats = row
         return Snapshot(
             name=name,
             scheme_name=scheme_name,
             xml=xml,
             label_stream=bytes(label_stream),
             scheme_config=json.loads(config),
+            stats=None if stats is None else json.loads(stats),
         )
 
     def _do_delete(self, name: str) -> None:

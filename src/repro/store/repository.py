@@ -89,12 +89,27 @@ def _maybe_warn_legacy() -> None:
 
 
 class StoredDocument:
-    """One materialised repository entry: labelled document + indexes."""
+    """One materialised repository entry: labelled document + indexes.
 
-    def __init__(self, name: str, ldoc: LabeledDocument):
+    ``stats`` is the document's cardinality profile
+    (:class:`~repro.observability.stats.StatsCollector`): collected at
+    materialisation when none is supplied, refreshed automatically when
+    a restored payload no longer matches the live node count (learned
+    selectivities survive the refresh), and persisted through every
+    snapshot so EXPLAIN estimates follow the document across backends.
+    """
+
+    def __init__(self, name: str, ldoc: LabeledDocument, stats=None):
+        from repro.observability.stats import StatsCollector
+
         self.name = name
         self.ldoc = ldoc
         self.indexes = DocumentIndexes(ldoc)
+        if stats is None:
+            stats = StatsCollector.collect(ldoc)
+        elif stats.stale(ldoc):
+            stats.refresh(ldoc)
+        self.stats = stats
 
     # -- queries ---------------------------------------------------------
 
@@ -146,10 +161,28 @@ class StoredDocument:
             op.set(nodes=len(matches))
         return matches
 
+    def explain(self, path: str, analyze: bool = False):
+        """EXPLAIN ``path`` against this document's own index and stats.
+
+        Returns a :class:`~repro.observability.explain.QueryPlan`; with
+        ``analyze=True`` the query executes and the observed step
+        cardinalities sharpen ``self.stats`` for future estimates.
+        """
+        from repro.observability.explain import explain_query
+
+        return explain_query(
+            self.ldoc, path,
+            accelerator=self.indexes.axis_accelerator(),
+            stats=self.stats, analyze=analyze,
+        )
+
     # -- persistence -------------------------------------------------------
 
     def snapshot(self) -> Snapshot:
-        return snapshot_document(self.ldoc, self.name)
+        if self.stats.stale(self.ldoc):
+            self.stats.refresh(self.ldoc)
+        return snapshot_document(self.ldoc, self.name,
+                                 stats=self.stats.to_payload())
 
     def storage_bits(self) -> int:
         return self.ldoc.total_label_bits()
@@ -210,7 +243,7 @@ class XMLRepository:
                 document, make_scheme(scheme_name, **scheme_config)
             )
             stored = StoredDocument(name, ldoc)
-            self.backend.put(snapshot_document(ldoc, name), ldoc)
+            self.backend.put(stored.snapshot(), ldoc)
             span.set_attribute("labels", len(ldoc.labels))
             op.set(nodes=len(ldoc.labels))
         registry.counter("repository.documents_added").increment()
@@ -226,7 +259,12 @@ class XMLRepository:
             snapshot = self.backend.get(name)
         except StorageError:
             raise UpdateError(f"no document named {name!r}") from None
-        stored = StoredDocument(name, restore_snapshot(snapshot))
+        from repro.observability.stats import StatsCollector
+
+        stored = StoredDocument(
+            name, restore_snapshot(snapshot),
+            stats=StatsCollector.from_payload(snapshot.stats),
+        )
         self._live[name] = stored
         return stored
 
@@ -290,9 +328,14 @@ class XMLRepository:
         target = name or snapshot.name
         if target in self:
             raise UpdateError(f"document {target!r} already exists")
+        from repro.observability.stats import StatsCollector
+
         ldoc = restore_snapshot(snapshot)
-        stored = StoredDocument(target, ldoc)
-        self.backend.put(snapshot_document(ldoc, target), ldoc)
+        stored = StoredDocument(
+            target, ldoc,
+            stats=StatsCollector.from_payload(snapshot.stats),
+        )
+        self.backend.put(stored.snapshot(), ldoc)
         self._live[target] = stored
         return stored
 

@@ -19,7 +19,7 @@ one whose label count disagrees with the re-parsed document, raises
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.encoding.codec import codec_for
 from repro.errors import InvalidLabelError, SnapshotMismatchError, StorageError
@@ -47,9 +47,16 @@ class Snapshot:
     xml: str
     label_stream: bytes
     scheme_config: Dict[str, Any] = field(default_factory=dict)
+    #: Optional cardinality-statistics payload
+    #: (:meth:`repro.observability.stats.StatsCollector.to_payload`),
+    #: persisted alongside the labels so EXPLAIN estimates survive a
+    #: round trip through storage.  ``None`` on snapshots that never
+    #: collected statistics — backends must round-trip both cases.
+    stats: Optional[Dict[str, Any]] = None
 
 
-def snapshot_document(ldoc: LabeledDocument, name: str) -> Snapshot:
+def snapshot_document(ldoc: LabeledDocument, name: str,
+                      stats: Optional[Dict[str, Any]] = None) -> Snapshot:
     """Freeze any labelled document as a :class:`Snapshot`."""
     codec = codec_for(ldoc.scheme)
     data, _bits = codec.encode_labels(ldoc.labels_in_document_order())
@@ -59,6 +66,7 @@ def snapshot_document(ldoc: LabeledDocument, name: str) -> Snapshot:
         xml=serialize(ldoc.document),
         label_stream=data,
         scheme_config=dict(getattr(ldoc.scheme, "configuration", {})),
+        stats=stats,
     )
 
 

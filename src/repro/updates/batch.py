@@ -106,6 +106,7 @@ class UpdateBatch:
         self._results: List[UpdateResult] = []
         self._operations = 0
         self._deferrals = 0
+        self._fast_labels = 0
         self._deletions = 0
         self._content_updates = 0
         self._overflow_events = 0
@@ -133,6 +134,27 @@ class UpdateBatch:
     def results(self) -> List[UpdateResult]:
         """Per-operation results recorded so far, in execution order."""
         return list(self._results)
+
+    def plan_summary(self) -> dict:
+        """The planner-facing view of the batch's labelling decisions.
+
+        ``predicted_relabel_extent`` is the upper bound an EXPLAIN of
+        this batch reports: if any operation deferred (``plan_insert``
+        returned ``None``), :meth:`apply` runs one consolidated
+        ``label_tree`` pass that may rewrite every label in the
+        document; with no deferral the extent is zero.
+        """
+        deferred = self._deferrals
+        return {
+            "operations": self._operations,
+            "fast_path_labels": self._fast_labels,
+            "deferred_labels": deferred,
+            "pending_nodes": len(self._pending),
+            "predicted_relabel_passes": 1 if deferred else 0,
+            "predicted_relabel_extent": (
+                len(self._ldoc.labels) if deferred else 0
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Operations (mirror of the UpdateSurface)
@@ -467,6 +489,7 @@ class UpdateBatch:
             self._overflow_events += 1
         ldoc._assign(node.node_id, outcome.label)
         ldoc._publish_insert(node)
+        self._fast_labels += 1
         self._metric_fast.value += 1
         return UpdateResult(
             kind="insert", node=node, label=outcome.label, labels_assigned=1,

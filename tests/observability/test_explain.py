@@ -1,0 +1,227 @@
+"""EXPLAIN plans: strategy routing, analyze actuals, estimate quality."""
+
+import json
+
+import pytest
+
+from repro.axes.accelerator import AxisAccelerator
+from repro.axes.xpath import xpath
+from repro.observability.explain import (
+    EXPLAIN_SCHEMA_VERSION,
+    STRATEGIES,
+    UpdatePlan,
+    explain_batch,
+    explain_query,
+)
+from repro.observability.stats import StatsCollector
+from repro.schemes.registry import make_scheme
+from repro.updates.document import LabeledDocument
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.xmark import xmark_document
+
+LIBRARY_XML = (
+    "<library><shelf><book><title>a</title></book>"
+    "<book><title>b</title></book></shelf>"
+    "<shelf><book><title>c</title></book></shelf></library>"
+)
+
+
+def library(scheme="qed"):
+    return LabeledDocument(parse(LIBRARY_XML), make_scheme(scheme))
+
+
+def xmark(scheme="qed", scale=0.1, seed=1):
+    return LabeledDocument(xmark_document(scale=scale, seed=seed),
+                           make_scheme(scheme))
+
+
+class TestStrategyRouting:
+    def test_accelerated_axes_report_window_strategy(self):
+        ldoc = xmark()
+        accelerator = AxisAccelerator(ldoc)
+        for path in ("//item", "//item/following::item",
+                     "//bidder/preceding::bidder"):
+            plan = explain_query(ldoc, path, accelerator=accelerator,
+                                 analyze=True)
+            strategies = {step.strategy for step in plan.steps}
+            assert strategies == {"accelerator-window"}, (path, strategies)
+
+    def test_no_accelerator_reports_scan_with_reason(self):
+        ldoc = library()
+        plan = explain_query(ldoc, "//book")
+        assert [s.strategy for s in plan.steps] == ["scan"]
+        assert plan.steps[0].reason == "no accelerator attached"
+
+    def test_detached_stale_index_falls_back_to_scan(self):
+        # The acceptance flow: build the index, detach it, mutate the
+        # document; an analyze run answers via scan and states why.
+        ldoc = xmark()
+        accelerator = AxisAccelerator(ldoc)
+        assert len(explain_query(ldoc, "//item", accelerator=accelerator,
+                                 analyze=True).steps) == 1
+        accelerator.detach()
+        ldoc.updates.append_child(ldoc.document.root, "annex")
+        plan = explain_query(ldoc, "//item", accelerator=accelerator,
+                             analyze=True)
+        step = plan.steps[0]
+        assert step.strategy == "scan"
+        assert "StaleIndexError" in step.reason
+        # The scan still answers correctly.
+        assert plan.result_count == len(xpath(ldoc, "//item"))
+
+    def test_unaccelerated_axis_scans_even_with_index(self):
+        ldoc = library()
+        accelerator = AxisAccelerator(ldoc)
+        plan = explain_query(ldoc, "//book/attribute::missing",
+                             accelerator=accelerator, analyze=True)
+        by_axis = {step.axis: step for step in plan.steps}
+        assert by_axis["descendant"].strategy == "accelerator-window"
+        assert by_axis["attribute"].strategy == "scan"
+        assert "not accelerated" in by_axis["attribute"].reason
+
+    def test_every_strategy_is_catalogued(self):
+        ldoc = library()
+        plan = explain_query(ldoc, "//book | //title",
+                             accelerator=AxisAccelerator(ldoc))
+        for step in plan.steps:
+            assert step.strategy in STRATEGIES
+
+
+class TestAnalyzeActuals:
+    #: Acceptance: actual cardinalities must match ``xpath()`` exactly.
+    PATHS = ("//item", "//item/name", "/site/regions",
+             "//open_auction/bidder", "//item/following::item")
+
+    @pytest.mark.parametrize("path", PATHS)
+    def test_actual_result_count_matches_xpath(self, path):
+        ldoc = xmark()
+        accelerator = AxisAccelerator(ldoc)
+        plan = explain_query(ldoc, path, accelerator=accelerator,
+                             analyze=True)
+        assert plan.result_count == len(xpath(ldoc, path))
+        final = plan.steps[-1]
+        assert final.actual_rows == plan.result_count
+        assert final.elapsed_ms is not None
+        assert plan.total_ms is not None
+
+    def test_union_actuals_sum_to_result(self):
+        ldoc = library()
+        plan = explain_query(ldoc, "//book | //title", analyze=True)
+        assert plan.branches == 2
+        finals = {}
+        for step in plan.steps:
+            finals[step.branch] = step
+        assert sum(s.actual_rows for s in finals.values()) >= \
+            plan.result_count == len(xpath(ldoc, "//book | //title"))
+
+    def test_plain_mode_does_not_execute(self):
+        ldoc = library()
+        plan = explain_query(ldoc, "//book")
+        assert plan.result_count is None
+        assert all(step.actual_rows is None for step in plan.steps)
+
+
+class TestEstimateQuality:
+    #: Satellite: estimated-vs-actual bounded error on XMark across
+    #: three schemes.  One analyze run teaches the collector; the next
+    #: plan's estimates must then land within 25% of the truth.
+    SCHEMES = ("qed", "dewey", "prepost")
+    PATHS = ("//item", "//item/name", "//open_auction/bidder")
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_learned_estimates_bounded_error(self, scheme):
+        ldoc = xmark(scheme)
+        accelerator = AxisAccelerator(ldoc)
+        stats = StatsCollector.collect(ldoc)
+        for path in self.PATHS:
+            explain_query(ldoc, path, accelerator=accelerator,
+                          stats=stats, analyze=True)
+        for path in self.PATHS:
+            plan = explain_query(ldoc, path, accelerator=accelerator,
+                                 stats=stats, analyze=True)
+            actual = plan.result_count
+            assert actual > 0
+            error = abs(plan.estimated_result - actual) / actual
+            assert error <= 0.25, (path, plan.estimated_result, actual)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_root_descendant_estimate_exact_before_learning(self, scheme):
+        # `//tag` from the root is answered by the tag population, so
+        # even the un-learned structural estimate is exact.
+        ldoc = xmark(scheme)
+        plan = explain_query(ldoc, "//item")
+        assert plan.estimated_result == len(xpath(ldoc, "//item"))
+
+
+class TestPlanPayload:
+    def test_json_payload_shape(self):
+        ldoc = library()
+        plan = explain_query(ldoc, "//book/title", analyze=True)
+        payload = json.loads(json.dumps(plan.to_payload()))
+        assert payload["schema_version"] == EXPLAIN_SCHEMA_VERSION
+        assert payload["path"] == "//book/title"
+        assert payload["analyze"] is True
+        assert payload["result_count"] == 3
+        assert len(payload["steps"]) == 2
+        for step in payload["steps"]:
+            assert set(step) == {
+                "index", "branch", "axis", "name_test", "predicates",
+                "strategy", "reason", "estimated_rows", "context_size",
+                "actual_rows", "axis_rows", "elapsed_ms",
+            }
+
+    def test_render_contains_strategies_and_summary(self):
+        ldoc = library()
+        plan = explain_query(ldoc, "//book",
+                             accelerator=AxisAccelerator(ldoc),
+                             analyze=True)
+        text = plan.render()
+        assert "EXPLAIN //book" in text
+        assert "accelerator-window" in text
+        assert "=> estimated" in text
+        assert "actual 3" in text
+
+    def test_strategy_counters_tick(self):
+        from repro.observability.metrics import get_registry
+
+        registry = get_registry()
+        before_scan = registry.counter("explain.steps_scan").value
+        before_acc = registry.counter("explain.steps_accelerated").value
+        ldoc = library()
+        explain_query(ldoc, "//book")  # no accelerator -> scan
+        explain_query(ldoc, "//book",
+                      accelerator=AxisAccelerator(ldoc))
+        assert registry.counter("explain.steps_scan").value > before_scan
+        assert registry.counter("explain.steps_accelerated").value > \
+            before_acc
+
+
+class TestUpdateExplain:
+    def test_fast_path_batch_predicts_zero_extent(self):
+        ldoc = library("qed")  # persistent scheme: labels never move
+        with ldoc.batch() as batch:
+            for index in range(4):
+                batch.append_child(ldoc.document.root, f"kid{index}")
+            plan = explain_batch(batch)
+        assert isinstance(plan, UpdatePlan)
+        assert plan.operations == 4
+        assert plan.fast_path_labels == 4
+        assert plan.predicted_relabel_passes == 0
+        assert plan.predicted_relabel_extent == 0
+        plan.finish(ldoc.last_batch_result)
+        assert plan.actual_relabeled_nodes == 0
+
+    def test_deferred_batch_predicts_full_relabel_bound(self):
+        ldoc = library("prepost")  # containment: inserts defer
+        with ldoc.batch() as batch:
+            batch.append_child(ldoc.document.root, "annex")
+            plan = explain_batch(batch)
+            assert plan.deferred_labels > 0
+            assert plan.predicted_relabel_passes == 1
+            assert plan.predicted_relabel_extent == len(ldoc.labels)
+        plan.finish(ldoc.last_batch_result)
+        assert plan.actual_relabeled_nodes <= \
+            plan.predicted_relabel_extent + 1
+        payload = plan.to_payload()
+        assert payload["schema_version"] == EXPLAIN_SCHEMA_VERSION
+        assert "predicted extent" in plan.render()

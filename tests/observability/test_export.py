@@ -159,3 +159,53 @@ class TestHTTPEndpoint:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestIntervalSamplerLifecycle:
+    """Regression: stop() must close the file and leave the sampler
+    reusable — a stop/start cycle appends instead of clobbering."""
+
+    def test_stop_closes_lazily_opened_file(self, registry, tmp_path):
+        path = tmp_path / "oneshot.jsonl"
+        sampler = IntervalSampler(path=str(path), registry=registry)
+        sampler.sample_once()  # lazy open, no thread
+        assert sampler._file is not None
+        sampler.stop()
+        assert sampler._file is None
+        assert len(path.read_text().strip().splitlines()) == 1
+
+    def test_stop_start_cycle_appends_without_clobbering(self, registry,
+                                                         tmp_path):
+        path = tmp_path / "cycles.jsonl"
+        registry.counter("updates.insertions").increment()
+        sampler = IntervalSampler(path=str(path), interval_s=30.0,
+                                  registry=registry)
+        sampler.start()
+        sampler.stop()  # final sample -> 1 line
+        first_round = len(path.read_text().strip().splitlines())
+        assert first_round >= 1
+        sampler.start()
+        sampler.stop()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) >= first_round + 1
+        for line in lines:
+            assert json.loads(line)["metrics"]["updates.insertions"] == 1
+
+    def test_stop_is_idempotent(self, registry, tmp_path):
+        path = tmp_path / "idem.jsonl"
+        sampler = IntervalSampler(path=str(path), interval_s=30.0,
+                                  registry=registry)
+        sampler.start()
+        sampler.stop()
+        written = len(path.read_text().strip().splitlines())
+        sampler.stop()  # no thread, no open file: a no-op
+        assert len(path.read_text().strip().splitlines()) == written
+        assert sampler._file is None
+
+    def test_elapsed_resets_between_runs(self, registry, tmp_path):
+        sampler = IntervalSampler(registry=registry)
+        sampler.start()
+        sampler.stop()
+        assert sampler._started_ts == 0.0
+        sample = sampler.sample_once()
+        assert sample["elapsed_s"] == 0.0

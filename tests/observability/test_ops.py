@@ -271,3 +271,25 @@ class TestReadersAndRendering:
             thread.join()
         assert not errors
         assert len(oplog) <= oplog.capacity
+
+
+class TestIsoTimestamps:
+    def test_iso_ts_formats_utc(self):
+        from repro.observability.ops import iso_ts
+
+        assert iso_ts(0) == "1970-01-01T00:00:00Z"
+        assert iso_ts(1700000000) == "2023-11-14T22:13:20Z"
+
+    def test_render_oplog_leads_with_utc_column(self, oplog):
+        oplog.record("op.a", 0.002, nodes=3)
+        text = render_oplog(oplog)
+        header, first_row = text.splitlines()[0], text.splitlines()[1]
+        assert header.startswith("time (UTC)")
+        # Each row leads with an ISO-8601 Z timestamp.
+        assert first_row[:20].strip().endswith("Z")
+        assert "T" in first_row[:20]
+
+    def test_payload_timestamps_stay_numeric(self, oplog):
+        oplog.record("op.a", 0.002)
+        event = oplog.to_payload()["events"][0]
+        assert isinstance(event["ts"], float)

@@ -1,0 +1,124 @@
+"""The sampling flight recorder: collection, bounds, collapsed output."""
+
+import time
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiler import (
+    OVERFLOW_KEY,
+    SamplingProfiler,
+    load_collapsed,
+    merge_collapsed,
+    render_top,
+    top_functions,
+    write_collapsed,
+)
+
+
+def spin(seconds):
+    """Busy-loop so the sampler has a stack to catch."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(50))
+    return total
+
+
+class TestSampling:
+    def test_samples_collected_from_busy_workload(self):
+        registry = MetricsRegistry()
+        with SamplingProfiler(hertz=400, registry=registry) as profiler:
+            spin(0.15)
+        assert profiler.samples > 0
+        counts = profiler.collapsed()
+        assert counts
+        assert any("test_profiler:spin" in stack for stack in counts)
+        assert registry.counter("profiler.samples").value == \
+            profiler.samples
+
+    def test_never_empty_even_for_instant_workloads(self):
+        profiler = SamplingProfiler(hertz=1, registry=MetricsRegistry())
+        profiler.start()
+        profiler.stop()  # well inside one 1 Hz period
+        assert profiler.samples >= 1
+        assert profiler.collapsed()
+
+    def test_stop_is_safe_to_call_twice(self):
+        profiler = SamplingProfiler(hertz=50, registry=MetricsRegistry())
+        profiler.start()
+        profiler.stop()
+        samples = profiler.samples
+        profiler.stop()
+        assert profiler.samples == samples
+
+    def test_bounded_retention_folds_into_overflow(self):
+        profiler = SamplingProfiler(hertz=50, max_stacks=1,
+                                    registry=MetricsRegistry())
+        # Drive _sample directly with distinct synthetic stacks.
+        import sys
+
+        frame = sys._getframe()
+        profiler._sample(frame)
+
+        def other_stack():
+            profiler._sample(sys._getframe())
+
+        other_stack()
+        counts = profiler.collapsed()
+        assert OVERFLOW_KEY in counts
+        assert profiler.dropped == 1
+
+    def test_max_frames_truncates_deep_stacks(self):
+        profiler = SamplingProfiler(hertz=50, max_frames=3,
+                                    registry=MetricsRegistry())
+
+        def deep(levels):
+            if levels:
+                return deep(levels - 1)
+            import sys
+
+            profiler._sample(sys._getframe())
+            return None
+
+        deep(10)
+        (stack,) = profiler.collapsed()
+        assert stack.count(";") == 2  # 3 frames
+
+
+class TestCollapsedIO:
+    def test_write_and_load_round_trip(self, tmp_path):
+        counts = {"a;b;c": 5, "a;d": 2}
+        path = tmp_path / "out.collapsed"
+        assert write_collapsed(counts, str(path)) == 2
+        assert load_collapsed(str(path)) == counts
+
+    def test_load_tolerates_junk_lines(self, tmp_path):
+        path = tmp_path / "junk.collapsed"
+        path.write_text("a;b 3\n\nnot-a-count x\n 7\na;b 1\n")
+        assert load_collapsed(str(path)) == {"a;b": 4}
+
+    def test_merge_sums_across_sources(self):
+        merged = merge_collapsed([{"a;b": 1, "c": 2}, {"a;b": 3}])
+        assert merged == {"a;b": 4, "c": 2}
+
+
+class TestTopFunctions:
+    def test_self_counts_leaf_total_counts_anywhere(self):
+        counts = {"outer;inner": 6, "outer": 3, "outer;inner;leaf": 1}
+        rows = {row["function"]: row for row in top_functions(counts)}
+        assert rows["inner"]["self"] == 6
+        assert rows["inner"]["total"] == 7
+        assert rows["outer"]["self"] == 3
+        assert rows["outer"]["total"] == 10
+
+    def test_recursion_counted_once_per_stack(self):
+        rows = top_functions({"f;f;f": 4})
+        assert rows == [{"function": "f", "self": 4, "total": 4}]
+
+    def test_render_top_table(self):
+        text = render_top({"outer;inner": 9, "outer": 1}, limit=5)
+        assert "self%" in text
+        assert "inner" in text
+        assert "90.0%" in text
+
+    def test_render_top_empty(self):
+        assert render_top({}) == "no samples recorded"

@@ -529,3 +529,118 @@ class TestTopCommand:
         assert "ops/s" in out
         assert "health:" in out
         assert "repository.ingest" in out
+
+
+class TestExplainCommand:
+    def test_plain_explain_renders_plan(self, sample_file, capsys):
+        assert main(["explain", sample_file, "//book"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN //book" in out
+        assert "accelerator-window" in out
+        assert "=> estimated" in out
+
+    def test_analyze_records_actuals(self, sample_file, capsys):
+        assert main(["explain", sample_file, "//book", "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze" in out
+        assert "actual" in out
+
+    def test_no_accelerator_scans_with_reason(self, sample_file, capsys):
+        assert main(["explain", sample_file, "//book",
+                     "--no-accelerator"]) == 0
+        out = capsys.readouterr().out
+        assert "scan" in out
+        assert "no accelerator attached" in out
+        assert "accelerator-window" not in out
+
+    def test_json_plan_is_valid(self, sample_file, capsys):
+        import json
+
+        assert main(["explain", sample_file, "//book", "--analyze",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["analyze"] is True
+        assert payload["result_count"] is not None
+        assert payload["steps"]
+
+    def test_bad_path_reports_error(self, sample_file, capsys):
+        assert main(["explain", sample_file, "//book["]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_text_summary(self, sample_file, capsys):
+        assert main(["stats", sample_file]) == 0
+        out = capsys.readouterr().out
+        assert "labelled nodes" in out
+        assert "depth histogram" in out
+
+    def test_json_payload(self, sample_file, capsys):
+        import json
+
+        assert main(["stats", sample_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["node_count"] > 0
+        assert "tag_counts" in payload
+
+
+class TestProfileCommand:
+    def test_profiles_a_subcommand(self, sample_file, tmp_path, capsys):
+        out_file = tmp_path / "q.collapsed"
+        assert main(["profile", "--out", str(out_file),
+                     "query", sample_file, "//book"]) == 0
+        out = capsys.readouterr().out
+        assert "-- profile:" in out
+        assert out_file.exists()
+        assert out_file.read_text().strip()
+
+    def test_requires_a_command(self, capsys):
+        assert main(["profile"]) == 2
+        assert "needs a command" in capsys.readouterr().err
+
+    def test_refuses_to_profile_itself(self, capsys):
+        assert main(["profile", "profile", "schemes"]) == 2
+        assert "refusing" in capsys.readouterr().err
+
+    def test_inner_exit_code_propagates(self, tmp_path, capsys):
+        out_file = tmp_path / "fail.collapsed"
+        assert main(["profile", "--out", str(out_file),
+                     "label", "/nonexistent.xml"]) == 1
+
+    def test_global_profile_flag_wraps_any_command(self, sample_file,
+                                                   tmp_path, capsys):
+        out_file = tmp_path / "global.collapsed"
+        assert main(["--profile", str(out_file),
+                     "query", sample_file, "//book"]) == 0
+        captured = capsys.readouterr()
+        assert "node(s)" in captured.out
+        assert "-- profile:" in captured.err
+        assert out_file.read_text().strip()
+
+
+class TestBenchReportProfile:
+    BASELINE = str(__import__("pathlib").Path(__file__).resolve().parents[1]
+                   / "benchmarks" / "baselines" / "default.json")
+
+    def test_profile_hotspots_folded_in(self, tmp_path, capsys):
+        collapsed = tmp_path / "p.collapsed"
+        collapsed.write_text("repro.cli:main;repro.axes.xpath:xpath 7\n")
+        assert main(["bench", "report", "--bench", self.BASELINE,
+                     "--profile", str(collapsed)]) == 0
+        out = capsys.readouterr().out
+        assert "profile hotspots" in out
+        assert "repro.axes.xpath:xpath" in out
+
+    def test_json_gains_profile_hotspots(self, tmp_path, capsys):
+        import json
+
+        collapsed = tmp_path / "p.collapsed"
+        collapsed.write_text("a;b 3\na 1\n")
+        assert main(["bench", "report", "--bench", self.BASELINE,
+                     "--profile", str(collapsed), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        rows = document["profile_hotspots"]
+        assert rows[0]["function"] == "b"
+        assert rows[0]["self"] == 3
