@@ -52,6 +52,7 @@ SECTIONS = [
     ("extension", "bench_query_axes"),
     ("extension", "bench_batch_updates"),
     ("extension", "bench_durability"),
+    ("extension", "bench_ulang"),
 ]
 
 KINDS = ("figure", "claim", "extension")

@@ -17,21 +17,9 @@ from repro.errors import UnsupportedRelationshipError
 from repro.updates.document import LabeledDocument
 from repro.xmlmodel.tree import XMLNode
 
-#: The axes the evaluator understands.
-AXES = (
-    "self",
-    "child",
-    "parent",
-    "ancestor",
-    "ancestor-or-self",
-    "descendant",
-    "descendant-or-self",
-    "following",
-    "preceding",
-    "following-sibling",
-    "preceding-sibling",
-    "attribute",
-)
+# The canonical axis list lives with the grammar; re-exported here
+# because this module is where axis *evaluation* is looked up.
+from repro.axes.xpath_ast import AXES
 
 
 class AxisEvaluator:

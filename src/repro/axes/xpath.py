@@ -2,177 +2,31 @@
 
 The paper's scope is labelling, not query languages, but its properties
 are justified by XPath processing cost; this evaluator makes that
-concrete.  Supported grammar (a practical XPath 1.0 subset):
-
-* absolute and relative location paths: ``/book/title``, ``author``
-* the abbreviations ``//`` (descendant-or-self), ``.``, ``..``, ``@name``
-* explicit axes: ``ancestor::*``, ``following-sibling::item``, ...
-* name test ``*`` and node name tests
-* predicates: positional ``[2]``, attribute equality ``[@year='2004']``,
-  child-text equality ``[name='Destiny Image']``, existence ``[@year]``
-
-Results are element/attribute nodes in document order with duplicates
-eliminated — the XPath requirements Definition 1 exists to serve.
+concrete.  The grammar lives in :mod:`repro.axes.xpath_ast` — one typed
+AST shared with the EXPLAIN planner and the update/query independence
+analyzer — while this module owns *evaluation*: routing each parsed
+step through :class:`~repro.axes.evaluator.AxisEvaluator` (labels,
+accelerator windows or tree fallbacks) and merging results in document
+order with duplicates eliminated — the XPath requirements Definition 1
+exists to serve.
 """
 
 from __future__ import annotations
 
-import re
 import time
-from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.axes.evaluator import AXES, AxisEvaluator
-from repro.errors import XPathError
+from repro.axes.evaluator import AxisEvaluator
+from repro.axes.xpath_ast import (
+    Step,
+    apply_node_tests,
+    parse_path,
+    split_union,
+)
 from repro.updates.document import LabeledDocument
 from repro.xmlmodel.tree import XMLNode
 
-_STEP_RE = re.compile(
-    r"^(?:(?P<axis>[a-z-]+)::)?(?P<attr>@)?(?P<name>\*|[A-Za-z_][\w.-]*|\.\.|\.)"
-)
-_PRED_POSITION_RE = re.compile(r"^\d+$")
-_PRED_EQUALS_RE = re.compile(
-    r"^(?P<attr>@)?(?P<name>[A-Za-z_][\w.-]*)\s*=\s*"
-    r"(?P<quote>['\"])(?P<value>.*)(?P=quote)$"
-)
-_PRED_EXISTS_RE = re.compile(r"^(?P<attr>@)?(?P<name>[A-Za-z_][\w.-]*)$")
-
-#: Axes whose positional predicates count in *reverse* document order
-#: (proximity order): ``ancestor::*[1]`` is the nearest ancestor, not
-#: the root.
-_REVERSE_AXES = frozenset(
-    ("ancestor", "ancestor-or-self", "preceding", "preceding-sibling")
-)
-
-
-@dataclass
-class Step:
-    """One parsed location step."""
-
-    axis: str
-    name_test: str
-    predicates: List[str] = field(default_factory=list)
-
-
-def parse_path(path: str) -> (bool, List[Step]):
-    """Parse a location path into (absolute?, steps)."""
-    if not path or path.isspace():
-        raise XPathError("empty XPath expression")
-    text = path.strip()
-    absolute = text.startswith("/")
-    steps: List[Step] = []
-    # Normalise '//' into an explicit descendant-or-self step marker.
-    pieces: List[str] = []
-    index = 0
-    while index < len(text):
-        if text.startswith("//", index):
-            pieces.append("descendant-or-self::*")
-            index += 2
-        elif text[index] == "/":
-            index += 1
-        else:
-            end = index
-            depth = 0
-            quote = None
-            while end < len(text) and (text[end] != "/" or depth or quote):
-                char = text[end]
-                if quote:
-                    if char == quote:
-                        quote = None
-                elif char in "'\"":
-                    quote = char
-                elif char == "[":
-                    depth += 1
-                elif char == "]":
-                    depth -= 1
-                end += 1
-            pieces.append(text[index:end])
-            index = end
-    for piece in pieces:
-        steps.append(_parse_step(piece))
-    return absolute, _merge_descendant_steps(steps)
-
-
-def _merge_descendant_steps(steps: List[Step]) -> List[Step]:
-    """Fold ``//name`` into one ``descendant::name`` step.
-
-    ``a//b`` abbreviates ``a/descendant-or-self::node()/child::b``, which
-    is exactly ``a/descendant::b`` — and the single-step form also makes
-    the absolute ``//b`` case (where the virtual document node is the
-    context) easy to evaluate correctly.  The merge only applies when the
-    following step uses the child axis; ``//ancestor::x`` style paths
-    keep the explicit expansion.
-    """
-    merged: List[Step] = []
-    index = 0
-    while index < len(steps):
-        step = steps[index]
-        if (
-            step.axis == "descendant-or-self"
-            and step.name_test == "*"
-            and not step.predicates
-            and index + 1 < len(steps)
-            and steps[index + 1].axis == "child"
-        ):
-            follower = steps[index + 1]
-            merged.append(
-                Step(
-                    axis="descendant",
-                    name_test=follower.name_test,
-                    predicates=follower.predicates,
-                )
-            )
-            index += 2
-        else:
-            merged.append(step)
-            index += 1
-    return merged
-
-
-def _parse_step(piece: str) -> Step:
-    match = _STEP_RE.match(piece)
-    if match is None:
-        raise XPathError(f"cannot parse location step {piece!r}")
-    axis = match.group("axis")
-    name = match.group("name")
-    if name == ".":
-        axis, name = "self", "*"
-    elif name == "..":
-        axis, name = "parent", "*"
-    elif match.group("attr"):
-        if axis:
-            raise XPathError(f"@ abbreviation conflicts with axis in {piece!r}")
-        axis = "attribute"
-    elif axis is None:
-        axis = "child"
-    if axis not in AXES:
-        raise XPathError(f"unsupported axis {axis!r}")
-    rest = piece[match.end():]
-    predicates: List[str] = []
-    while rest:
-        if not rest.startswith("["):
-            raise XPathError(f"unexpected trailing text in step {piece!r}")
-        depth = 0
-        quote = None
-        end = -1
-        for position, char in enumerate(rest):
-            if quote:
-                if char == quote:
-                    quote = None
-            elif char in "'\"":
-                quote = char
-            elif char == "[":
-                depth += 1
-            elif char == "]":
-                depth -= 1
-                if depth == 0:
-                    end = position
-                    break
-        if end < 0:
-            raise XPathError(f"unterminated predicate in step {piece!r}")
-        predicates.append(rest[1:end].strip())
-        rest = rest[end + 1 :]
-    return Step(axis=axis, name_test=name, predicates=predicates)
+__all__ = ["Step", "XPathEvaluator", "parse_path", "xpath"]
 
 
 class XPathEvaluator:
@@ -216,27 +70,7 @@ class XPathEvaluator:
 
     @staticmethod
     def _split_union(path: str) -> List[str]:
-        pieces: List[str] = []
-        depth = 0
-        quote = None
-        current: List[str] = []
-        for char in path:
-            if quote:
-                if char == quote:
-                    quote = None
-            elif char in "'\"":
-                quote = char
-            elif char == "[":
-                depth += 1
-            elif char == "]":
-                depth -= 1
-            if char == "|" and depth == 0 and quote is None:
-                pieces.append("".join(current))
-                current = []
-            else:
-                current.append(char)
-        pieces.append("".join(current))
-        return [piece.strip() for piece in pieces]
+        return split_union(path)
 
     def _evaluate_single(self, path: str,
                          context: Optional[XMLNode] = None) -> List[XMLNode]:
@@ -340,66 +174,7 @@ class XPathEvaluator:
     # ------------------------------------------------------------------
 
     def _apply_tests(self, step: Step, nodes: List[XMLNode]) -> List[XMLNode]:
-        if step.name_test != "*":
-            if step.axis == "attribute":
-                nodes = [node for node in nodes if node.name == step.name_test]
-            else:
-                nodes = [
-                    node for node in nodes
-                    if node.is_element and node.name == step.name_test
-                ]
-        elif step.axis != "attribute":
-            # '*' on a non-attribute axis selects elements, per XPath.
-            nodes = [node for node in nodes if node.is_element]
-        if step.predicates and step.axis in _REVERSE_AXES:
-            # Reverse axes number in proximity order: position 1 is the
-            # node nearest the context.  The final merge re-sorts the
-            # survivors into document order.
-            nodes = nodes[::-1]
-        for predicate in step.predicates:
-            nodes = self._apply_predicate(predicate, nodes)
-        return nodes
-
-    def _apply_predicate(self, predicate: str,
-                         nodes: List[XMLNode]) -> List[XMLNode]:
-        if _PRED_POSITION_RE.match(predicate):
-            position = int(predicate)
-            return [nodes[position - 1]] if 1 <= position <= len(nodes) else []
-        match = _PRED_EQUALS_RE.match(predicate)
-        if match:
-            name = match.group("name")
-            value = match.group("value")
-            if match.group("attr"):
-                return [
-                    node for node in nodes
-                    if node.is_element
-                    and any(
-                        attr.name == name and attr.value == value
-                        for attr in node.attributes()
-                    )
-                ]
-            return [
-                node for node in nodes
-                if node.is_element
-                and any(
-                    child.name == name and child.text_value().strip() == value
-                    for child in node.element_children()
-                )
-            ]
-        match = _PRED_EXISTS_RE.match(predicate)
-        if match:
-            name = match.group("name")
-            if match.group("attr"):
-                return [
-                    node for node in nodes
-                    if node.is_element and node.attribute(name) is not None
-                ]
-            return [
-                node for node in nodes
-                if node.is_element
-                and any(child.name == name for child in node.element_children())
-            ]
-        raise XPathError(f"unsupported predicate [{predicate}]")
+        return apply_node_tests(step, nodes)
 
     def _dedupe(self, nodes: List[XMLNode]) -> List[XMLNode]:
         seen = set()

@@ -31,6 +31,9 @@
     python -m repro profile query FILE '//item'     # flight-recorder run
     python -m repro --profile out.collapsed top --iterations 3  # any command
     python -m repro lint [--json]                   # static checks (CI gate)
+    python -m repro update run FILE PROG.ulang      # declarative updates
+    python -m repro update check FILE PROG --query '//price'  # analyze only
+    python -m repro update explain FILE PROG        # predicted vs actual
 
 Every command prints plain text and exits non-zero on failure, so the
 tool scripts cleanly.
@@ -128,6 +131,82 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if args.json:
         emit_json(plan.to_payload())
     else:
+        print(plan.render())
+    return 0
+
+
+def _read_program(source: str) -> str:
+    """A program operand: a ``.ulang`` file path or literal source."""
+    import os
+
+    if os.path.exists(source):
+        with open(source, encoding="utf-8") as handle:
+            return handle.read()
+    return source
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """Run, check or EXPLAIN a declarative update program."""
+    from repro.observability.jsonio import emit_json
+    from repro.observability.stats import StatsCollector
+    from repro.ulang import check_program, parse_program, run_program
+    from repro.ulang.analysis import RULES
+
+    if getattr(args, "list_rules", False):
+        for rule_id, (name, severity, description) in sorted(RULES.items()):
+            print(f"{rule_id}  {severity:7s}  {name}: {description}")
+        return 0
+    if not args.file or not args.program:
+        print("error: update needs an XML file and a program",
+              file=sys.stderr)
+        return 2
+    source = _read_program(args.program)
+    ldoc = _load(args)
+    queries = list(args.query or [])
+
+    if args.action == "run":
+        result = run_program(ldoc, source)
+        print(f"applied {result.operations} operation(s): "
+              f"{result.labels_assigned} label(s) assigned "
+              f"({result.deferred_labels} deferred), "
+              f"{result.deletions} deletion(s), "
+              f"{result.content_updates} content update(s), "
+              f"{result.relabel_passes} relabel pass(es)")
+        if args.out:
+            from repro.xmlmodel.serializer import serialize
+
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(serialize(ldoc.document))
+            print(f"wrote {args.out}")
+        return 0
+
+    from pathlib import Path
+
+    program = parse_program(source, path=args.program)
+    baseline = Path(args.baseline) if getattr(args, "baseline", None) else None
+    report = check_program(
+        program, queries=queries,
+        stats=StatsCollector.collect(ldoc),
+        scheme_name=ldoc.scheme.metadata.name,
+        baseline_path=baseline,
+    )
+
+    if args.action == "check":
+        if args.json:
+            emit_json(report.to_payload())
+        else:
+            print(report.render())
+        return report.exit_code
+
+    # explain: pair the static prediction with the executed actuals.
+    result, plan = run_program(ldoc, program, collect_plan=True)
+    if args.json:
+        payload = report.to_payload()
+        payload["plan"] = plan.to_payload()
+        emit_json(payload)
+    else:
+        print(report.render())
+        print()
         print(plan.render())
     return 0
 
@@ -1274,6 +1353,46 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
 
+    update = commands.add_parser(
+        "update",
+        help="declarative update language: run/check/explain a program",
+    )
+    update_actions = update.add_subparsers(dest="action", required=True)
+
+    def _update_common(sub):
+        sub.add_argument("file", nargs="?", help="XML document")
+        sub.add_argument("program", nargs="?",
+                         help="a .ulang file, or literal program text")
+        sub.add_argument("--scheme", default="cdqs")
+        sub.add_argument("--query", action="append", metavar="XPATH",
+                         help="registered query to decide independence "
+                              "for (repeatable)")
+
+    update_run = update_actions.add_parser(
+        "run", help="execute the program through one UpdateBatch")
+    _update_common(update_run)
+    update_run.add_argument("--out", metavar="FILE", default=None,
+                            help="write the updated document here")
+
+    update_check = update_actions.add_parser(
+        "check", help="static analysis only; non-zero exit on any "
+                      "error-severity finding (CI gate)")
+    _update_common(update_check)
+    update_check.add_argument("--json", action="store_true",
+                              help="emit the analysis report as JSON")
+    update_check.add_argument("--baseline", metavar="FILE", default=None,
+                              help="JSON-lines baseline of grandfathered "
+                                   "findings")
+    update_check.add_argument("--list-rules", action="store_true",
+                              help="print the UPD rule catalogue and exit")
+
+    update_explain = update_actions.add_parser(
+        "explain", help="pair the predicted relabel extent with the "
+                        "executed batch actuals")
+    _update_common(update_explain)
+    update_explain.add_argument("--json", action="store_true",
+                                help="emit report + plan as JSON")
+
     return parser
 
 
@@ -1299,6 +1418,7 @@ _HANDLERS = {
     "top": _cmd_top,
     "profile": _cmd_profile,
     "lint": _cmd_lint,
+    "update": _cmd_update,
 }
 
 

@@ -120,6 +120,27 @@ class XPathError(ReproError):
     """Raised by the mini XPath evaluator for unsupported or bad paths."""
 
 
+class ULangError(ReproError):
+    """Base class for update-language (``repro.ulang``) errors."""
+
+
+class ULangSyntaxError(ULangError):
+    """An update program could not be parsed.
+
+    Carries the 1-based ``line`` of the offending statement so CLI and
+    analyzer output can point at the source.
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(message if not line
+                         else f"line {line}: {message}")
+        self.line = line
+
+
+class ULangTargetError(ULangError):
+    """A statement's target path resolved to an unusable node set."""
+
+
 class FrameworkError(ReproError):
     """Raised by the evaluation framework for misconfigured probes."""
 

@@ -37,7 +37,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.axes.xpath import Step, XPathEvaluator, parse_path
+from repro.axes.xpath import XPathEvaluator
+from repro.axes.xpath_ast import Step, parse_path, split_union
 
 from .metrics import get_registry
 from .stats import StatsCollector
@@ -194,7 +195,7 @@ class PlanRecorder:
             branch=max(0, self.branch),
             axis=step.axis,
             name_test=step.name_test,
-            predicates=list(step.predicates),
+            predicates=[str(p) for p in step.predicates],
             strategy=strategy,
             reason=reason,
             estimated_rows=estimated,
@@ -260,7 +261,7 @@ def _static_plan(ldoc, path: str, accelerator, stats: StatsCollector,
     from repro.axes.evaluator import AxisEvaluator
 
     axes = AxisEvaluator(ldoc, allow_fallback=True, accelerator=accelerator)
-    branches = XPathEvaluator._split_union(path)
+    branches = split_union(path)
     steps_out: List[PlanStep] = []
     estimated_result = 0.0
     for branch_index, branch in enumerate(branches):
@@ -290,7 +291,7 @@ def _static_plan(ldoc, path: str, accelerator, stats: StatsCollector,
                 branch=branch_index,
                 axis=step.axis,
                 name_test=step.name_test,
-                predicates=list(step.predicates),
+                predicates=[str(p) for p in step.predicates],
                 strategy=strategy,
                 reason=reason,
                 estimated_rows=estimated,

@@ -18,10 +18,12 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Protocol, Sequence, Tuple
+from typing import (
+    Dict, Iterator, List, Optional, Protocol, Sequence, Set, Tuple,
+)
 
 from repro.staticcheck.callgraph import CallGraph, iter_division_ops
-from repro.staticcheck.project import ModuleInfo, Project
+from repro.staticcheck.project import FunctionInfo, ModuleInfo, Project
 from repro.staticcheck.reporting import Finding
 
 #: Modules whose arithmetic feeds the Figure 7 counters.
@@ -365,7 +367,7 @@ class MetricNameRule:
     KNOWN_FAMILIES = frozenset({
         "axes", "batch", "compare_cache", "durability", "explain",
         "health", "ops", "profiler", "repository", "scheme", "store",
-        "updates",
+        "ulang", "updates",
     })
 
     @staticmethod
@@ -554,6 +556,121 @@ class MutableDefaultRule:
                         )
 
 
+class UnpublishedMutationRule:
+    """REP009: label-state mutators must publish a ``StructuralDelta``.
+
+    The axis accelerator (and any other delta subscriber) stays
+    coherent only because every public mutation path on
+    ``LabeledDocument`` / ``UpdateBatch`` ends in a ``_publish_*`` call.
+    A public method that writes label state — directly or through
+    private helpers — without a publish reachable from it silently
+    strands subscribers on stale indexes.
+
+    Mutation here means *label-state* mutation (writes to ``.labels`` /
+    ``._label_index``), not tree-text edits: ``set_text`` moves no
+    labels and owes no delta.  Calls are resolved by name against the
+    methods of the update/durability classes (``UndoRecord`` included,
+    so the rollback chain resolves), which keeps the reachability
+    conservative without a typed call graph.
+    """
+
+    id = "REP009"
+    name = "unpublished-mutation"
+    severity = "error"
+    description = ("public LabeledDocument/UpdateBatch mutation methods "
+                   "must publish a StructuralDelta (_publish_* reachable)")
+
+    #: Classes whose *public* methods are held to the contract.
+    _FLAGGED_CLASSES = ("LabeledDocument", "UpdateBatch")
+    #: Classes whose methods participate in call resolution.
+    _UNIVERSE_CLASSES = ("LabeledDocument", "UpdateBatch", "UndoRecord")
+    _LABEL_ATTRS = ("labels", "_label_index")
+    _DICT_MUTATORS = ("pop", "clear", "update", "setdefault")
+
+    @staticmethod
+    def _terminal(node: ast.expr) -> Optional[str]:
+        """The last attribute (or bare name) of a call target chain."""
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def _writes_labels(self, target: ast.expr) -> bool:
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        return (isinstance(target, ast.Attribute)
+                and target.attr in self._LABEL_ATTRS)
+
+    def _method_facts(self, function: FunctionInfo):
+        """(mutates, publishes, called names) for one method body."""
+        mutates = False
+        publishes = False
+        calls: Set[str] = set()
+        for node in ast.walk(function.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (node.targets
+                           if isinstance(node, (ast.Assign, ast.Delete))
+                           else [node.target])
+                if any(self._writes_labels(target) for target in targets):
+                    mutates = True
+            elif isinstance(node, ast.Call):
+                name = self._terminal(node.func)
+                if name is None:
+                    continue
+                if name.startswith("_publish"):
+                    publishes = True
+                elif (name in self._DICT_MUTATORS
+                        and isinstance(node.func, ast.Attribute)
+                        and self._writes_labels(node.func)):
+                    mutates = True
+                else:
+                    calls.add(name)
+        return mutates, publishes, calls
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        universe: Dict[str, List[Tuple[FunctionInfo, tuple]]] = {}
+        flagged: List[Tuple[ModuleInfo, FunctionInfo]] = []
+        for module in ctx.project.modules.values():
+            if not ctx.in_scope(module, MUTATION_SCOPE):
+                continue
+            for cls in module.classes.values():
+                if cls.name not in self._UNIVERSE_CLASSES:
+                    continue
+                for method in cls.methods.values():
+                    facts = self._method_facts(method)
+                    universe.setdefault(method.name, []).append(
+                        (method, facts)
+                    )
+                    if (cls.name in self._FLAGGED_CLASSES
+                            and not method.name.startswith("_")):
+                        flagged.append((module, method))
+
+        def reach(name: str, seen: Set[tuple]) -> Tuple[bool, bool]:
+            mutates = publishes = False
+            for method, (m, p, calls) in universe.get(name, ()):
+                if method.key() in seen:
+                    continue
+                seen.add(method.key())
+                mutates |= m
+                publishes |= p
+                for callee in calls:
+                    sub_m, sub_p = reach(callee, seen)
+                    mutates |= sub_m
+                    publishes |= sub_p
+            return mutates, publishes
+
+        for module, method in flagged:
+            mutates, publishes = reach(method.name, set())
+            if mutates and not publishes:
+                yield ctx.finding(
+                    self, module, method.lineno, method.node.col_offset,
+                    f"{method.qualname} mutates label state but no "
+                    f"_publish_* call is reachable; StructuralDelta "
+                    f"subscribers (axis accelerator) go stale",
+                )
+
+
 #: Every shipped rule, in id order.
 ALL_RULES: List[Rule] = [
     UninstrumentedDivisionRule(),
@@ -564,4 +681,5 @@ ALL_RULES: List[Rule] = [
     MetricNameRule(),
     ExportDriftRule(),
     MutableDefaultRule(),
+    UnpublishedMutationRule(),
 ]

@@ -110,8 +110,48 @@ class StoredDocument:
         elif stats.stale(ldoc):
             stats.refresh(ldoc)
         self.stats = stats
+        self._registered_queries: List[str] = []
 
     # -- queries ---------------------------------------------------------
+
+    def register_query(self, path: str) -> None:
+        """Declare ``path`` a standing query over this document.
+
+        Registered queries are what ``repro update check`` and
+        :func:`repro.ulang.check_program` decide update/query
+        independence against: an update program is only safe for this
+        document if every registered query is proven independent or the
+        conflict is consciously accepted.  The path is parsed eagerly so
+        registration fails fast on a bad expression.
+        """
+        from repro.axes.xpath_ast import parse_xpath
+
+        parse_xpath(path)
+        if path not in self._registered_queries:
+            self._registered_queries.append(path)
+            get_registry().counter("repository.registered_queries").increment()
+
+    @property
+    def registered_queries(self) -> List[str]:
+        """The standing queries, in registration order (a copy)."""
+        return list(self._registered_queries)
+
+    def check_update(self, program):
+        """Statically analyze ``program`` against this document.
+
+        Convenience for the repository workflow: the registered queries,
+        the cardinality stats and the scheme all come from this entry.
+        Returns an :class:`~repro.ulang.analysis.AnalysisReport`.
+        """
+        from repro.ulang import check_program
+
+        if self.stats.stale(self.ldoc):
+            self.stats.refresh(self.ldoc)
+        return check_program(
+            program, queries=self._registered_queries,
+            stats=self.stats,
+            scheme_name=self.ldoc.scheme.metadata.name,
+        )
 
     def find(self, name: str) -> List[XMLNode]:
         """All elements/attributes called ``name``, in document order."""

@@ -1,0 +1,53 @@
+"""repro.ulang: the FLUX-style declarative update language.
+
+A small XQuery-Update-like surface over the repo's update machinery::
+
+    insert <entry year="2024"/> into /library/section;
+    replace value of /library/section/book/price with "9.99";
+    delete //book[@lang='de'];     # noqa[UPD004] reviewed: feed query ok
+
+Programs parse (:func:`parse_program`) to a typed AST, compile onto one
+:class:`~repro.updates.batch.UpdateBatch` (:func:`run_program`) so
+deferred relabelling, transactions, WAL, op-log and tracing all apply
+unchanged — and, before anything executes, the static analyzer
+(:func:`check_program`, :mod:`repro.ulang.analysis`) decides
+update/query independence and flags unsafe programs through the same
+finding/baseline/noqa framework as ``repro lint``.
+"""
+
+from repro.ulang.ast import (
+    DeleteStatement,
+    InsertStatement,
+    MoveStatement,
+    RenameStatement,
+    ReplaceValueStatement,
+    UpdateProgram,
+    UStatement,
+)
+from repro.ulang.parser import parse_program
+from repro.ulang.compiler import resolve_targets, run_program
+from repro.ulang.analysis import (
+    AnalysisReport,
+    IndependenceVerdict,
+    analyze_program,
+    check_program,
+    paths_may_interfere,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "DeleteStatement",
+    "IndependenceVerdict",
+    "InsertStatement",
+    "MoveStatement",
+    "RenameStatement",
+    "ReplaceValueStatement",
+    "UStatement",
+    "UpdateProgram",
+    "analyze_program",
+    "check_program",
+    "parse_program",
+    "paths_may_interfere",
+    "resolve_targets",
+    "run_program",
+]

@@ -1,0 +1,124 @@
+"""Typed AST of the update language.
+
+One :class:`UpdateProgram` is a sequence of statements; every statement
+keeps its source ``line`` and verbatim ``text`` so analyzer findings
+and runtime errors can point back at the program, and its target paths
+pre-parsed to the shared XPath AST
+(:class:`~repro.axes.xpath_ast.LocationPath`) — the same objects the
+evaluator and EXPLAIN consume, per the one-parser rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.axes.xpath_ast import LocationPath
+
+#: Where an insert/move lands relative to its target.
+POSITIONS = ("into", "before", "after")
+
+
+@dataclass
+class UStatement:
+    """Base statement: source position plus parsed target paths."""
+
+    line: int = 0
+    text: str = ""
+
+    @property
+    def kind(self) -> str:
+        return self.__class__.__name__.replace("Statement", "").lower()
+
+    @property
+    def structural(self) -> bool:
+        """Whether the statement changes tree structure (labels move)."""
+        return True
+
+
+@dataclass
+class InsertStatement(UStatement):
+    """``insert <frag> into|before|after <xpath>``."""
+
+    fragment_xml: str = ""
+    position: str = "into"
+    target: str = ""
+    target_paths: List[LocationPath] = field(default_factory=list)
+    #: Root-to-leaf element/attribute name chains inside the fragment,
+    #: e.g. ``[["entry"], ["entry", "name"]]`` — analyzer fuel.
+    fragment_paths: List[List[str]] = field(default_factory=list)
+
+
+@dataclass
+class DeleteStatement(UStatement):
+    """``delete <xpath>``."""
+
+    target: str = ""
+    target_paths: List[LocationPath] = field(default_factory=list)
+
+
+@dataclass
+class ReplaceValueStatement(UStatement):
+    """``replace value of <xpath> with <value>``."""
+
+    target: str = ""
+    value: str = ""
+    target_paths: List[LocationPath] = field(default_factory=list)
+
+    @property
+    def structural(self) -> bool:
+        return False
+
+
+@dataclass
+class RenameStatement(UStatement):
+    """``rename <xpath> as <name>``."""
+
+    target: str = ""
+    name: str = ""
+    target_paths: List[LocationPath] = field(default_factory=list)
+
+    @property
+    def structural(self) -> bool:
+        # Labels stay put, but name tests over the region change.
+        return False
+
+
+@dataclass
+class MoveStatement(UStatement):
+    """``move <xpath> into|before|after <xpath>``."""
+
+    source: str = ""
+    position: str = "into"
+    target: str = ""
+    source_paths: List[LocationPath] = field(default_factory=list)
+    target_paths: List[LocationPath] = field(default_factory=list)
+
+
+@dataclass
+class UpdateProgram:
+    """A parsed program: ordered statements plus suppression map.
+
+    ``noqa`` maps a statement's 1-based source line to the UPD rule ids
+    suppressed on that line (``None`` meaning all) — same contract as
+    ``# repro: noqa[...]`` in Python sources, applied by the analyzer.
+    """
+
+    statements: List[UStatement] = field(default_factory=list)
+    source: str = ""
+    path: str = "<program>"
+    noqa: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` is noqa'd on physical ``line``."""
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return rules is None or rule_id.upper() in rules
+
+    def line_text(self, line: int) -> str:
+        """Source text of physical ``line`` (1-based), or ``""``."""
+        lines = self.source.splitlines()
+        if 1 <= line <= len(lines):
+            return lines[line - 1]
+        return ""

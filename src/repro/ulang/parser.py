@@ -1,0 +1,339 @@
+"""Hand-written lexer/parser for the update language.
+
+Grammar (keywords are case-sensitive, lower-case; ``;`` sequences
+statements and a trailing ``;`` is allowed; ``#`` starts a comment that
+runs to end of line, outside quotes)::
+
+    program    :=  statement ( ';' statement )* [ ';' ]
+    statement  :=  'insert' fragment position path
+                |  'delete' path
+                |  'replace' 'value' 'of' path 'with' string
+                |  'rename' path 'as' name
+                |  'move' path position path
+    position   :=  'into' | 'before' | 'after'
+    fragment   :=  a balanced XML element literal:  <entry year="2024"/>
+    path       :=  a mini-XPath expression (see repro.axes.xpath_ast)
+    string     :=  '...'  or  "..."
+    name       :=  an XML element/attribute name
+
+Comments may carry suppressions for the static analyzer, mirroring the
+``# repro: noqa[REP...]`` convention of the Python lint: a
+``# noqa[UPD002]`` on a statement's first line exempts that statement
+from the listed rules (``# noqa`` alone exempts it from all).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.axes.xpath_ast import parse_xpath
+from repro.errors import ULangSyntaxError, XPathError
+from repro.observability.metrics import get_registry
+from repro.ulang.ast import (
+    POSITIONS,
+    DeleteStatement,
+    InsertStatement,
+    MoveStatement,
+    RenameStatement,
+    ReplaceValueStatement,
+    UpdateProgram,
+    UStatement,
+)
+
+_NOQA_RE = re.compile(r"noqa(?:\[([A-Za-z0-9_,\s]*)\])?")
+_WORD_RE = re.compile(r"[a-z]+")
+_NAME_RE = re.compile(r"[A-Za-z_][\w.-]*")
+
+_STATEMENT_KEYWORDS = ("insert", "delete", "replace", "rename", "move")
+
+
+def _strip_comments(source: str) -> Tuple[str, Dict[int, Optional[Set[str]]]]:
+    """Blank out ``#`` comments (quote-aware) and collect noqa lines.
+
+    Comments are replaced by spaces so every statement keeps its exact
+    source offsets and line numbers.
+    """
+    chars = list(source)
+    noqa: Dict[int, Optional[Set[str]]] = {}
+    quote = None
+    index = 0
+    line = 1
+    while index < len(chars):
+        char = chars[index]
+        if char == "\n":
+            line += 1
+            quote = None  # strings and comments do not span lines
+        elif quote:
+            if char == quote:
+                quote = None
+        elif char in "'\"":
+            quote = char
+        elif char == "#":
+            end = index
+            while end < len(chars) and chars[end] != "\n":
+                end += 1
+            comment = "".join(chars[index:end])
+            match = _NOQA_RE.search(comment)
+            if match:
+                rules = match.group(1)
+                if rules is None:
+                    noqa[line] = None
+                else:
+                    noqa[line] = {
+                        rule.strip().upper()
+                        for rule in rules.split(",") if rule.strip()
+                    }
+            for position in range(index, end):
+                chars[position] = " "
+            index = end
+            continue
+        index += 1
+    return "".join(chars), noqa
+
+
+class _Scanner:
+    """Cursor over the comment-stripped program text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- basics ----------------------------------------------------------
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def line(self, pos: Optional[int] = None) -> int:
+        return self.text.count("\n", 0, self.pos if pos is None else pos) + 1
+
+    def error(self, message: str) -> ULangSyntaxError:
+        return ULangSyntaxError(message, line=self.line())
+
+    # -- tokens ----------------------------------------------------------
+
+    def peek_word(self) -> str:
+        self.skip_ws()
+        match = _WORD_RE.match(self.text, self.pos)
+        return match.group(0) if match else ""
+
+    def keyword(self, *alternatives: str) -> str:
+        word = self.peek_word()
+        if word not in alternatives:
+            raise self.error(
+                f"expected {' or '.join(repr(a) for a in alternatives)}, "
+                f"found {word or self.text[self.pos:self.pos + 10]!r}"
+            )
+        self.pos += len(word)
+        return word
+
+    def scan_string(self) -> str:
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] not in "'\"":
+            raise self.error("expected a quoted string")
+        quote = self.text[self.pos]
+        end = self.text.find(quote, self.pos + 1)
+        newline = self.text.find("\n", self.pos + 1)
+        if end < 0 or (0 <= newline < end):
+            raise self.error("unterminated string literal")
+        value = self.text[self.pos + 1:end]
+        self.pos = end + 1
+        return value
+
+    def scan_name(self) -> str:
+        self.skip_ws()
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self.error("expected a name")
+        self.pos = match.end()
+        return match.group(0)
+
+    def scan_fragment(self) -> str:
+        """One balanced XML element literal, verbatim."""
+        self.skip_ws()
+        start = self.pos
+        if self.pos >= len(self.text) or self.text[self.pos] != "<":
+            raise self.error("expected an XML fragment starting with '<'")
+        depth = 0
+        pos = self.pos
+        text = self.text
+        while pos < len(text):
+            if text[pos] != "<":
+                pos += 1
+                continue
+            closing = pos + 1 < len(text) and text[pos + 1] == "/"
+            # Find the matching '>' of this tag, respecting quotes.
+            end = pos + 1
+            quote = None
+            while end < len(text):
+                char = text[end]
+                if quote:
+                    if char == quote:
+                        quote = None
+                elif char in "'\"":
+                    quote = char
+                elif char == ">":
+                    break
+                end += 1
+            if end >= len(text):
+                raise self.error("unterminated tag in XML fragment")
+            self_closing = text[end - 1] == "/"
+            if closing:
+                depth -= 1
+            elif not self_closing:
+                depth += 1
+            pos = end + 1
+            if depth == 0:
+                self.pos = pos
+                return text[start:pos]
+        raise self.error("unterminated XML fragment")
+
+    def scan_path(self, stop_words: Tuple[str, ...] = ()) -> str:
+        """A path operand: runs to ``;`` or a top-level stop keyword.
+
+        Statement keywords always stop a path (they cannot appear
+        unbracketed inside the mini-XPath grammar), so a missing ``;``
+        is reported as such instead of corrupting the path.
+        """
+        stop_words = tuple(stop_words) + _STATEMENT_KEYWORDS
+        self.skip_ws()
+        start = self.pos
+        depth = 0
+        quote = None
+        pos = self.pos
+        text = self.text
+        while pos < len(text):
+            char = text[pos]
+            if quote:
+                if char == quote:
+                    quote = None
+            elif char in "'\"":
+                quote = char
+            elif char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif depth == 0 and char == ";":
+                break
+            elif depth == 0 and char.isspace():
+                follow = pos + 1
+                while follow < len(text) and text[follow].isspace():
+                    follow += 1
+                match = _WORD_RE.match(text, follow)
+                if match and match.group(0) in stop_words:
+                    break
+            pos += 1
+        path = text[start:pos].strip()
+        if not path:
+            raise self.error("expected an XPath expression")
+        self.pos = pos
+        return path
+
+
+def _fragment_paths(fragment_xml: str, line: int) -> List[List[str]]:
+    """Root-to-node name chains of every labeled node in the fragment."""
+    from repro.xmlmodel.parser import parse_fragment
+
+    try:
+        root = parse_fragment(fragment_xml)
+    except Exception as exc:
+        raise ULangSyntaxError(f"bad XML fragment: {exc}", line=line)
+    chains: List[List[str]] = []
+
+    def walk(node, prefix: List[str]) -> None:
+        chain = prefix + [node.name]
+        chains.append(chain)
+        for child in node.children:
+            if child.kind.is_labeled:
+                walk(child, chain)
+
+    walk(root, [])
+    return chains
+
+
+def _parse_paths(path_text: str, line: int):
+    try:
+        return parse_xpath(path_text)
+    except XPathError as exc:
+        raise ULangSyntaxError(f"bad XPath {path_text!r}: {exc}", line=line)
+
+
+def parse_program(source: str, path: str = "<program>") -> UpdateProgram:
+    """Parse an update program into an :class:`UpdateProgram`."""
+    stripped, noqa = _strip_comments(source)
+    scanner = _Scanner(stripped)
+    statements: List[UStatement] = []
+    while not scanner.at_end():
+        start = scanner.pos
+        line = scanner.line()
+        word = scanner.peek_word()
+        if word not in _STATEMENT_KEYWORDS:
+            raise scanner.error(
+                f"expected one of {', '.join(_STATEMENT_KEYWORDS)}, found "
+                f"{word or stripped[scanner.pos:scanner.pos + 10]!r}"
+            )
+        scanner.pos += len(word)
+        if word == "insert":
+            fragment = scanner.scan_fragment()
+            position = scanner.keyword(*POSITIONS)
+            target = scanner.scan_path()
+            statement = InsertStatement(
+                fragment_xml=fragment, position=position, target=target,
+                target_paths=_parse_paths(target, line),
+                fragment_paths=_fragment_paths(fragment, line),
+            )
+        elif word == "delete":
+            target = scanner.scan_path()
+            statement = DeleteStatement(
+                target=target, target_paths=_parse_paths(target, line),
+            )
+        elif word == "replace":
+            scanner.keyword("value")
+            scanner.keyword("of")
+            target = scanner.scan_path(stop_words=("with",))
+            scanner.keyword("with")
+            value = scanner.scan_string()
+            statement = ReplaceValueStatement(
+                target=target, value=value,
+                target_paths=_parse_paths(target, line),
+            )
+        elif word == "rename":
+            target = scanner.scan_path(stop_words=("as",))
+            scanner.keyword("as")
+            name = scanner.scan_name()
+            statement = RenameStatement(
+                target=target, name=name,
+                target_paths=_parse_paths(target, line),
+            )
+        else:  # move
+            source_path = scanner.scan_path(stop_words=POSITIONS)
+            position = scanner.keyword(*POSITIONS)
+            target = scanner.scan_path()
+            statement = MoveStatement(
+                source=source_path, position=position, target=target,
+                source_paths=_parse_paths(source_path, line),
+                target_paths=_parse_paths(target, line),
+            )
+        statement.line = line
+        statement.text = stripped[start:scanner.pos].strip()
+        statements.append(statement)
+        scanner.skip_ws()
+        if scanner.pos < len(stripped):
+            if stripped[scanner.pos] != ";":
+                raise scanner.error(
+                    f"expected ';' between statements, found "
+                    f"{stripped[scanner.pos:scanner.pos + 10]!r}"
+                )
+            scanner.pos += 1
+    if not statements:
+        raise ULangSyntaxError("empty update program", line=1)
+    registry = get_registry()
+    registry.counter("ulang.programs").increment()
+    registry.counter("ulang.statements").increment(len(statements))
+    return UpdateProgram(statements=statements, source=source, path=path,
+                         noqa=noqa)

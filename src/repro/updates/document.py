@@ -137,7 +137,7 @@ class LabeledDocument:
         self._rebuild_label_index()
 
     @classmethod
-    def from_labels(cls, document: Document, scheme: LabelingScheme,
+    def from_labels(cls, document: Document, scheme: LabelingScheme,  # repro: noqa[REP009] fresh document; no subscribers yet
                     labels: Dict[int, Any],
                     on_collision: str = "raise") -> "LabeledDocument":
         """Attach precomputed labels (snapshot restore) instead of

@@ -1,0 +1,151 @@
+"""Tests for the standalone mini-XPath parser shared by all consumers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.axes.xpath_ast import (
+    ComparisonPredicate,
+    ExistencePredicate,
+    LocationPath,
+    PositionPredicate,
+    Step,
+    apply_node_tests,
+    parse_path,
+    parse_predicate,
+    parse_xpath,
+    split_union,
+)
+from repro.errors import XPathError
+from repro.xmlmodel.parser import parse
+
+
+class TestParsePath:
+    def test_absolute_child_chain(self):
+        absolute, steps = parse_path("/library/section/book")
+        assert absolute
+        assert [(s.axis, s.name_test) for s in steps] == [
+            ("child", "library"), ("child", "section"), ("child", "book"),
+        ]
+
+    def test_relative_path(self):
+        absolute, steps = parse_path("section/book")
+        assert not absolute
+        assert len(steps) == 2
+
+    def test_double_slash_merges_to_descendant(self):
+        _, steps = parse_path("//book")
+        assert [(s.axis, s.name_test) for s in steps] == [
+            ("descendant", "book"),
+        ]
+        _, steps = parse_path("/a//b/c")
+        assert [(s.axis, s.name_test) for s in steps] == [
+            ("child", "a"), ("descendant", "b"), ("child", "c"),
+        ]
+
+    def test_double_slash_keeps_expansion_before_non_child_axis(self):
+        _, steps = parse_path("//ancestor::x")
+        assert [s.axis for s in steps] == ["descendant-or-self", "ancestor"]
+
+    def test_abbreviations(self):
+        _, steps = parse_path("./../@id")
+        assert [(s.axis, s.name_test) for s in steps] == [
+            ("self", "*"), ("parent", "*"), ("attribute", "id"),
+        ]
+
+    def test_explicit_axes(self):
+        _, steps = parse_path("following-sibling::item/ancestor::*")
+        assert [(s.axis, s.name_test) for s in steps] == [
+            ("following-sibling", "item"), ("ancestor", "*"),
+        ]
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "/a/valid::x", "/a/@child::b", "/a/b[", "/a/b]extra",
+        "/a/b[position() = last()]",
+    ])
+    def test_rejects_malformed_paths(self, bad):
+        with pytest.raises(XPathError):
+            parse_path(bad)
+
+
+class TestPredicates:
+    def test_positional(self):
+        predicate = parse_predicate("3")
+        assert isinstance(predicate, PositionPredicate)
+        assert predicate.position == 3
+
+    def test_attribute_comparison(self):
+        predicate = parse_predicate("@year='2004'")
+        assert isinstance(predicate, ComparisonPredicate)
+        assert predicate.attribute
+        assert (predicate.name, predicate.value) == ("year", "2004")
+
+    def test_child_text_comparison_with_double_quotes(self):
+        predicate = parse_predicate('name="Destiny Image"')
+        assert isinstance(predicate, ComparisonPredicate)
+        assert not predicate.attribute
+        assert predicate.value == "Destiny Image"
+
+    def test_existence(self):
+        assert isinstance(parse_predicate("@year"), ExistencePredicate)
+        child = parse_predicate("price")
+        assert isinstance(child, ExistencePredicate)
+        assert not child.attribute
+
+    def test_predicates_compare_equal_to_raw_text(self):
+        # Plans/payloads historically carried predicates as strings.
+        _, steps = parse_path("/book[@year='2004'][2]")
+        assert steps[0].predicates == ["@year='2004'", "2"]
+        assert steps[0].has_positional
+
+    def test_str_round_trips(self):
+        _, steps = parse_path("/a//b[@x='1']/ancestor::c")
+        assert [str(s) for s in steps] == [
+            "a", "descendant::b[@x='1']", "ancestor::c",
+        ]
+
+
+class TestUnions:
+    def test_split_union_top_level_only(self):
+        assert split_union("//a | /b/c") == ["//a", "/b/c"]
+        # '|' inside a predicate string must not split.
+        assert split_union("//a[@x='p|q'] | //b") == ["//a[@x='p|q']", "//b"]
+
+    def test_parse_xpath_returns_branches(self):
+        branches = parse_xpath("//a | /b")
+        assert [b.absolute for b in branches] == [True, True]
+        assert all(isinstance(b, LocationPath) for b in branches)
+        assert [str(b) for b in branches] == ["//a", "/b"]
+
+
+class TestApplyNodeTests:
+    @pytest.fixture
+    def doc(self):
+        return parse(
+            "<r><b year='1'><n>X</n></b><b year='2'/><c/><b year='3'/></r>"
+        )
+
+    def test_name_test_filters_elements(self, doc):
+        step = Step(axis="child", name_test="b")
+        out = apply_node_tests(step, list(doc.root.children))
+        assert [n.name for n in out] == ["b", "b", "b"]
+
+    def test_positional_counts_in_proximity_order_on_reverse_axis(self, doc):
+        children = list(doc.root.children)
+        last_b = [n for n in children if n.name == "b"][-1]
+        candidates = [
+            n for n in children[:children.index(last_b)] if n.is_element
+        ]
+        step = Step(axis="preceding-sibling", name_test="b",
+                    predicates=[parse_predicate("1")])
+        out = apply_node_tests(step, candidates)
+        assert [n.attribute("year").value for n in out] == ["2"]
+
+    def test_comparison_and_existence(self, doc):
+        children = list(doc.root.children)
+        eq = Step(axis="child", name_test="b",
+                  predicates=[parse_predicate("@year='2'")])
+        assert len(apply_node_tests(eq, children)) == 1
+        has_child = Step(axis="child", name_test="*",
+                         predicates=[parse_predicate("n")])
+        assert len(apply_node_tests(has_child, children)) == 1

@@ -23,6 +23,7 @@ REPO_SRC = Path(__file__).resolve().parents[2] / "src"
 EXPECTED = {
     "REP001": 4, "REP002": 2, "REP003": 2, "REP004": 3,
     "REP005": 2, "REP006": 3, "REP007": 2, "REP008": 3,
+    "REP009": 2,
 }
 
 

@@ -161,6 +161,28 @@ class TestMutableDefault:
         assert not any("safe" in f.message for f in findings)
 
 
+class TestUnpublishedMutation:
+    def test_flags_mutators_without_publish_reach(self, rule_ctx):
+        findings = findings_for("REP009", rule_ctx)
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "LabeledDocument.graft" in messages
+        assert "UpdateBatch.compact" in messages
+        assert all(f.severity == "error" for f in findings)
+
+    def test_publish_through_helpers_and_undo_chain_is_clean(self, rule_ctx):
+        findings = findings_for("REP009", rule_ctx)
+        messages = " ".join(f.message for f in findings)
+        for clean in ("relabel_all", "adopt", "apply", "rollback"):
+            assert clean not in messages
+
+    def test_reads_and_tree_only_writes_are_clean(self, rule_ctx):
+        findings = findings_for("REP009", rule_ctx)
+        messages = " ".join(f.message for f in findings)
+        assert "peek" not in messages
+        assert "set_text" not in messages
+
+
 @pytest.mark.parametrize("rule", ALL_RULES, ids=lambda rule: rule.id)
 def test_every_rule_has_fixture_coverage(rule, rule_ctx):
     """Each shipped rule fires at least once against the fixture tree."""

@@ -291,3 +291,47 @@ class TestSuggestScheme:
     def test_unknown_requirement_rejected(self):
         with pytest.raises(UpdateError):
             suggest_scheme(["teleportation"])
+
+
+class TestRegisteredQueries:
+    def test_register_validates_and_dedupes(self, repo):
+        entry = repo.get("library")
+        entry.register_query("//book/title")
+        entry.register_query("//book/title")
+        entry.register_query("/library/shelf")
+        assert entry.registered_queries == ["//book/title", "/library/shelf"]
+
+    def test_register_rejects_bad_path(self, repo):
+        from repro.errors import XPathError
+
+        entry = repo.get("library")
+        with pytest.raises(XPathError):
+            entry.register_query("//book[position() = last()]")
+        assert entry.registered_queries == []
+
+    def test_registered_queries_returns_a_copy(self, repo):
+        entry = repo.get("library")
+        entry.register_query("//book")
+        entry.registered_queries.append("//smuggled")
+        assert entry.registered_queries == ["//book"]
+
+    def test_check_update_uses_registered_queries(self, repo):
+        entry = repo.get("library")
+        entry.register_query("//book/title")
+        report = entry.check_update("delete //book;")
+        assert [v.query for v in report.verdicts] == ["//book/title"]
+        assert not report.verdicts[0].independent
+        assert report.exit_code == 1
+
+    def test_check_update_clean_program(self, repo):
+        entry = repo.get("library")
+        entry.register_query("//book/title")
+        report = entry.check_update(
+            "insert <isbn>0-441-x</isbn> into /library/shelf/book[1];")
+        assert report.verdicts[0].independent
+        assert report.exit_code == 0
+
+    def test_check_update_knows_the_scheme(self, repo):
+        report = repo.get("library").check_update("delete //book;")
+        assert report.prediction["scheme"] == "cdqs"
+        assert report.prediction["persistent_labels"] is True

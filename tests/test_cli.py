@@ -644,3 +644,70 @@ class TestBenchReportProfile:
         rows = document["profile_hotspots"]
         assert rows[0]["function"] == "b"
         assert rows[0]["self"] == 3
+
+
+class TestUpdateCommand:
+    CLEAN = "insert <keyword>networks</keyword> into /dblp/article[1];"
+    CONFLICT = "delete //author;"
+
+    def test_run_executes_program(self, sample_file, capsys):
+        assert main(["update", "run", sample_file,
+                     "rename //author as writer"]) == 0
+        out = capsys.readouterr().out
+        assert "applied 1 operation(s)" in out
+
+    def test_run_writes_updated_document(self, sample_file, tmp_path, capsys):
+        out_file = tmp_path / "updated.xml"
+        assert main(["update", "run", sample_file,
+                     "delete //price", "--out", str(out_file)]) == 0
+        assert "price" not in out_file.read_text(encoding="utf-8")
+
+    def test_run_program_operand_may_be_a_file(self, sample_file, tmp_path,
+                                               capsys):
+        program = tmp_path / "prog.ulang"
+        program.write_text("delete //price;  # trim prices\n",
+                           encoding="utf-8")
+        assert main(["update", "run", sample_file, str(program)]) == 0
+
+    def test_check_clean_program_exits_zero(self, sample_file, capsys):
+        assert main(["update", "check", sample_file, self.CLEAN,
+                     "--query", "/dblp/proceedings/editor/name"]) == 0
+        out = capsys.readouterr().out
+        assert "independent" in out
+
+    def test_check_planted_conflict_exits_nonzero(self, sample_file, capsys):
+        assert main(["update", "check", sample_file, self.CONFLICT,
+                     "--query", "//author"]) == 1
+        out = capsys.readouterr().out
+        assert "UPD004" in out
+        assert "may-conflict" in out
+
+    def test_check_json_payload(self, sample_file, capsys):
+        import json
+
+        assert main(["update", "check", sample_file, self.CONFLICT,
+                     "--query", "//author", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["verdicts"][0]["verdict"] == "may-conflict"
+
+    def test_check_list_rules(self, capsys):
+        assert main(["update", "check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("UPD001", "UPD002", "UPD003", "UPD004", "UPD005"):
+            assert rule in out
+
+    def test_explain_pairs_prediction_with_actuals(self, sample_file, capsys):
+        assert main(["update", "explain", sample_file,
+                     "delete //price", "--scheme", "ordpath"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN UPDATE BATCH" in out
+        assert "predicted relabel extent" in out.lower()
+
+    def test_syntax_error_exits_one(self, sample_file, capsys):
+        assert main(["update", "run", sample_file, "obliterate //x"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_operands_exit_two(self, capsys):
+        assert main(["update", "check"]) == 2
+        assert "needs" in capsys.readouterr().err

@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.schemes",
     "repro.store",
     "repro.strategies",
+    "repro.ulang",
     "repro.updates",
     "repro.xmlmodel",
 ]

@@ -1,0 +1,250 @@
+"""Analyzer golden tests: verdicts, UPD rules, suppression, baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import labeled
+from repro.observability.stats import StatsCollector
+from repro.ulang import analyze_program, check_program, paths_may_interfere
+from repro.ulang.analysis import RULES, can_prefix, path_chains
+from repro.axes.xpath_ast import parse_xpath
+from repro.xmlmodel.parser import parse
+
+XML = (
+    "<library>"
+    "<section name='db'>"
+    "<book lang='en'><title>TCP</title><price>30</price></book>"
+    "<book lang='de'><title>DB</title><price>20</price></book>"
+    "</section>"
+    "<section name='web'>"
+    "<book lang='en'><title>Web</title><price>10</price></book>"
+    "</section>"
+    "</library>"
+)
+
+
+@pytest.fixture
+def ldoc():
+    return labeled(parse(XML), "ordpath")
+
+
+@pytest.fixture
+def stats(ldoc):
+    return StatsCollector.collect(ldoc)
+
+
+def rules_fired(report):
+    return sorted({finding.rule for finding in report.findings})
+
+
+class TestChains:
+    def test_descendant_gap_covers_child(self):
+        [chain] = path_chains(parse_xpath("/a//b")[0])
+        [child] = path_chains(parse_xpath("/a/b")[0])
+        assert can_prefix(chain, child) and can_prefix(child, chain)
+
+    def test_disjoint_names_never_prefix(self):
+        [a] = path_chains(parse_xpath("/r/a")[0])
+        [b] = path_chains(parse_xpath("/r/b")[0])
+        assert not can_prefix(a, b)
+        assert not can_prefix(b, a)
+
+    def test_ancestor_is_prefix_not_vice_versa(self):
+        [anc] = path_chains(parse_xpath("/r/a")[0])
+        [desc] = path_chains(parse_xpath("/r/a/b/c")[0])
+        assert can_prefix(anc, desc)
+        assert not can_prefix(desc, anc)
+
+    def test_opaque_axis_widens_to_universal(self):
+        chains = path_chains(parse_xpath("//a/parent::b")[0])
+        assert chains == [(("gap",),)]
+
+
+class TestPathsMayInterfere:
+    @pytest.mark.parametrize("update,query,expected", [
+        ("//a/b", "//b", True),
+        ("//a/b", "//a/b/c", True),     # query below update target
+        ("/r/a", "/r", True),           # query above update target
+        ("/r/a", "/r/b", False),
+        # Two // paths always may-interfere: nothing rules out a title
+        # nested under a price without schema knowledge.
+        ("//price", "//title", True),
+        ("/r/*/x", "/r/q/x", True),     # wildcard overlaps any name
+        ("//a", "/b/c | //a/d", True),  # union branch overlaps
+        ("/r/a", "/s//a", False),       # roots differ
+    ])
+    def test_pairs(self, update, query, expected):
+        assert paths_may_interfere(update, query) is expected
+
+
+class TestVerdicts:
+    def test_delete_conflicts_with_query_below_target(self, ldoc):
+        report = check_program("delete //book[@lang='de'];",
+                               queries=["//price"], ldoc=ldoc)
+        [verdict] = report.verdicts
+        assert not verdict.independent
+        assert verdict.lines == [1]
+        assert verdict.evidence
+
+    def test_attribute_query_proven_independent_of_book_delete(self, ldoc):
+        report = check_program("delete //book;",
+                               queries=["/library/section/@name"],
+                               ldoc=ldoc)
+        [verdict] = report.verdicts
+        assert verdict.independent
+
+    def test_replace_value_only_hits_value_predicates(self, ldoc):
+        report = check_program(
+            "replace value of //price with '0';",
+            queries=["//book[@lang='en']/title",   # independent: no price
+                     "//book[price='30']",          # value predicate: conflict
+                     "//price"],                    # selects the node: conflict
+            ldoc=ldoc)
+        verdicts = {v.query: v.independent for v in report.verdicts}
+        assert verdicts["//book[@lang='en']/title"] is True
+        assert verdicts["//book[price='30']"] is False
+        assert verdicts["//price"] is False
+
+    def test_insert_conflicts_only_where_new_nodes_can_match(self, ldoc):
+        program = "insert <book lang='fr'/> into /library/section[2];"
+        report = check_program(
+            program,
+            queries=["//book",                       # new node matches
+                     "/library/section[2]/book[1]",  # positional window
+                     "//title"],                     # fragment has no title
+            ldoc=ldoc)
+        verdicts = {v.query: v.independent for v in report.verdicts}
+        assert verdicts["//book"] is False
+        assert verdicts["/library/section[2]/book[1]"] is False
+        assert verdicts["//title"] is True
+
+    def test_rename_conflicts_with_old_and_new_name(self, ldoc):
+        report = check_program(
+            "rename //title as heading;",
+            queries=["//title", "//heading", "/library/section/@name"],
+            ldoc=ldoc)
+        verdicts = {v.query: v.independent for v in report.verdicts}
+        assert verdicts["//title"] is False
+        assert verdicts["//heading"] is False
+        assert verdicts["/library/section/@name"] is True
+
+    def test_independent_verdict_produces_no_upd004(self, ldoc):
+        report = check_program("delete //book;",
+                               queries=["/library/section/@name"],
+                               ldoc=ldoc)
+        assert "UPD004" not in rules_fired(report)
+        assert report.exit_code == 0
+
+
+class TestRuleFindings:
+    def test_upd001_dead_update(self, stats):
+        report = analyze_program("delete //phantom/book;", stats=stats)
+        assert "UPD001" in rules_fired(report)
+
+    def test_upd001_respects_names_created_by_earlier_statements(self, stats):
+        report = analyze_program(
+            "insert <phantom/> into /library; delete //phantom;",
+            stats=stats)
+        assert "UPD001" not in rules_fired(report)
+        renamed = analyze_program(
+            "rename //title as phantom; delete //phantom;", stats=stats)
+        assert "UPD001" not in rules_fired(renamed)
+
+    def test_upd002_aliasing_after_delete(self):
+        report = analyze_program(
+            "delete //section; replace value of //section/book/price "
+            "with '0';")
+        assert "UPD002" in rules_fired(report)
+        [finding] = [f for f in report.findings if f.rule == "UPD002"]
+        assert finding.line == 1  # single-line program: second statement
+        assert "delete" in finding.message
+
+    def test_upd002_quiet_for_disjoint_regions(self):
+        report = analyze_program("delete //a; delete //b;")
+        assert "UPD002" not in rules_fired(report)
+
+    def test_upd003_move_into_own_subtree(self):
+        report = analyze_program("move //section into //section/book;")
+        assert "UPD003" in rules_fired(report)
+        assert report.exit_code == 1
+
+    def test_upd003_quiet_for_disjoint_move(self):
+        report = analyze_program("move //book into /archive;")
+        assert "UPD003" not in rules_fired(report)
+
+    def test_upd005_storm_on_relabel_prone_scheme(self, stats):
+        report = analyze_program("delete //book | //section | //title;",
+                                 stats=stats, scheme_name="dewey")
+        assert "UPD005" in rules_fired(report)
+
+    def test_upd005_quiet_on_persistent_scheme(self, stats):
+        report = analyze_program("delete //book | //section | //title;",
+                                 stats=stats, scheme_name="ordpath")
+        assert "UPD005" not in rules_fired(report)
+
+    def test_upd005_quiet_for_small_extent(self, stats):
+        report = analyze_program("delete //book[@lang='de']/title;",
+                                 stats=stats, scheme_name="dewey")
+        assert "UPD005" not in rules_fired(report)
+
+
+class TestSuppressionAndBaseline:
+    def test_noqa_suppresses_finding(self, ldoc):
+        noisy = check_program("delete //price;", queries=["//price"],
+                              ldoc=ldoc)
+        assert noisy.exit_code == 1
+        quiet = check_program("delete //price;  # noqa[UPD004]",
+                              queries=["//price"], ldoc=ldoc)
+        assert quiet.exit_code == 0
+        assert quiet.suppressed == 1
+        # The verdict itself is still reported: noqa silences the
+        # finding, not the analysis.
+        assert not quiet.verdicts[0].independent
+
+    def test_baseline_grandfathers_findings(self, ldoc, tmp_path):
+        from repro.staticcheck.baseline import write_baseline
+
+        first = check_program("delete //price;", queries=["//price"],
+                              ldoc=ldoc)
+        baseline = tmp_path / "UPD_BASELINE.jsonl"
+        write_baseline(baseline, first.findings)
+        second = check_program("delete //price;", queries=["//price"],
+                               ldoc=ldoc, baseline_path=baseline)
+        assert second.exit_code == 0
+        assert all(f.baselined for f in second.findings)
+
+
+class TestReportShape:
+    def test_payload_schema(self, ldoc):
+        report = check_program("delete //book;", queries=["//price"],
+                               ldoc=ldoc)
+        payload = report.to_payload()
+        assert payload["schema_version"] == 1
+        assert payload["summary"]["may_conflict"] == 1
+        assert payload["verdicts"][0]["verdict"] == "may-conflict"
+        assert payload["prediction"]["persistent_labels"] is True
+        assert payload["prediction"]["predicted_relabel_extent"] == 0
+
+    def test_prediction_extent_on_relabel_prone_scheme(self, ldoc, stats):
+        report = analyze_program("delete //book;", stats=stats,
+                                 scheme_name="dewey")
+        assert (report.prediction["predicted_relabel_extent"]
+                == stats.node_count)
+
+    def test_render_mentions_verdicts_and_counts(self, ldoc):
+        report = check_program("delete //book;",
+                               queries=["//price",
+                                        "/library/section/@name"],
+                               ldoc=ldoc)
+        text = report.render()
+        assert "may-conflict" in text
+        assert "independent" in text
+        assert "1/2" in text
+
+    def test_rule_catalogue_is_complete(self):
+        assert sorted(RULES) == ["UPD001", "UPD002", "UPD003", "UPD004",
+                                 "UPD005"]
+        for name, severity, description in RULES.values():
+            assert severity in ("warning", "error")
+            assert name and description

@@ -1,0 +1,156 @@
+"""Compiler/runtime tests: sequential semantics over one UpdateBatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import labeled
+from repro.axes.xpath import xpath
+from repro.errors import ULangTargetError
+from repro.ulang import parse_program, resolve_targets, run_program
+from repro.xmlmodel.parser import parse
+
+XML = (
+    "<library>"
+    "<section name='db'>"
+    "<book lang='en'><title>TCP</title><price>30</price></book>"
+    "<book lang='de'><title>DB</title><price>20</price></book>"
+    "</section>"
+    "<section name='web'>"
+    "<book lang='en'><title>Web</title><price>10</price></book>"
+    "</section>"
+    "</library>"
+)
+
+
+@pytest.fixture
+def ldoc():
+    return labeled(parse(XML), "ordpath")
+
+
+class TestResolveTargets:
+    def test_absolute_child_chain(self, ldoc):
+        nodes = resolve_targets(ldoc, "/library/section/book")
+        assert len(nodes) == 3
+
+    def test_descendant_with_predicate(self, ldoc):
+        nodes = resolve_targets(ldoc, "//book[@lang='de']")
+        assert [n.name for n in nodes] == ["book"]
+
+    def test_attribute_target(self, ldoc):
+        nodes = resolve_targets(ldoc, "/library/section/@name")
+        assert [n.value for n in nodes] == ["db", "web"]
+
+    def test_union_dedupes_in_document_order(self, ldoc):
+        nodes = resolve_targets(ldoc, "//book | //book[@lang='de']")
+        assert len(nodes) == 3
+
+    def test_agrees_with_label_driven_evaluator(self, ldoc):
+        for path in ("//book", "/library/section[2]/book/title",
+                     "//price", "//section[@name='db']//title",
+                     "//book[price]"):
+            structural = {n.node_id for n in resolve_targets(ldoc, path)}
+            evaluated = {n.node_id for n in xpath(ldoc, path)}
+            assert structural == evaluated, path
+
+
+class TestExecution:
+    def test_insert_into_appends(self, ldoc):
+        run_program(ldoc, "insert <book lang='fr'/> into "
+                          "/library/section[@name='web']")
+        books = xpath(ldoc, "/library/section[2]/book")
+        assert len(books) == 2
+        assert books[-1].attribute("lang").value == "fr"
+
+    def test_insert_before_and_after(self, ldoc):
+        run_program(ldoc, "insert <x/> before //book[@lang='de'];"
+                          "insert <y/> after //book[@lang='de']")
+        children = [n.name for n in
+                    resolve_targets(ldoc, "/library/section[1]/*")]
+        assert children == ["book", "x", "book", "y"]
+
+    def test_sequential_statements_see_earlier_effects(self, ldoc):
+        # The rename happens first, so the delete's target matches the
+        # renamed nodes — FLUX-style sequencing, not snapshot semantics.
+        run_program(ldoc, "rename //title as heading; delete //heading")
+        assert xpath(ldoc, "//title") == []
+        assert xpath(ldoc, "//heading") == []
+
+    def test_delete_nested_targets_outermost_only(self, ldoc):
+        result = run_program(ldoc, "delete //section | //section/book")
+        assert result.deletions == 2  # the two sections, not 2 + 3
+        assert xpath(ldoc, "//book") == []
+
+    def test_replace_element_text_and_attribute(self, ldoc):
+        run_program(ldoc, "replace value of //book[@lang='de']/price "
+                          "with '25';"
+                          "replace value of /library/section[1]/@name "
+                          "with 'databases'")
+        price = xpath(ldoc, "//book[@lang='de']/price")[0]
+        assert price.children[0].value == "25"
+        assert xpath(ldoc, "//section[@name='databases']")
+
+    def test_move_into(self, ldoc):
+        run_program(ldoc, "move //book[@lang='de'] into "
+                          "/library/section[@name='web']")
+        assert len(xpath(ldoc, "/library/section[1]/book")) == 1
+        assert len(xpath(ldoc, "/library/section[2]/book")) == 2
+
+    def test_move_within_same_parent(self, ldoc):
+        # The detach happens before the re-insert, so the slot must be
+        # computed against the post-detach child list.
+        run_program(ldoc, "move //book[@lang='en'] into "
+                          "/library/section[1]")
+        langs = [b.attribute("lang").value
+                 for b in xpath(ldoc, "/library/section[1]/book")]
+        assert langs == ["de", "en", "en"]
+        ldoc.verify_order()
+
+    def test_empty_target_is_a_noop(self, ldoc):
+        result = run_program(ldoc, "delete //nonexistent")
+        assert result.operations == 0
+        assert len(xpath(ldoc, "//book")) == 3
+
+    def test_order_invariant_holds_after_program(self, ldoc):
+        run_program(ldoc, "insert <z/> into /library;"
+                          "move //book[@lang='de'] into /library/section[2];"
+                          "delete //price")
+        ldoc.verify_order()
+
+    def test_labels_cover_inserted_nodes(self, ldoc):
+        before = len(ldoc.labels)
+        run_program(ldoc, "insert <a><b/></a> into /library")
+        assert len(ldoc.labels) == before + 2
+
+
+class TestFailures:
+    def test_move_with_ambiguous_destination(self, ldoc):
+        with pytest.raises(ULangTargetError, match="exactly one"):
+            run_program(ldoc, "move //price into //section")
+
+    def test_move_zero_sources_is_noop_before_destination_check(self, ldoc):
+        result = run_program(ldoc, "move //nonexistent into //section")
+        assert result.operations == 0
+
+    def test_insert_before_root_fails(self, ldoc):
+        with pytest.raises(ULangTargetError, match="root"):
+            run_program(ldoc, "insert <x/> before /library")
+
+    def test_failure_rolls_back_earlier_statements(self, ldoc):
+        with pytest.raises(ULangTargetError):
+            run_program(ldoc, "delete //book[@lang='de'];"
+                              "move //price into //section")
+        # The delete must have been undone with the batch.
+        assert len(xpath(ldoc, "//book")) == 3
+        ldoc.verify_order()
+
+
+class TestPlanCollection:
+    def test_collect_plan_pairs_prediction_with_actuals(self, ldoc):
+        result, plan = run_program(
+            ldoc, "insert <book/> into /library/section[1]",
+            collect_plan=True,
+        )
+        assert plan.operations == 1
+        assert plan.actual_relabel_passes == result.relabel_passes
+        assert plan.actual_relabeled_nodes == result.relabeled_nodes

@@ -1,0 +1,147 @@
+"""The analyzer's soundness battery.
+
+The one promise the independence analysis makes: an ``independent``
+verdict is a *proof*.  So for every (program, query) pair in the corpus
+and every labelling scheme in the registry, whenever the analyzer says
+independent, executing the program must leave the query's results
+bit-identical — same nodes, same names, same values.
+
+May-conflict verdicts carry no such promise (they are the conservative
+fallback), so the battery asserts nothing about them beyond bookkeeping:
+the corpus deliberately mixes pairs where the update really does change
+the results with pairs where the conservative answer is a false alarm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import all_scheme_names, labeled
+from repro.axes.xpath import xpath
+from repro.ulang import check_program, parse_program, run_program
+from repro.xmlmodel.parser import parse
+
+LIBRARY = (
+    "<library>"
+    "<section name='db'>"
+    "<book lang='en'><title>TCP</title><price>30</price></book>"
+    "<book lang='de'><title>DB</title><price>20</price></book>"
+    "</section>"
+    "<section name='web'>"
+    "<book lang='en'><title>Web</title><price>10</price></book>"
+    "</section>"
+    "<archive/>"
+    "</library>"
+)
+
+DBLP = (
+    "<dblp>"
+    "<article key='a1'><author>Ann</author><year>2003</year></article>"
+    "<article key='a2'><author>Bob</author><year>2004</year></article>"
+    "<proceedings key='p1'><editor>Cid</editor></proceedings>"
+    "</dblp>"
+)
+
+#: (xml, program, query) — executed under every scheme; the analyzer's
+#: verdict decides whether bit-identical results are asserted.
+CORPUS = [
+    # --- inserts ------------------------------------------------------
+    (LIBRARY, "insert <book lang='fr'/> into /library/section[2]",
+     "//title"),
+    (LIBRARY, "insert <book lang='fr'/> into /library/section[2]",
+     "//book"),
+    (LIBRARY, "insert <review score='5'/> after //book[@lang='de']",
+     "/library/section/@name"),
+    (LIBRARY, "insert <price>1</price> into //archive",
+     "//book[price='30']"),
+    (DBLP, "insert <article key='a3'><author>Dee</author></article> "
+           "into /dblp",
+     "/dblp/article[1]/author"),
+    # --- deletes ------------------------------------------------------
+    (LIBRARY, "delete //book[@lang='de']", "//price"),
+    (LIBRARY, "delete //book", "/library/section/@name"),
+    (LIBRARY, "delete //price", "//book[price='30']"),
+    (LIBRARY, "delete /library/archive", "/library/section/book/title"),
+    (DBLP, "delete //proceedings", "/dblp/article/author"),
+    # --- replace value ------------------------------------------------
+    (LIBRARY, "replace value of //price with '0'", "//price"),
+    (LIBRARY, "replace value of //price with '0'",
+     "//book[@lang='en']/title"),
+    (LIBRARY, "replace value of /library/section[1]/@name with 'x'",
+     "//book[price='30']"),
+    (DBLP, "replace value of //year with '2005'", "//article[@key='a1']"),
+    # --- renames ------------------------------------------------------
+    (LIBRARY, "rename //title as heading", "//title"),
+    (LIBRARY, "rename //title as heading", "/library/section/@name"),
+    (DBLP, "rename //editor as chair", "/dblp/article/author"),
+    # --- moves --------------------------------------------------------
+    (LIBRARY, "move //book[@lang='de'] into /library/archive", "//book"),
+    (LIBRARY, "move //book[@lang='de'] into /library/archive",
+     "/library/section/@name"),
+    (DBLP, "move //proceedings into /dblp", "//author"),
+    # --- multi-statement programs ------------------------------------
+    (LIBRARY,
+     "rename //title as heading; replace value of //heading with 'X'",
+     "/library/section/@name"),
+    (LIBRARY,
+     "insert <tag/> into //archive; delete //tag",
+     "//book[@lang='en']"),
+    (DBLP,
+     "delete //year; insert <month>6</month> into //article",
+     "/dblp/proceedings/editor"),
+]
+
+
+def fingerprint(nodes):
+    """Identity + name + own value of each result, in result order.
+
+    Chosen so labels (which relabelling rewrites) and positions in
+    sibling lists (which structural edits shift) are *not* part of the
+    identity — the analyzer promises unchanged results, not unchanged
+    physical encodings.
+    """
+    out = []
+    for node in nodes:
+        value = node.value if node.is_attribute else node.text_value()
+        out.append((node.node_id, node.name, value))
+    return out
+
+
+def corpus_id(entry):
+    _xml, program, query = entry
+    return f"{program[:30]}...vs...{query}"
+
+
+@pytest.mark.parametrize("scheme_name", all_scheme_names())
+@pytest.mark.parametrize("entry", CORPUS, ids=corpus_id)
+def test_independent_verdicts_are_sound(entry, scheme_name):
+    xml, program_text, query = entry
+    ldoc = labeled(parse(xml), scheme_name)
+    program = parse_program(program_text)
+    report = check_program(program, queries=[query], ldoc=ldoc)
+    [verdict] = report.verdicts
+
+    before = fingerprint(xpath(ldoc, query))
+    run_program(ldoc, program)
+    after = fingerprint(xpath(ldoc, query))
+
+    if verdict.independent:
+        assert after == before, (
+            f"FALSE INDEPENDENCE under {scheme_name}: {program_text!r} "
+            f"changed {query!r}: {before} -> {after}"
+        )
+    ldoc.verify_order()
+
+
+def test_corpus_has_both_verdicts():
+    """The battery must exercise real proofs, not only fallbacks."""
+    independent = conflicting = 0
+    for xml, program_text, query in CORPUS:
+        ldoc = labeled(parse(xml), "ordpath")
+        report = check_program(program_text, queries=[query], ldoc=ldoc)
+        if report.verdicts[0].independent:
+            independent += 1
+        else:
+            conflicting += 1
+    assert independent >= 8
+    assert conflicting >= 8

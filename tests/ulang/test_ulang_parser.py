@@ -1,0 +1,132 @@
+"""Parser tests: grammar coverage, comments/noqa, and error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ULangSyntaxError
+from repro.ulang import (
+    DeleteStatement,
+    InsertStatement,
+    MoveStatement,
+    RenameStatement,
+    ReplaceValueStatement,
+    parse_program,
+)
+
+
+class TestGrammar:
+    def test_all_five_statement_kinds(self):
+        program = parse_program(
+            "insert <a/> into /r;"
+            "delete //a;"
+            "replace value of /r/b with 'v';"
+            "rename //b as c;"
+            "move /r/a before /r/b"
+        )
+        kinds = [type(s) for s in program.statements]
+        assert kinds == [InsertStatement, DeleteStatement,
+                         ReplaceValueStatement, RenameStatement,
+                         MoveStatement]
+
+    def test_insert_positions(self):
+        for position in ("into", "before", "after"):
+            program = parse_program(f"insert <x/> {position} /r/a")
+            assert program.statements[0].position == position
+
+    def test_trailing_semicolon_allowed(self):
+        assert len(parse_program("delete //a;").statements) == 1
+
+    def test_fragment_with_nesting_and_attributes(self):
+        program = parse_program(
+            'insert <entry year="2024"><name>x</name></entry> into /dblp'
+        )
+        statement = program.statements[0]
+        assert statement.fragment_xml.startswith("<entry")
+        assert ["entry"] in statement.fragment_paths
+        assert ["entry", "year"] in statement.fragment_paths
+        assert ["entry", "name"] in statement.fragment_paths
+
+    def test_fragment_with_gt_inside_quotes(self):
+        program = parse_program("insert <a note='x>y'/> into /r")
+        assert program.statements[0].fragment_xml == "<a note='x>y'/>"
+
+    def test_replace_string_both_quotes(self):
+        single = parse_program("replace value of /r/a with 'v1'")
+        double = parse_program('replace value of /r/a with "v2"')
+        assert single.statements[0].value == "v1"
+        assert double.statements[0].value == "v2"
+
+    def test_path_with_predicate_containing_stop_word(self):
+        # "with" inside a predicate string must not end the path operand.
+        program = parse_program(
+            "replace value of //a[@k='with into'] with 'v'"
+        )
+        assert program.statements[0].target == "//a[@k='with into']"
+        assert program.statements[0].value == "v"
+
+    def test_target_paths_are_preparsed(self):
+        program = parse_program("delete //a/b | /r/c")
+        assert len(program.statements[0].target_paths) == 2
+
+
+class TestCommentsAndNoqa:
+    def test_comments_are_stripped(self):
+        program = parse_program(
+            "# leading comment\n"
+            "delete //a;  # trailing comment\n"
+        )
+        assert len(program.statements) == 1
+        assert program.statements[0].line == 2
+
+    def test_hash_inside_string_is_not_a_comment(self):
+        program = parse_program("replace value of /r/a with '#5'")
+        assert program.statements[0].value == "#5"
+
+    def test_noqa_specific_rule(self):
+        program = parse_program("delete //a;  # noqa[UPD004]\ndelete //b")
+        assert program.is_suppressed(1, "UPD004")
+        assert not program.is_suppressed(1, "UPD002")
+        assert not program.is_suppressed(2, "UPD004")
+
+    def test_noqa_bare_suppresses_everything(self):
+        program = parse_program("delete //a  # noqa")
+        assert program.is_suppressed(1, "UPD001")
+        assert program.is_suppressed(1, "UPD004")
+
+    def test_statement_lines_survive_comment_blanking(self):
+        program = parse_program(
+            "# header\n# more\ndelete //a;\n# between\ndelete //b\n"
+        )
+        assert [s.line for s in program.statements] == [3, 5]
+
+
+class TestErrors:
+    def test_empty_program(self):
+        with pytest.raises(ULangSyntaxError):
+            parse_program("   # only a comment\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ULangSyntaxError, match="expected one of"):
+            parse_program("frobnicate //a")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ULangSyntaxError, match="expected ';'"):
+            parse_program("delete //a delete //b")
+
+    def test_bad_xpath_reports_line(self):
+        with pytest.raises(ULangSyntaxError) as excinfo:
+            parse_program("delete //a;\ndelete ?bogus")
+        assert excinfo.value.line == 2
+
+    def test_unterminated_fragment(self):
+        with pytest.raises(ULangSyntaxError, match="unterminated"):
+            parse_program("insert <a><b></a> into /r")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ULangSyntaxError, match="unterminated"):
+            parse_program("replace value of /r/a with 'oops")
+
+    def test_bad_fragment_xml(self):
+        with pytest.raises(ULangSyntaxError, match="bad XML fragment"):
+            parse_program("insert <a><b></c></a> into /r")
